@@ -1,0 +1,203 @@
+//! Ablation benches for the design choices DESIGN.md calls out. Each group
+//! sweeps one knob over the Figure-3 workload (32 processors) and prints the
+//! resulting makespans, so `cargo bench` records how the knob moves the
+//! result.
+//!
+//! * `ablate_poll_interval` — the implicit polling thread's period (§4.2):
+//!   too long ≈ explicit mode; too short wastes cycles.
+//! * `ablate_watermark` — the explicit-mode water-mark (§4.1): 0 reproduces
+//!   the run-dry failure mode; higher values overlap steal round-trips.
+//! * `ablate_alpha` — ParMETIS's Relative Cost Factor in |Ecut| + α|Vmove|.
+//! * `ablate_sync_points` — Charm++'s load-balancing frequency I − 1.
+//! * `ablate_grant` — mobile objects surrendered per steal (footnote 2).
+//! * `ablate_forwarding` — MOL location-update strategy: lazy (the paper's)
+//!   vs fully lazy vs eager broadcast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prema_harness::drivers::{charm_drv, parmetis_drv, prema_drv};
+use prema_harness::BenchSpec;
+use prema_sim::{MachineConfig, SimTime};
+use std::hint::black_box;
+
+fn spec() -> BenchSpec {
+    BenchSpec::figure3(MachineConfig::small(32), 40)
+}
+
+fn ablate_poll_interval(c: &mut Criterion) {
+    let spec = spec();
+    let mut group = c.benchmark_group("ablate_poll_interval");
+    group.sample_size(10);
+    println!("\n== ablate_poll_interval (fig3 workload, 32 procs) ==");
+    for ms in [10u64, 50, 100, 500, 2000] {
+        let cfg = prema_drv::PremaCfg {
+            implicit: true,
+            poll_interval: SimTime::from_millis(ms),
+            ..prema_drv::PremaCfg::default()
+        };
+        let r = prema_drv::run(&spec, cfg);
+        println!("poll_interval {ms:>5} ms → makespan {:.2}s", r.makespan.as_secs_f64());
+        group.bench_function(format!("{ms}ms"), |b| {
+            b.iter(|| black_box(prema_drv::run(black_box(&spec), cfg).makespan))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_watermark(c: &mut Criterion) {
+    let spec = spec();
+    let mut group = c.benchmark_group("ablate_watermark");
+    group.sample_size(10);
+    println!("\n== ablate_watermark (explicit mode, fig3 workload) ==");
+    for wm in [0.0f64, 200.0, 400.0, 800.0, 1600.0] {
+        let cfg = prema_drv::PremaCfg {
+            implicit: false,
+            watermark_mflop: wm,
+            ..prema_drv::PremaCfg::default()
+        };
+        let r = prema_drv::run(&spec, cfg);
+        println!("watermark {wm:>6.0} Mflop → makespan {:.2}s", r.makespan.as_secs_f64());
+        group.bench_function(format!("{wm}"), |b| {
+            b.iter(|| black_box(prema_drv::run(black_box(&spec), cfg).makespan))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_alpha(c: &mut Criterion) {
+    let spec = spec();
+    let mut group = c.benchmark_group("ablate_alpha");
+    group.sample_size(10);
+    println!("\n== ablate_alpha (ParMETIS relative cost factor) ==");
+    for alpha in [0.1f64, 1.0, 10.0, 100.0] {
+        let cfg = parmetis_drv::ParMetisCfg {
+            alpha,
+            ..parmetis_drv::ParMetisCfg::default()
+        };
+        let r = parmetis_drv::run(&spec, cfg);
+        println!("alpha {alpha:>6.1} → makespan {:.2}s", r.makespan.as_secs_f64());
+        group.bench_function(format!("{alpha}"), |b| {
+            b.iter(|| black_box(parmetis_drv::run(black_box(&spec), cfg).makespan))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_sync_points(c: &mut Criterion) {
+    let spec = spec();
+    let mut group = c.benchmark_group("ablate_sync_points");
+    group.sample_size(10);
+    println!("\n== ablate_sync_points (Charm++ AtSync frequency) ==");
+    for sync_points in [0usize, 1, 4, 7] {
+        // unit counts divide I = sync_points + 1 for these choices (1280 units)
+        let r = charm_drv::run(&spec, sync_points);
+        println!("sync points {sync_points} → makespan {:.2}s", r.makespan.as_secs_f64());
+        group.bench_function(format!("{sync_points}"), |b| {
+            b.iter(|| black_box(charm_drv::run(black_box(&spec), sync_points).makespan))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_grant(c: &mut Criterion) {
+    let spec = spec();
+    let mut group = c.benchmark_group("ablate_grant");
+    group.sample_size(10);
+    println!("\n== ablate_grant (mobile objects per steal, §4 footnote 2) ==");
+    for grant in [1usize, 2, 4, 16] {
+        let cfg = prema_drv::PremaCfg {
+            max_grant: grant,
+            ..prema_drv::PremaCfg::default()
+        };
+        let r = prema_drv::run(&spec, cfg);
+        println!("max_grant {grant:>3} → makespan {:.2}s", r.makespan.as_secs_f64());
+        group.bench_function(format!("{grant}"), |b| {
+            b.iter(|| black_box(prema_drv::run(black_box(&spec), cfg).makespan))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_forwarding(c: &mut Criterion) {
+    use bytes::Bytes;
+    use prema_dcs::{Communicator, LocalFabric};
+    use prema_mol::{Migratable, MolConfig, MolNode};
+
+    struct Blob(u64);
+    impl Migratable for Blob {
+        fn pack(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&self.0.to_le_bytes());
+        }
+        fn unpack(b: &[u8]) -> Self {
+            Blob(u64::from_le_bytes(b[..8].try_into().unwrap()))
+        }
+    }
+
+    // A migration-heavy churn: the object hops around an 8-rank machine
+    // while a fixed sender streams messages at it. Lazy updates trade
+    // forwarding hops for fewer update messages; eager broadcast trades the
+    // other way. The printed counters record the tradeoff; the bench times
+    // the whole churn.
+    let run = |cfg: MolConfig| -> (u64, u64) {
+        let mut nodes: Vec<MolNode<Blob>> = LocalFabric::new(8)
+            .into_iter()
+            .map(|ep| MolNode::with_config(Communicator::new(Box::new(ep)), cfg))
+            .collect();
+        let ptr = nodes[0].register(Blob(0));
+        for round in 0..50usize {
+            let dst = (round * 3 + 1) % 8;
+            for src in 0..8 {
+                if nodes[src].is_local(ptr) && src != dst {
+                    let _ = nodes[src].migrate(ptr, dst);
+                    break;
+                }
+            }
+            nodes[7].message(ptr, 1, Bytes::from_static(b"m"));
+            for _ in 0..3 {
+                for n in nodes.iter_mut() {
+                    let _ = n.poll();
+                }
+            }
+        }
+        let fwd: u64 = nodes.iter().map(|n| n.stats().forwarded).sum();
+        let upd: u64 = nodes.iter().map(|n| n.stats().locupd_sent).sum();
+        (fwd, upd)
+    };
+
+    println!("\n== ablate_forwarding (50 migrations, 8 ranks) ==");
+    let mut group = c.benchmark_group("ablate_forwarding");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("lazy_default", MolConfig::default()),
+        (
+            "fully_lazy",
+            MolConfig {
+                update_home_on_install: false,
+                update_sender_on_forward: false,
+                broadcast_on_install: false,
+            },
+        ),
+        (
+            "eager_broadcast",
+            MolConfig {
+                broadcast_on_install: true,
+                ..MolConfig::default()
+            },
+        ),
+    ] {
+        let (fwd, upd) = run(cfg);
+        println!("{name:>16}: {fwd:>4} forwards, {upd:>4} location updates");
+        group.bench_function(name, |b| b.iter(|| black_box(run(black_box(cfg)))));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_poll_interval,
+    ablate_watermark,
+    ablate_alpha,
+    ablate_sync_points,
+    ablate_grant,
+    ablate_forwarding
+);
+criterion_main!(benches);

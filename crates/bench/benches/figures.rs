@@ -1,0 +1,72 @@
+//! One bench group per evaluation figure (3–6): each regenerates the
+//! figure's six configurations at a reduced machine scale and reports, via
+//! Criterion, the cost of the full simulation. The *makespans* (the numbers
+//! the figures plot) are printed once per group so `cargo bench` output
+//! doubles as a figure regeneration record; the full-scale tables come from
+//! `cargo run -p prema-harness --release --bin figure -- <n>`.
+//!
+//! The mesh-generation study (the §5 text's 42%/15% result) is included as
+//! its own group.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prema_harness::mesh_eval::{run_mesh_eval, MeshEvalSpec};
+use prema_harness::runner::run_figure;
+use prema_harness::{BenchSpec, Config};
+use prema_sim::MachineConfig;
+use std::hint::black_box;
+
+/// Bench-scale spec: 32 processors, 40 units each — big enough for the
+/// orderings to hold, small enough for Criterion's repeats.
+fn bench_spec(figure: u32) -> BenchSpec {
+    let m = MachineConfig::small(32);
+    match figure {
+        3 => BenchSpec::figure3(m, 40),
+        4 => BenchSpec::figure4(m, 40),
+        5 => BenchSpec::figure5(m, 40),
+        6 => BenchSpec::figure6(m, 40),
+        _ => unreachable!(),
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    for figure in [3u32, 4, 5, 6] {
+        let spec = bench_spec(figure);
+        // Print the regenerated series once, so bench output records it.
+        let report = run_figure(figure, &spec);
+        println!("\n{}", report.summary());
+
+        let mut group = c.benchmark_group(format!("figure{figure}"));
+        group.sample_size(10);
+        for cfg in Config::ALL {
+            group.bench_function(format!("{:?}", cfg), |b| {
+                b.iter(|| {
+                    let r = run_figure(figure, black_box(&spec));
+                    black_box(r.makespan_secs(cfg))
+                })
+            });
+            // One config per figure is enough for timing; running all six
+            // under `b.iter` would multiply bench time sixfold for no
+            // information — the summary above already records every panel.
+            break;
+        }
+        group.finish();
+    }
+}
+
+fn bench_mesh_study(c: &mut Criterion) {
+    let spec = MeshEvalSpec::test_scale();
+    let result = run_mesh_eval(&spec);
+    println!("\n{}", result.render());
+    let mut group = c.benchmark_group("mesh_study");
+    group.sample_size(10);
+    group.bench_function("three_way_small", |b| {
+        b.iter(|| {
+            let r = run_mesh_eval(black_box(&spec));
+            black_box(r.saving_vs_nolb())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_mesh_study);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Criterion benches for the PREMA reproduction live in `benches/`:
+//! `figures` (Figures 3–6 + the mesh study), `ablations` (design-knob
+//! sweeps), and `substrates` (partitioner / MOL / engine / mesher
+//! microbenchmarks). Run with `cargo bench`.

@@ -1,0 +1,133 @@
+//! The Charm++-style load-balancing database.
+//!
+//! Charm++ instruments the runtime: every entry-method execution is timed and
+//! recorded per chare. At a load-balancing step the strategy reads these
+//! *measured* loads as predictions for the next phase — the "principle of
+//! persistent computation and communication structure" (§3.2 of the paper).
+//!
+//! The paper's critique, which our experiments reproduce, is that for highly
+//! adaptive applications each chare executes only once per phase with an
+//! unpredictable weight, so the measured past says little about the future.
+
+use crate::strategy::ChareLoad;
+use std::collections::HashMap;
+
+/// Runtime-measured per-chare statistics for the current phase.
+#[derive(Clone, Debug, Default)]
+pub struct LbDatabase {
+    /// Accumulated measured load per chare for the current phase.
+    current: HashMap<usize, f64>,
+    /// Loads measured in the previous phase (the strategy's prediction).
+    previous: HashMap<usize, f64>,
+    /// Recorded chare→chare communication volumes.
+    comm: HashMap<(usize, usize), f64>,
+    phases: u64,
+}
+
+impl LbDatabase {
+    /// Fresh, empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `seconds` of measured execution for `chare`.
+    pub fn record_execution(&mut self, chare: usize, seconds: f64) {
+        *self.current.entry(chare).or_insert(0.0) += seconds;
+    }
+
+    /// Record `bytes` of communication from `src` chare to `dst` chare.
+    pub fn record_comm(&mut self, src: usize, dst: usize, bytes: f64) {
+        let key = if src <= dst { (src, dst) } else { (dst, src) };
+        *self.comm.entry(key).or_insert(0.0) += bytes;
+    }
+
+    /// Close the phase: measured loads become the next phase's predictions.
+    pub fn end_phase(&mut self) {
+        self.previous = std::mem::take(&mut self.current);
+        self.phases += 1;
+    }
+
+    /// Number of closed phases.
+    pub fn phases(&self) -> u64 {
+        self.phases
+    }
+
+    /// Predicted load of one chare (0 if never measured).
+    pub fn predicted(&self, chare: usize) -> f64 {
+        self.previous.get(&chare).copied().unwrap_or(0.0)
+    }
+
+    /// Build the strategy input: predicted load per chare, with current
+    /// placements supplied by the runtime.
+    pub fn chare_loads(&self, placement: &[usize]) -> Vec<ChareLoad> {
+        (0..placement.len())
+            .map(|chare| ChareLoad {
+                chare,
+                pe: placement[chare],
+                load: self.predicted(chare),
+            })
+            .collect()
+    }
+
+    /// The recorded communication graph as an edge list.
+    pub fn comm_edges(&self) -> Vec<(usize, usize, f64)> {
+        let mut v: Vec<(usize, usize, f64)> =
+            self.comm.iter().map(|(&(a, b), &w)| (a, b, w)).collect();
+        v.sort_by_key(|a| (a.0, a.1));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_become_predictions_at_phase_end() {
+        let mut db = LbDatabase::new();
+        db.record_execution(0, 1.5);
+        db.record_execution(0, 0.5);
+        db.record_execution(1, 3.0);
+        assert_eq!(db.predicted(0), 0.0, "no phase closed yet");
+        db.end_phase();
+        assert_eq!(db.predicted(0), 2.0);
+        assert_eq!(db.predicted(1), 3.0);
+        assert_eq!(db.predicted(9), 0.0);
+        assert_eq!(db.phases(), 1);
+    }
+
+    #[test]
+    fn stale_predictions_reflect_only_last_phase() {
+        // The paper's point: a spike in phase 2 is invisible to predictions
+        // made from phase 1.
+        let mut db = LbDatabase::new();
+        db.record_execution(0, 1.0);
+        db.end_phase();
+        db.record_execution(0, 100.0); // phase 2's spike
+        assert_eq!(db.predicted(0), 1.0, "prediction lags reality");
+        db.end_phase();
+        assert_eq!(db.predicted(0), 100.0);
+    }
+
+    #[test]
+    fn chare_loads_pairs_with_placement() {
+        let mut db = LbDatabase::new();
+        db.record_execution(0, 2.0);
+        db.record_execution(2, 4.0);
+        db.end_phase();
+        let loads = db.chare_loads(&[1, 0, 1]);
+        assert_eq!(loads.len(), 3);
+        assert_eq!(loads[0], ChareLoad { chare: 0, pe: 1, load: 2.0 });
+        assert_eq!(loads[1], ChareLoad { chare: 1, pe: 0, load: 0.0 });
+        assert_eq!(loads[2], ChareLoad { chare: 2, pe: 1, load: 4.0 });
+    }
+
+    #[test]
+    fn comm_edges_are_undirected_and_merged() {
+        let mut db = LbDatabase::new();
+        db.record_comm(1, 2, 10.0);
+        db.record_comm(2, 1, 5.0);
+        db.record_comm(0, 3, 1.0);
+        assert_eq!(db.comm_edges(), vec![(0, 3, 1.0), (1, 2, 15.0)]);
+    }
+}

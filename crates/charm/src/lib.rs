@@ -1,0 +1,24 @@
+//! # prema-charm — a Charm++-style baseline runtime
+//!
+//! The second baseline of the SC'03 paper (§3.2): Charm++'s migratable-chare
+//! model with barrier-based, pluggable load balancing. Reimplemented from
+//! scratch so that the evaluation compares *models*, not implementations:
+//!
+//! * [`runtime`] — chare arrays over virtual-time PEs with Charm++'s
+//!   **atomic pick-and-process loop** (coarse entry methods delay everything
+//!   queued behind them — the paper's critique) and `AtSync` barrier LB.
+//! * [`strategy`] — the classic central strategies: Greedy, Refine, and a
+//!   Metis-based mapping over the measured communication graph.
+//! * [`lbdb`] — the runtime-instrumentation load database embodying the
+//!   "principle of persistent computation" (measured past predicts future —
+//!   exactly what highly adaptive applications violate).
+
+#![warn(missing_docs)]
+
+pub mod lbdb;
+pub mod runtime;
+pub mod strategy;
+
+pub use lbdb::LbDatabase;
+pub use runtime::{Chare, ChareCtx, CharmReport, CharmRuntime, LbStrategy};
+pub use strategy::{greedy_assign, metis_assign, migrations, pe_loads, refine_assign, ChareLoad};

@@ -1,0 +1,238 @@
+//! Charm++-style central load-balancing strategies.
+//!
+//! Charm++ maps many *chares* onto few processors and periodically re-maps
+//! them at barrier-synchronized load-balancing steps, using measured loads
+//! from the runtime database (§3.2 of the paper). The distribution's classic
+//! strategies are reproduced here as pure functions over `(chare loads, old
+//! mapping)`:
+//!
+//! * [`greedy_assign`] — sort chares heaviest-first, always assign to the
+//!   least-loaded processor (best balance, ignores migration cost);
+//! * [`refine_assign`] — move chares away from overloaded processors only,
+//!   until each falls under `threshold ×` the average (fewest migrations);
+//! * [`metis_assign`] — build the chare-communication graph and hand it to
+//!   the `prema-metis` partitioner (cut-aware mapping).
+
+use prema_metis::{partition_kway, Graph, PartitionConfig};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Measured (or predicted) load of each chare, with its current processor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChareLoad {
+    /// Chare index within the array.
+    pub chare: usize,
+    /// Processor currently hosting it.
+    pub pe: usize,
+    /// Measured load (seconds of the last phase — the "principle of
+    /// persistent computation": the future will resemble the past).
+    pub load: f64,
+}
+
+/// Per-processor total loads implied by a mapping.
+pub fn pe_loads(chares: &[ChareLoad], mapping: &[usize], npes: usize) -> Vec<f64> {
+    let mut loads = vec![0.0; npes];
+    for c in chares {
+        loads[mapping[c.chare]] += c.load;
+    }
+    loads
+}
+
+/// Number of chares whose processor changes between mappings.
+pub fn migrations(chares: &[ChareLoad], mapping: &[usize]) -> usize {
+    chares.iter().filter(|c| mapping[c.chare] != c.pe).count()
+}
+
+/// Greedy strategy: heaviest chare to lightest processor, repeatedly.
+/// Produces near-optimal balance but may migrate nearly everything.
+pub fn greedy_assign(chares: &[ChareLoad], npes: usize) -> Vec<usize> {
+    assert!(npes > 0);
+    let nchares = chares.iter().map(|c| c.chare + 1).max().unwrap_or(0);
+    let mut mapping = vec![0usize; nchares];
+    let mut order: Vec<&ChareLoad> = chares.iter().collect();
+    order.sort_by(|a, b| b.load.partial_cmp(&a.load).unwrap().then(a.chare.cmp(&b.chare)));
+    // Min-heap of (load, pe).
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> = (0..npes)
+        .map(|p| Reverse((OrderedF64(0.0), p)))
+        .collect();
+    for c in order {
+        let Reverse((OrderedF64(load), pe)) = heap.pop().unwrap();
+        mapping[c.chare] = pe;
+        heap.push(Reverse((OrderedF64(load + c.load), pe)));
+    }
+    mapping
+}
+
+/// Refinement strategy: for each processor whose load exceeds
+/// `threshold × average`, migrate its heaviest movable chares to the
+/// least-loaded processors until it fits. Chares on non-overloaded
+/// processors never move.
+pub fn refine_assign(chares: &[ChareLoad], npes: usize, threshold: f64) -> Vec<usize> {
+    assert!(npes > 0);
+    assert!(threshold >= 1.0);
+    let nchares = chares.iter().map(|c| c.chare + 1).max().unwrap_or(0);
+    let mut mapping = vec![0usize; nchares];
+    for c in chares {
+        mapping[c.chare] = c.pe;
+    }
+    let total: f64 = chares.iter().map(|c| c.load).sum();
+    let avg = total / npes as f64;
+    let limit = avg * threshold;
+    let mut loads = pe_loads(chares, &mapping, npes);
+
+    // Chares per PE, heaviest first.
+    let mut by_pe: Vec<Vec<&ChareLoad>> = vec![Vec::new(); npes];
+    for c in chares {
+        by_pe[c.pe].push(c);
+    }
+    for list in &mut by_pe {
+        list.sort_by(|a, b| b.load.partial_cmp(&a.load).unwrap().then(a.chare.cmp(&b.chare)));
+    }
+
+    for pe in 0..npes {
+        let mut idx = 0;
+        while loads[pe] > limit && idx < by_pe[pe].len() {
+            let c = by_pe[pe][idx];
+            idx += 1;
+            // Lightest destination.
+            let dest = (0..npes)
+                .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap())
+                .unwrap();
+            if dest == pe || loads[dest] + c.load > limit {
+                continue; // moving would just overload the destination
+            }
+            mapping[c.chare] = dest;
+            loads[pe] -= c.load;
+            loads[dest] += c.load;
+        }
+    }
+    mapping
+}
+
+/// Metis-based strategy: partition the chare communication graph into
+/// `npes` parts weighted by chare load. `comm` lists chare–chare
+/// communication volumes (absent pairs don't talk).
+pub fn metis_assign(
+    chares: &[ChareLoad],
+    comm: &[(usize, usize, f64)],
+    npes: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let nchares = chares.iter().map(|c| c.chare + 1).max().unwrap_or(0);
+    let mut vwgt = vec![0.0; nchares];
+    for c in chares {
+        vwgt[c.chare] = c.load.max(1e-9);
+    }
+    let g = Graph::from_edges(nchares, comm, vwgt);
+    let cfg = PartitionConfig {
+        seed,
+        ..PartitionConfig::default()
+    };
+    partition_kway(&g, npes, &cfg)
+        .into_iter()
+        .map(|p| p as usize)
+        .collect()
+}
+
+/// Total-order f64 for heap keys.
+#[derive(PartialEq, PartialOrd, Clone, Copy)]
+struct OrderedF64(f64);
+impl Eq for OrderedF64 {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("NaN load")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(v: &[(usize, f64)]) -> Vec<ChareLoad> {
+        v.iter()
+            .enumerate()
+            .map(|(i, &(pe, load))| ChareLoad { chare: i, pe, load })
+            .collect()
+    }
+
+    #[test]
+    fn greedy_balances_uniform_chares() {
+        let cs = loads(&[(0, 1.0); 8].to_vec());
+        let m = greedy_assign(&cs, 4);
+        let l = pe_loads(&cs, &m, 4);
+        assert!(l.iter().all(|&x| (x - 2.0).abs() < 1e-9), "{l:?}");
+    }
+
+    #[test]
+    fn greedy_handles_skewed_loads() {
+        // One giant chare + many small: giant gets its own PE.
+        let mut v = vec![(0usize, 1.0f64); 9];
+        v.push((0, 10.0));
+        let cs = loads(&v);
+        let m = greedy_assign(&cs, 2);
+        let l = pe_loads(&cs, &m, 2);
+        // Optimal split: 10 vs 9.
+        assert!(l.iter().cloned().fold(0.0, f64::max) <= 10.0 + 1e-9, "{l:?}");
+    }
+
+    #[test]
+    fn refine_moves_only_from_overloaded() {
+        // PE0 has 4 units, PE1 has 0.
+        let cs = loads(&[(0, 1.0), (0, 1.0), (0, 1.0), (0, 1.0)]);
+        let m = refine_assign(&cs, 2, 1.05);
+        let l = pe_loads(&cs, &m, 2);
+        assert!((l[0] - 2.0).abs() < 1e-9 && (l[1] - 2.0).abs() < 1e-9, "{l:?}");
+        // A balanced input is untouched.
+        let cs2 = loads(&[(0, 1.0), (1, 1.0)]);
+        let m2 = refine_assign(&cs2, 2, 1.05);
+        assert_eq!(migrations(&cs2, &m2), 0);
+    }
+
+    #[test]
+    fn refine_migrates_fewer_than_greedy() {
+        // Mild imbalance: refine should barely move anything; greedy may
+        // reshuffle the world.
+        let mut v = Vec::new();
+        for i in 0..32 {
+            v.push((i % 4, if i % 4 == 0 { 1.4 } else { 1.0 }));
+        }
+        let cs = loads(&v);
+        let mg = greedy_assign(&cs, 4);
+        let mr = refine_assign(&cs, 4, 1.1);
+        assert!(migrations(&cs, &mr) <= migrations(&cs, &mg));
+        let lr = pe_loads(&cs, &mr, 4);
+        let avg: f64 = lr.iter().sum::<f64>() / 4.0;
+        assert!(lr.iter().cloned().fold(0.0, f64::max) <= avg * 1.15);
+    }
+
+    #[test]
+    fn metis_strategy_respects_communication() {
+        // Two chare cliques; cutting inside a clique is expensive.
+        let cs = loads(&[(0, 1.0); 8].to_vec());
+        let mut comm = Vec::new();
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    comm.push((base + i, base + j, 10.0));
+                }
+            }
+        }
+        comm.push((0, 4, 0.1)); // thin bridge
+        let m = metis_assign(&cs, &comm, 2, 1);
+        // Each clique should land wholly on one PE.
+        for base in [0usize, 4] {
+            for i in 1..4 {
+                assert_eq!(m[base], m[base + i], "clique split: {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let m = greedy_assign(&[], 4);
+        assert!(m.is_empty());
+        let m = refine_assign(&[], 4, 1.1);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! The PREMA runtime facade: threads, locking, and the implicit polling
+//! thread.
+//!
+//! [`launch`] starts one OS thread per rank (plus, in implicit mode, one
+//! polling thread per rank) and hands each application thread a
+//! [`Runtime`] — the paper's user-facing API: register mobile objects, send
+//! `ilb_message`s, post polling operations, and let the framework balance.
+//!
+//! # Locking discipline
+//!
+//! Each rank's [`Scheduler`] sits behind a mutex shared by the application
+//! thread and the polling thread. Crucially, **work-unit handlers execute
+//! with the lock released**: [`ilb::Scheduler::begin`] detaches the target
+//! object and returns an [`ilb::Execution`]; the handler then runs outside
+//! the lock; [`ilb::Scheduler::finish`] re-attaches under the lock. The
+//! polling thread can therefore process system messages — including
+//! migrating *other* objects away — in the middle of a long work unit,
+//! exactly the preemption PREMA's implicit mode provides (§4.2). The
+//! executing object itself is never migrated, preserving the paper's
+//! guarantee that preemptive load balancing "in no way affects the execution
+//! of the application".
+
+use crate::config::{LbMode, PremaConfig};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use prema_dcs::{Communicator, LocalFabric, Rank};
+use prema_ilb as ilb;
+use prema_ilb::LoadSnapshot;
+use prema_mol::{Migratable, MobilePtr, MolNode, MolStats, WorkItem};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Handle to one rank's PREMA runtime, used from that rank's application
+/// thread.
+pub struct Runtime<O: Migratable> {
+    sched: Arc<Mutex<ilb::Scheduler<O>>>,
+    rank: Rank,
+    nprocs: usize,
+}
+
+impl<O: Migratable> Runtime<O> {
+    /// This rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Machine size.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Register a mobile object with the runtime (the paper's
+    /// `mol_register`), returning its global mobile pointer.
+    pub fn register(&self, obj: O) -> MobilePtr {
+        self.sched.lock().node_mut().register(obj)
+    }
+
+    /// Register the handler that work messages with id `id` invoke (the
+    /// paper's handler-function argument to `ilb_message`).
+    pub fn on_message(
+        &self,
+        id: u32,
+        f: impl Fn(&mut ilb::HandlerCtx, &mut O, &WorkItem) + Send + Sync + 'static,
+    ) {
+        self.sched.lock().on_message(id, f);
+    }
+
+    /// Register a handler for rank-targeted application messages.
+    pub fn on_node_message(
+        &self,
+        id: u32,
+        f: impl Fn(&mut ilb::HandlerCtx, Rank, Bytes) + Send + Sync + 'static,
+    ) {
+        self.sched.lock().on_node_message(id, f);
+    }
+
+    /// Send a message to a mobile object (the paper's `ilb_message`).
+    pub fn message(&self, ptr: MobilePtr, handler: u32, payload: Bytes) {
+        self.sched.lock().node_mut().message(ptr, handler, payload);
+    }
+
+    /// [`Runtime::message`] with a computational weight hint.
+    pub fn message_with_hint(&self, ptr: MobilePtr, handler: u32, hint: f64, payload: Bytes) {
+        self.sched
+            .lock()
+            .node_mut()
+            .message_with_hint(ptr, handler, hint, payload);
+    }
+
+    /// Send a rank-targeted application message.
+    pub fn node_message(&self, dst: Rank, handler: u32, payload: Bytes) {
+        self.sched
+            .lock()
+            .node_mut()
+            .node_message(dst, handler, prema_dcs::Tag::App, payload);
+    }
+
+    /// The application-posted *polling operation* (§4): receives and
+    /// processes messages, evaluates the work level, and triggers explicit
+    /// load balancing. Returns the number of protocol events processed.
+    pub fn poll(&self) -> usize {
+        self.sched.lock().poll()
+    }
+
+    /// Execute one queued work unit, if any. The handler runs **without**
+    /// holding the runtime lock (see module docs). Returns `false` if the
+    /// local queue was empty.
+    pub fn step(&self) -> bool {
+        let exec = {
+            let mut s = self.sched.lock();
+            s.poll();
+            s.begin()
+        };
+        match exec {
+            Some(mut exec) => {
+                exec.run(); // lock released: polling thread is live here
+                self.sched.lock().finish(exec);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Poll and execute until `done` returns true. Parks briefly when idle
+    /// so other ranks' threads get CPU.
+    pub fn run_until(&self, done: impl Fn(&ilb::Scheduler<O>) -> bool) {
+        loop {
+            {
+                let s = self.sched.lock();
+                if done(&s) {
+                    return;
+                }
+            }
+            if !self.step() {
+                self.poll();
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Explicitly migrate a local mobile object to another rank, bypassing
+    /// the load balancer — for applications that know placement better than
+    /// any policy (e.g. co-locating subdomains with a solver's partition).
+    /// Returns `false` if the object is not local or is currently executing.
+    pub fn migrate(&self, ptr: MobilePtr, dst: Rank) -> bool {
+        self.sched.lock().node_mut().migrate(ptr, dst)
+    }
+
+    /// Current local load (queued + executing units).
+    pub fn local_load(&self) -> LoadSnapshot {
+        self.sched.lock().local_load()
+    }
+
+    /// Whether this rank has no queued or executing work.
+    pub fn is_idle(&self) -> bool {
+        self.sched.lock().is_idle()
+    }
+
+    /// Mobile Object Layer statistics for this rank.
+    pub fn mol_stats(&self) -> MolStats {
+        self.sched.lock().node().stats()
+    }
+
+    /// Scheduler statistics for this rank.
+    pub fn sched_stats(&self) -> ilb::SchedStats {
+        self.sched.lock().stats()
+    }
+
+    /// Run `f` with the scheduler locked (escape hatch for tests and tools).
+    pub fn with_scheduler<R>(&self, f: impl FnOnce(&mut ilb::Scheduler<O>) -> R) -> R {
+        f(&mut self.sched.lock())
+    }
+}
+
+/// Launch a PREMA machine: `cfg.nprocs` ranks, each running `main(runtime)`
+/// on its own thread. Returns each rank's result, in rank order.
+///
+/// In [`LbMode::Implicit`] mode a polling thread per rank preemptively
+/// processes system messages every `poll_interval` — this is the
+/// configuration the paper's evaluation crowns (§5).
+pub fn launch<O, R, F>(cfg: PremaConfig, main: F) -> Vec<R>
+where
+    O: Migratable,
+    R: Send + 'static,
+    F: Fn(Runtime<O>) -> R + Send + Sync + 'static,
+{
+    let endpoints = LocalFabric::new(cfg.nprocs);
+    let stop = Arc::new(AtomicBool::new(false));
+    let main = Arc::new(main);
+
+    let mut app_threads = Vec::with_capacity(cfg.nprocs);
+    let mut poll_threads = Vec::new();
+
+    for (rank, ep) in endpoints.into_iter().enumerate() {
+        let node: MolNode<O> = MolNode::new(Communicator::new(Box::new(ep)));
+        let policy = cfg.policy.build(cfg.seed.wrapping_add(rank as u64));
+        let mut sched = ilb::Scheduler::new(node, policy);
+        if cfg.mode == LbMode::Disabled {
+            sched.set_lb_enabled(false);
+        }
+        let sched = Arc::new(Mutex::new(sched));
+
+        if let LbMode::Implicit { poll_interval } = cfg.mode {
+            let sched = sched.clone();
+            let stop = stop.clone();
+            poll_threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(poll_interval);
+                    sched.lock().poll_system();
+                }
+            }));
+        }
+
+        let main = main.clone();
+        let nprocs = cfg.nprocs;
+        app_threads.push(std::thread::spawn(move || {
+            main(Runtime {
+                sched,
+                rank,
+                nprocs,
+            })
+        }));
+    }
+
+    let results: Vec<R> = app_threads
+        .into_iter()
+        .map(|t| t.join().expect("rank thread panicked"))
+        .collect();
+    stop.store(true, Ordering::Relaxed);
+    for t in poll_threads {
+        t.join().expect("polling thread panicked");
+    }
+    results
+}

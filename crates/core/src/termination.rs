@@ -1,0 +1,73 @@
+//! Distributed completion detection for message-driven applications.
+//!
+//! Asynchronous PREMA applications have no barriers, so "we are finished" is
+//! itself a distributed fact. For applications that know their total work
+//! count up front (like the paper's synthetic benchmark: N work units), the
+//! standard pattern is a completion counter: every executed unit is reported
+//! to rank 0, which broadcasts *done* when the count reaches the target.
+//! [`Completion`] packages that pattern.
+
+use crate::runtime::Runtime;
+use bytes::Bytes;
+use prema_dcs::WireReader;
+use prema_dcs::WireWriter;
+use prema_ilb::NODE_HANDLER_LIMIT;
+use prema_mol::Migratable;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Node-message handler id for completion reports (to rank 0).
+pub const H_COMPLETE_REPORT: u32 = NODE_HANDLER_LIMIT - 1;
+/// Node-message handler id for the done broadcast (from rank 0).
+pub const H_COMPLETE_DONE: u32 = NODE_HANDLER_LIMIT - 2;
+
+/// A completion detector. Create one per rank with the same `target` on
+/// every rank, report executed units, and poll [`Completion::is_done`].
+pub struct Completion {
+    done: Arc<AtomicBool>,
+}
+
+impl Completion {
+    /// Install the completion protocol on this rank's runtime. Must be
+    /// called on every rank before any unit is reported.
+    pub fn install<O: Migratable>(rt: &Runtime<O>, target: u64) -> Completion {
+        let done = Arc::new(AtomicBool::new(false));
+
+        // Rank 0 counts reports and broadcasts done.
+        let counted = Arc::new(AtomicU64::new(0));
+        {
+            let counted = counted.clone();
+            let done = done.clone();
+            rt.on_node_message(H_COMPLETE_REPORT, move |ctx, _src, payload| {
+                let n = WireReader::new(payload).u64();
+                let total = counted.fetch_add(n, Ordering::SeqCst) + n;
+                if total >= target && !done.swap(true, Ordering::SeqCst) {
+                    for dst in 0..ctx.nprocs() {
+                        if dst != ctx.rank() {
+                            ctx.node_message(dst, H_COMPLETE_DONE, Bytes::new());
+                        }
+                    }
+                }
+            });
+        }
+        {
+            let done = done.clone();
+            rt.on_node_message(H_COMPLETE_DONE, move |_ctx, _src, _payload| {
+                done.store(true, Ordering::SeqCst);
+            });
+        }
+        Completion { done }
+    }
+
+    /// Report `n` completed units (routed to rank 0).
+    pub fn report<O: Migratable>(&self, rt: &Runtime<O>, n: u64) {
+        let payload = WireWriter::new().u64(n).finish();
+        rt.node_message(0, H_COMPLETE_REPORT, payload);
+    }
+
+    /// Whether the global target has been reached (eventually true on every
+    /// rank after rank 0's broadcast arrives).
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,290 @@
+//! Synchronous collectives: barrier, gather/broadcast, allgather, allreduce.
+//!
+//! PREMA itself never needs these — its whole point is avoiding global
+//! synchronization — but the two baselines do: ParMETIS-style
+//! stop-and-repartition interleaves barriers and all-to-all load exchanges,
+//! and Charm++'s `AtSync` load-balancing step is barrier-based. Implementing
+//! them on top of the same active-message substrate keeps the comparison fair
+//! (every system pays the same per-message costs).
+//!
+//! All collectives are *matched calls*: every rank must invoke the same
+//! collective in the same order. Each collective instance is identified by an
+//! epoch counter carried in the payload; application messages that arrive
+//! while a rank waits inside a collective are sidelined, preserving their
+//! order for the next application poll.
+
+use crate::comm::Communicator;
+use crate::envelope::{HandlerId, Tag};
+use crate::wire::{WireReader, WireWriter};
+use bytes::Bytes;
+use std::cell::Cell;
+use std::time::Duration;
+
+/// Reserved handler ids for the collective protocol.
+pub const H_BARRIER_ARRIVE: HandlerId = HandlerId(HandlerId::SYSTEM_BASE);
+/// Barrier release broadcast (root → all).
+pub const H_BARRIER_RELEASE: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 1);
+/// Gather contribution (all → root).
+pub const H_GATHER: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 2);
+/// Broadcast frame (root → all).
+pub const H_BCAST: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 3);
+
+const TICK: Duration = Duration::from_millis(1);
+
+/// Collective state for one rank: pairs a [`Communicator`] with the epoch
+/// counter that matches collective instances across ranks.
+pub struct Collectives<'a> {
+    comm: &'a Communicator,
+    epoch: Cell<u64>,
+}
+
+impl<'a> Collectives<'a> {
+    /// Wrap a communicator. Create exactly one `Collectives` per rank and use
+    /// it for the rank's entire lifetime, so epochs stay matched.
+    pub fn new(comm: &'a Communicator) -> Self {
+        Collectives {
+            comm,
+            epoch: Cell::new(0),
+        }
+    }
+
+    fn next_epoch(&self) -> u64 {
+        let e = self.epoch.get();
+        self.epoch.set(e + 1);
+        e
+    }
+
+    /// Block until every rank has entered this barrier.
+    pub fn barrier(&self) {
+        let epoch = self.next_epoch();
+        let n = self.comm.nprocs();
+        if n == 1 {
+            return;
+        }
+        if self.comm.rank() == 0 {
+            let mut arrived = 1usize;
+            while arrived < n {
+                let env = self.await_handler(H_BARRIER_ARRIVE, epoch);
+                let _ = env;
+                arrived += 1;
+            }
+            let payload = WireWriter::new().u64(epoch).finish();
+            for dst in 1..n {
+                self.comm
+                    .am_send(dst, H_BARRIER_RELEASE, Tag::System, payload.clone());
+            }
+        } else {
+            let payload = WireWriter::new().u64(epoch).finish();
+            self.comm.am_send(0, H_BARRIER_ARRIVE, Tag::System, payload);
+            let _ = self.await_handler(H_BARRIER_RELEASE, epoch);
+        }
+    }
+
+    /// Gather each rank's `contribution` at rank 0 and broadcast the
+    /// concatenation: every rank returns the per-rank contributions.
+    pub fn allgather(&self, contribution: &[u8]) -> Vec<Bytes> {
+        let epoch = self.next_epoch();
+        let n = self.comm.nprocs();
+        if n == 1 {
+            return vec![Bytes::copy_from_slice(contribution)];
+        }
+        if self.comm.rank() == 0 {
+            let mut parts: Vec<Option<Bytes>> = vec![None; n];
+            parts[0] = Some(Bytes::copy_from_slice(contribution));
+            let mut have = 1usize;
+            while have < n {
+                let env = self.await_handler(H_GATHER, epoch);
+                let mut r = WireReader::new(env.payload);
+                let _epoch = r.u64();
+                let src = r.u64() as usize;
+                let body = r.bytes();
+                assert!(parts[src].is_none(), "duplicate gather contribution from {src}");
+                parts[src] = Some(body);
+                have += 1;
+            }
+            // Broadcast the frame.
+            let mut w = WireWriter::new().u64(epoch).u32(n as u32);
+            let parts: Vec<Bytes> = parts.into_iter().map(Option::unwrap).collect();
+            for p in &parts {
+                w = w.bytes(p);
+            }
+            let frame = w.finish();
+            for dst in 1..n {
+                self.comm.am_send(dst, H_BCAST, Tag::System, frame.clone());
+            }
+            parts
+        } else {
+            let payload = WireWriter::new()
+                .u64(epoch)
+                .u64(self.comm.rank() as u64)
+                .bytes(contribution)
+                .finish();
+            self.comm.am_send(0, H_GATHER, Tag::System, payload);
+            let env = self.await_handler(H_BCAST, epoch);
+            let mut r = WireReader::new(env.payload);
+            let _epoch = r.u64();
+            let n_parts = r.u32() as usize;
+            (0..n_parts).map(|_| r.bytes()).collect()
+        }
+    }
+
+    /// All-reduce a vector of `f64`s elementwise with `+`.
+    pub fn allreduce_sum_f64(&self, values: &[f64]) -> Vec<f64> {
+        let mut w = WireWriter::new().u32(values.len() as u32);
+        for &v in values {
+            w = w.f64(v);
+        }
+        let parts = self.allgather(&w.finish());
+        let mut out = vec![0.0; values.len()];
+        for p in parts {
+            let mut r = WireReader::new(p);
+            let len = r.u32() as usize;
+            assert_eq!(len, values.len(), "allreduce length mismatch across ranks");
+            for slot in out.iter_mut() {
+                *slot += r.f64();
+            }
+        }
+        out
+    }
+
+    /// All-reduce a single `u64` with `max`.
+    pub fn allreduce_max_u64(&self, value: u64) -> u64 {
+        let w = WireWriter::new().u64(value).finish();
+        self.allgather(&w)
+            .into_iter()
+            .map(|p| WireReader::new(p).u64())
+            .max()
+            .unwrap_or(value)
+    }
+
+    /// Receive until a message for `handler` with the right epoch arrives,
+    /// sidelining everything else. Reads the transport directly — consuming
+    /// the sideline queue from here would re-receive what we just sidelined
+    /// and starve the transport.
+    fn await_handler(&self, handler: HandlerId, epoch: u64) -> crate::envelope::Envelope {
+        loop {
+            let Some(env) = self.comm.recv_timeout_transport(TICK) else {
+                continue;
+            };
+            if env.handler == handler {
+                let mut r = WireReader::new(env.payload.clone());
+                let got = r.u64();
+                assert_eq!(
+                    got, epoch,
+                    "collective epoch mismatch: ranks issued collectives in different orders"
+                );
+                return env;
+            }
+            self.comm.sideline(env);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::LocalFabric;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn spawn_ranks<F>(n: usize, f: F)
+    where
+        F: Fn(usize, Communicator) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let eps = LocalFabric::new(n);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ep)| {
+                let f = f.clone();
+                std::thread::spawn(move || f(rank, Communicator::new(Box::new(ep))))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_ranks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = counter.clone();
+        spawn_ranks(4, move |rank, comm| {
+            let coll = Collectives::new(&comm);
+            // Stagger arrival.
+            std::thread::sleep(Duration::from_millis(rank as u64 * 10));
+            c2.fetch_add(1, Ordering::SeqCst);
+            coll.barrier();
+            // After the barrier, everyone must have incremented.
+            assert_eq!(c2.load(Ordering::SeqCst), 4);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn repeated_barriers_stay_matched() {
+        spawn_ranks(3, |_rank, comm| {
+            let coll = Collectives::new(&comm);
+            for _ in 0..20 {
+                coll.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn allgather_returns_rank_ordered_contributions() {
+        spawn_ranks(5, |rank, comm| {
+            let coll = Collectives::new(&comm);
+            let mine = vec![rank as u8; rank + 1];
+            let all = coll.allgather(&mine);
+            assert_eq!(all.len(), 5);
+            for (r, part) in all.iter().enumerate() {
+                assert_eq!(part.len(), r + 1);
+                assert!(part.iter().all(|&b| b == r as u8));
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        spawn_ranks(4, |rank, comm| {
+            let coll = Collectives::new(&comm);
+            let sums = coll.allreduce_sum_f64(&[rank as f64, 1.0]);
+            assert_eq!(sums, vec![0.0 + 1.0 + 2.0 + 3.0, 4.0]);
+            let max = coll.allreduce_max_u64(10 + rank as u64);
+            assert_eq!(max, 13);
+        });
+    }
+
+    #[test]
+    fn app_messages_survive_a_barrier() {
+        spawn_ranks(2, |rank, comm| {
+            let coll = Collectives::new(&comm);
+            if rank == 0 {
+                // Send an app message, then join the barrier.
+                comm.am_send(1, HandlerId(7), Tag::App, Bytes::from_static(b"x"));
+                coll.barrier();
+            } else {
+                // Enter the barrier before looking at app messages: the app
+                // message must be sidelined, not lost.
+                coll.barrier();
+                let env = comm.recv_timeout(Duration::from_secs(1)).unwrap();
+                assert_eq!(env.handler, HandlerId(7));
+                assert_eq!(&env.payload[..], b"x");
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_collectives_are_trivial() {
+        spawn_ranks(1, |_rank, comm| {
+            let coll = Collectives::new(&comm);
+            coll.barrier();
+            let all = coll.allgather(b"solo");
+            assert_eq!(all.len(), 1);
+            assert_eq!(&all[0][..], b"solo");
+            assert_eq!(coll.allreduce_max_u64(9), 9);
+        });
+    }
+}

@@ -1,0 +1,162 @@
+//! A latency-injecting transport decorator.
+//!
+//! The in-process [`LocalFabric`](crate::LocalFabric) delivers instantly,
+//! which hides the message races a real network creates (migrations landing
+//! after the messages that chased them, late location updates, …).
+//! [`DelayTransport`] wraps any [`Transport`] and holds each incoming
+//! envelope for a fixed latency, preserving per-pair FIFO order — so
+//! threaded tests can reproduce wide-area interleavings deterministically
+//! enough to assert on.
+
+use crate::envelope::{Envelope, Rank};
+use crate::transport::Transport;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Wraps a transport, delaying the *visibility* of received envelopes by a
+/// fixed latency. Sending is unchanged (the latency is applied receiver-side,
+/// which yields the same observable one-way delay).
+pub struct DelayTransport<T: Transport> {
+    inner: T,
+    latency: Duration,
+    /// Envelopes pulled off the wire, with the instant they become visible.
+    holding: RefCell<VecDeque<(Instant, Envelope)>>,
+}
+
+impl<T: Transport> DelayTransport<T> {
+    /// Add `latency` of one-way delay to `inner`.
+    pub fn new(inner: T, latency: Duration) -> Self {
+        DelayTransport {
+            inner,
+            latency,
+            holding: RefCell::new(VecDeque::new()),
+        }
+    }
+
+    /// Pull everything available off the inner transport into the holding
+    /// pen, stamping visibility times.
+    fn ingest(&self) {
+        let mut holding = self.holding.borrow_mut();
+        while let Some(env) = self.inner.try_recv() {
+            holding.push_back((Instant::now() + self.latency, env));
+        }
+    }
+}
+
+impl<T: Transport> Transport for DelayTransport<T> {
+    fn rank(&self) -> Rank {
+        self.inner.rank()
+    }
+
+    fn nprocs(&self) -> usize {
+        self.inner.nprocs()
+    }
+
+    fn send(&self, env: Envelope) {
+        self.inner.send(env);
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        self.ingest();
+        let mut holding = self.holding.borrow_mut();
+        match holding.front() {
+            Some((visible, _)) if *visible <= Instant::now() => holding.pop_front().map(|(_, e)| e),
+            _ => None,
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(env) = self.try_recv() {
+                return Some(env);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            // Sleep until either the next held message matures or a short
+            // poll tick, whichever is sooner.
+            let next = self
+                .holding
+                .borrow()
+                .front()
+                .map(|(visible, _)| *visible)
+                .unwrap_or(now + Duration::from_micros(200));
+            let wake = next.min(deadline);
+            let pause = wake.saturating_duration_since(now).min(Duration::from_micros(500));
+            std::thread::sleep(pause.max(Duration::from_micros(10)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{HandlerId, Tag};
+    use crate::transport::LocalFabric;
+    use bytes::Bytes;
+
+    fn env(dst: Rank, n: u32) -> Envelope {
+        Envelope {
+            src: 0,
+            dst,
+            handler: HandlerId(n),
+            tag: Tag::App,
+            payload: Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn messages_are_invisible_until_latency_elapses() {
+        let mut eps = LocalFabric::new(2);
+        let b = DelayTransport::new(eps.pop().unwrap(), Duration::from_millis(30));
+        let a = eps.pop().unwrap();
+        a.send(env(1, 1));
+        // Immediately: held.
+        assert!(b.try_recv().is_none());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.try_recv().is_some());
+    }
+
+    #[test]
+    fn fifo_is_preserved_through_the_delay() {
+        let mut eps = LocalFabric::new(2);
+        let b = DelayTransport::new(eps.pop().unwrap(), Duration::from_millis(5));
+        let a = eps.pop().unwrap();
+        for i in 0..20 {
+            a.send(env(1, i));
+        }
+        let mut got = Vec::new();
+        while got.len() < 20 {
+            if let Some(e) = b.recv_timeout(Duration::from_millis(100)) {
+                got.push(e.handler.0);
+            }
+        }
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_honors_deadline() {
+        let mut eps = LocalFabric::new(2);
+        let b = DelayTransport::new(eps.pop().unwrap(), Duration::from_millis(50));
+        let _a = eps.remove(0);
+        let start = Instant::now();
+        assert!(b.recv_timeout(Duration::from_millis(20)).is_none());
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(18) && waited < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn zero_latency_behaves_like_inner() {
+        let mut eps = LocalFabric::new(2);
+        let b = DelayTransport::new(eps.pop().unwrap(), Duration::ZERO);
+        let a = eps.pop().unwrap();
+        a.send(env(1, 9));
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(50)).unwrap().handler,
+            HandlerId(9)
+        );
+    }
+}

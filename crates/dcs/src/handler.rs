@@ -1,0 +1,134 @@
+//! Handler tables for active-message dispatch.
+
+use crate::envelope::{Envelope, HandlerId};
+use std::collections::HashMap;
+
+/// A registered message handler: runs at the destination with exclusive
+/// access to the node state `S`.
+pub type Handler<S> = Box<dyn Fn(&mut S, Envelope) + Send>;
+
+/// Maps [`HandlerId`]s to handlers over node state `S`.
+///
+/// As with classic Active Messages, all ranks must register the same handlers
+/// under the same ids; [`HandlerTable::add`] assigns sequential ids so
+/// identical registration order yields identical tables everywhere.
+pub struct HandlerTable<S> {
+    map: HashMap<HandlerId, Handler<S>>,
+    next: u32,
+}
+
+impl<S> Default for HandlerTable<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> HandlerTable<S> {
+    /// Empty table.
+    pub fn new() -> Self {
+        HandlerTable {
+            map: HashMap::new(),
+            next: 0,
+        }
+    }
+
+    /// Register a handler under a caller-chosen id. Panics on duplicates —
+    /// a duplicate id is always a wiring bug.
+    pub fn register(&mut self, id: HandlerId, f: impl Fn(&mut S, Envelope) + Send + 'static) {
+        let prev = self.map.insert(id, Box::new(f));
+        assert!(prev.is_none(), "handler id {id:?} registered twice");
+    }
+
+    /// Register a handler under the next sequential application id.
+    pub fn add(&mut self, f: impl Fn(&mut S, Envelope) + Send + 'static) -> HandlerId {
+        let id = HandlerId(self.next);
+        self.next += 1;
+        assert!(!id.is_system(), "application handler ids exhausted");
+        self.register(id, f);
+        id
+    }
+
+    /// Run the handler an envelope names. Returns `false` (dropping the
+    /// message) if no such handler exists.
+    pub fn dispatch(&self, state: &mut S, env: Envelope) -> bool {
+        match self.map.get(&env.handler) {
+            Some(h) => {
+                h(state, env);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `id` has a registered handler.
+    pub fn contains(&self, id: HandlerId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// Number of registered handlers.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::Tag;
+    use bytes::Bytes;
+
+    fn env(handler: HandlerId) -> Envelope {
+        Envelope {
+            src: 0,
+            dst: 0,
+            handler,
+            tag: Tag::App,
+            payload: Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn add_assigns_sequential_ids_and_dispatches() {
+        let mut t: HandlerTable<Vec<u32>> = HandlerTable::new();
+        let a = t.add(|s, _| s.push(1));
+        let b = t.add(|s, _| s.push(2));
+        assert_eq!(a, HandlerId(0));
+        assert_eq!(b, HandlerId(1));
+        let mut s = Vec::new();
+        assert!(t.dispatch(&mut s, env(b)));
+        assert!(t.dispatch(&mut s, env(a)));
+        assert_eq!(s, vec![2, 1]);
+    }
+
+    #[test]
+    fn unknown_handler_returns_false() {
+        let t: HandlerTable<()> = HandlerTable::new();
+        assert!(!t.dispatch(&mut (), env(HandlerId(9))));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut t: HandlerTable<()> = HandlerTable::new();
+        t.register(HandlerId(5), |_, _| {});
+        t.register(HandlerId(5), |_, _| {});
+    }
+
+    #[test]
+    fn handler_reads_payload() {
+        let mut t: HandlerTable<u64> = HandlerTable::new();
+        let id = t.add(|s, e| {
+            *s = u64::from_le_bytes(e.payload[..8].try_into().unwrap());
+        });
+        let mut s = 0u64;
+        let mut e = env(id);
+        e.payload = Bytes::copy_from_slice(&99u64.to_le_bytes());
+        t.dispatch(&mut s, e);
+        assert_eq!(s, 99);
+    }
+}

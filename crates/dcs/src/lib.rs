@@ -1,0 +1,43 @@
+//! # prema-dcs — Data-movement and Control Substrate
+//!
+//! The communication layer beneath PREMA (Barker et al., *Concurrency P&E*
+//! 14:77–101, 2002 — reference [2] of the SC'03 paper): **single-sided,
+//! Active-Messages-style communication**. A message names a handler to run at
+//! its destination; receivers learn about messages only by polling, exactly
+//! like the MPI-over-polling substrate the paper's experiments ran on.
+//!
+//! Layering (bottom-up):
+//!
+//! * [`transport`] — the wire. [`transport::LocalFabric`] connects N ranks
+//!   (one OS thread each) through per-pair FIFO channels: a real concurrent
+//!   message-passing machine inside one process.
+//! * [`envelope`] — messages: handler id + [`envelope::Tag`] (application vs
+//!   system) + payload bytes.
+//! * [`comm`] — the per-rank endpoint: sends, polling receives, a sideline
+//!   queue for deferring messages, traffic counters.
+//! * [`handler`] — handler tables for dispatch.
+//! * [`collective`] — barrier / allgather / allreduce, used by the
+//!   *baselines* (stop-and-repartition, Charm++ `AtSync`), never by PREMA's
+//!   own asynchronous load balancing.
+//! * [`wire`] — tiny fixed-layout payload codec for runtime-internal protocol
+//!   messages.
+//! * [`delay`] — a latency-injecting transport decorator for tests that need
+//!   wide-area message races.
+
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod comm;
+pub mod delay;
+pub mod envelope;
+pub mod handler;
+pub mod transport;
+pub mod wire;
+
+pub use collective::Collectives;
+pub use comm::{CommStats, Communicator};
+pub use delay::DelayTransport;
+pub use envelope::{Envelope, HandlerId, Rank, Tag};
+pub use handler::{Handler, HandlerTable};
+pub use transport::{LocalEndpoint, LocalFabric, Transport};
+pub use wire::{WireReader, WireWriter};

@@ -1,0 +1,129 @@
+//! Tiny fixed-layout wire encoding helpers.
+//!
+//! DCS payloads are raw bytes; runtime-internal protocol messages (collectives,
+//! migration, load balancing) use these little-endian helpers rather than a
+//! full serializer, keeping system messages small and allocation-light.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Incrementally build a payload.
+#[derive(Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Append a `u32`.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Append an `f64`.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.buf.put_f64_le(v);
+        self
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Finish, producing the payload.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Sequentially decode a payload written by [`WireWriter`].
+pub struct WireReader {
+    buf: Bytes,
+}
+
+impl WireReader {
+    /// Wrap a payload for reading.
+    pub fn new(buf: Bytes) -> Self {
+        Self { buf }
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> u64 {
+        assert!(self.buf.remaining() >= 8, "wire underflow reading u64");
+        self.buf.get_u64_le()
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> u32 {
+        assert!(self.buf.remaining() >= 4, "wire underflow reading u32");
+        self.buf.get_u32_le()
+    }
+
+    /// Read an `f64`.
+    pub fn f64(&mut self) -> f64 {
+        assert!(self.buf.remaining() >= 8, "wire underflow reading f64");
+        self.buf.get_f64_le()
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Bytes {
+        let len = self.u32() as usize;
+        assert!(self.buf.remaining() >= len, "wire underflow reading bytes");
+        self.buf.split_to(len)
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_fields() {
+        let payload = WireWriter::new()
+            .u64(u64::MAX)
+            .u32(42)
+            .f64(-1.5)
+            .bytes(b"abc")
+            .u64(7)
+            .finish();
+        let mut r = WireReader::new(payload);
+        assert_eq!(r.u64(), u64::MAX);
+        assert_eq!(r.u32(), 42);
+        assert_eq!(r.f64(), -1.5);
+        assert_eq!(&r.bytes()[..], b"abc");
+        assert_eq!(r.u64(), 7);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_byte_string() {
+        let payload = WireWriter::new().bytes(b"").finish();
+        let mut r = WireReader::new(payload);
+        assert_eq!(r.bytes().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wire underflow")]
+    fn underflow_panics() {
+        let mut r = WireReader::new(Bytes::from_static(&[1, 2]));
+        let _ = r.u64();
+    }
+}

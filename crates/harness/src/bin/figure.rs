@@ -1,0 +1,35 @@
+//! Regenerate one of the paper's Figures 3–6 at full scale (128 simulated
+//! processors): per-processor time breakdowns for all six configurations.
+//!
+//! Usage: `cargo run -p prema-harness --release --bin figure -- <3|4|5|6> [stride]`
+//!
+//! Pass `--csv` to emit one CSV block per panel (all 128 processors, all
+//! categories) instead of the sampled ASCII tables — ready for plotting the
+//! stacked bars exactly as the paper draws them.
+
+use prema_harness::runner::run_paper_figure;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let fig: u32 = positional
+        .first()
+        .map(|s| s.parse().expect("figure number must be 3..=6"))
+        .unwrap_or(3);
+    let stride: usize = positional
+        .get(1)
+        .map(|s| s.parse().expect("stride must be a positive integer"))
+        .unwrap_or(8);
+    let report = run_paper_figure(fig);
+    if csv {
+        for (cfg, rep) in &report.panels {
+            println!("# figure {fig} panel ({}) {}", cfg.panel(), cfg.label());
+            print!("{}", rep.render_csv());
+            println!();
+        }
+        eprint!("{}", report.summary());
+    } else {
+        print!("{}", report.render(stride));
+    }
+}

@@ -1,0 +1,35 @@
+//! The §5 runtime-overhead comparison: synchronization / runtime costs as a
+//! percentage of useful computation (paper: ParMETIS 7.4% on Fig 5 and
+//! 29.9% on Fig 4; PREMA 0.045% and 0.029%).
+//!
+//! Usage: `cargo run -p prema-harness --release --bin overhead`
+
+use prema_harness::runner::run_paper_figure;
+use prema_harness::Config;
+
+fn main() {
+    println!("==== Runtime overhead as % of useful computation ====");
+    println!(
+        "{:<8} {:<30} {:>12} {:>10}",
+        "figure", "config", "measured", "paper"
+    );
+    for (fig, pm_paper, prema_paper) in [(5u32, "7.4%", "0.045%"), (4u32, "29.9%", "0.029%")] {
+        let report = run_paper_figure(fig);
+        let pm = report.get(Config::ParMetis).sync_fraction() * 100.0;
+        let pr = report.get(Config::PremaImplicit).overhead_fraction() * 100.0;
+        println!(
+            "Fig {:<4} {:<30} {:>11.3}% {:>10}",
+            fig,
+            Config::ParMetis.label(),
+            pm,
+            pm_paper
+        );
+        println!(
+            "Fig {:<4} {:<30} {:>11.4}% {:>10}",
+            fig,
+            Config::PremaImplicit.label(),
+            pr,
+            prema_paper
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! The §5 load-distribution-quality comparison: standard deviation of
+//! per-processor computation time after load balancing, for the 10%/2×
+//! "spike" workload (paper: PREMA-implicit ≈ 10, PREMA-explicit ≈ 100,
+//! Charm++ ≈ 128).
+//!
+//! Usage: `cargo run -p prema-harness --release --bin quality`
+
+use prema_harness::runner::run_paper_figure;
+use prema_harness::Config;
+use prema_sim::Category;
+
+fn main() {
+    let report = run_paper_figure(4);
+    println!("==== Load-distribution quality (Figure 4 workload: 10% imbalance, 2x weights) ====");
+    println!("{:<34} {:>14} {:>12}", "config", "cpu-stddev (s)", "paper");
+    let paper = |c: Config| match c {
+        Config::PremaImplicit => "~10",
+        Config::PremaExplicit => "~100",
+        Config::CharmNoSync => "~128",
+        _ => "-",
+    };
+    for c in Config::ALL {
+        println!(
+            "({}) {:<30} {:>14.2} {:>12}",
+            c.panel(),
+            c.label(),
+            report.get(c).stddev_of(Category::Computation),
+            paper(c)
+        );
+    }
+}

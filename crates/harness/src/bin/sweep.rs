@@ -1,0 +1,36 @@
+//! Extension experiment: sweep the initial imbalance percentage from 10% to
+//! 90% (the paper evaluates only 10% and 50%) and report each method's
+//! makespan, showing where the crossovers move.
+//!
+//! Usage: `cargo run -p prema-harness --release --bin sweep [procs] [units]`
+
+use prema_harness::runner::run_figure;
+use prema_harness::{BenchSpec, Config};
+use prema_sim::MachineConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let procs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let upp: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(40);
+    let machine = MachineConfig::small(procs);
+
+    println!("== imbalance sweep ({procs} procs, {upp} units/proc, 2x weights) ==");
+    print!("{:>10}", "imbalance");
+    for c in Config::ALL {
+        print!(" {:>12}", format!("({})", c.panel()));
+    }
+    println!();
+    for pct in [10u32, 30, 50, 70, 90] {
+        let spec = BenchSpec {
+            imbalance: pct as f64 / 100.0,
+            ..BenchSpec::figure3(machine, upp)
+        };
+        let report = run_figure(3, &spec);
+        print!("{:>9}%", pct);
+        for c in Config::ALL {
+            print!(" {:>11.1}s", report.makespan_secs(c));
+        }
+        println!();
+    }
+    println!("\ncolumns: (a) NoLB  (b) PREMA-explicit  (c) PREMA-implicit  (d) ParMETIS  (e) Charm-0sync  (f) Charm-4sync");
+}

@@ -1,0 +1,127 @@
+//! Configurations (e) and (f): Charm++ with 0 and 4 synchronization points.
+//!
+//! Per the paper's §5 recipe: choose the number of load-balancing iterations
+//! `I`; create a chare array of `N/I` elements; each chare executes `I` work
+//! units, calling `AtSync()` between them. `I = 1` means the array is the
+//! full unit list and no load balancing ever runs (panel (e)); `I = 4` gives
+//! three barrier-synchronized balancing steps with the Greedy strategy on
+//! runtime-measured loads (panel (f)).
+//!
+//! Chares are **block-mapped** initially, matching the block distribution
+//! every other configuration starts from.
+
+use crate::spec::BenchSpec;
+use prema_charm::{Chare, ChareCtx, CharmRuntime, LbStrategy};
+use prema_sim::SimReport;
+
+const EP_WORK: u32 = 1;
+
+/// A chare holding `I` of the benchmark's work units (executed in order).
+struct UnitChare {
+    /// Mflop of each of this chare's units, in execution order.
+    weights: Vec<f64>,
+    next: usize,
+}
+
+impl Chare for UnitChare {
+    fn entry(&mut self, ctx: &mut ChareCtx<'_>, ep: u32, _payload: &[u8]) {
+        assert_eq!(ep, EP_WORK);
+        let w = self.weights[self.next];
+        self.next += 1;
+        ctx.consume_mflop(w);
+        if self.next < self.weights.len() {
+            ctx.at_sync();
+        }
+    }
+
+    fn resume_from_sync(&mut self, ctx: &mut ChareCtx<'_>) {
+        let me = ctx.chare_index();
+        ctx.send(me, EP_WORK, Vec::new());
+    }
+
+    fn migration_size(&self) -> usize {
+        256 * self.weights.len()
+    }
+}
+
+/// Run the benchmark as a Charm++ application with `sync_points + 1`
+/// execution rounds (`I = sync_points + 1`).
+pub fn run(spec: &BenchSpec, sync_points: usize) -> SimReport {
+    let iterations = sync_points + 1;
+    let units = spec.units();
+    let total = units.len();
+    assert_eq!(
+        total % iterations,
+        0,
+        "unit count {total} not divisible by I = {iterations}"
+    );
+    let nchares = total / iterations;
+    // Chare c holds units [c*I, (c+1)*I): the contiguous block by global
+    // index, so the heavy block lands on the same processors as in the
+    // other configurations.
+    let chares: Vec<UnitChare> = (0..nchares)
+        .map(|c| UnitChare {
+            weights: (0..iterations)
+                .map(|r| units[c * iterations + r].mflop)
+                .collect(),
+            next: 0,
+        })
+        .collect();
+    let strategy = if sync_points == 0 {
+        LbStrategy::None
+    } else {
+        LbStrategy::Greedy
+    };
+    let mut rt = CharmRuntime::new(spec.machine, strategy, chares, spec.seed);
+    rt.set_placement(CharmRuntime::<UnitChare>::block_placement(
+        nchares,
+        spec.machine.procs,
+    ));
+    for c in 0..nchares {
+        rt.seed_message(c, EP_WORK, Vec::new());
+    }
+    crate::report::charm_to_sim(rt.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers::nolb;
+    use prema_sim::Category;
+
+    #[test]
+    fn no_sync_points_matches_no_lb_shape() {
+        let spec = BenchSpec::test_scale(3);
+        let base = nolb::run(&spec);
+        let charm = run(&spec, 0);
+        // Without sync points Charm++ cannot balance: makespan within a few
+        // percent of the no-LB baseline (messaging overheads differ).
+        let ratio = charm.makespan.as_secs_f64() / base.makespan.as_secs_f64();
+        assert!((0.95..=1.05).contains(&ratio), "ratio {ratio}");
+        assert_eq!(charm.total_of(Category::Synchronization), prema_sim::SimTime::ZERO);
+    }
+
+    #[test]
+    fn four_sync_points_improve_on_none() {
+        let spec = BenchSpec::test_scale(3);
+        let none = run(&spec, 0);
+        let four = run(&spec, 4); // I = 5 rounds, 4 AtSync barriers
+        assert!(
+            four.makespan < none.makespan,
+            "sync LB did not help: {} !< {}",
+            four.makespan,
+            none.makespan
+        );
+        assert!(four.total_of(Category::Synchronization) > prema_sim::SimTime::ZERO);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let spec = BenchSpec::test_scale(4);
+        let base = nolb::run(&spec);
+        let charm = run(&spec, 0);
+        let t0 = base.total_of(Category::Computation).as_secs_f64();
+        let t1 = charm.total_of(Category::Computation).as_secs_f64();
+        assert!((t0 - t1).abs() < 1e-6, "{t0} vs {t1}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Configuration (a): no load balancing.
+//!
+//! Every processor executes exactly the units it was dealt, in order, and
+//! stops. This is the baseline every balancer is measured against; its
+//! makespan is the all-heavy block's compute time.
+
+use super::{callback_cpu, sched_cpu};
+use crate::spec::{BenchSpec, WorkUnit};
+use prema_sim::{Category, Ctx, Engine, Process, SimReport};
+use std::collections::VecDeque;
+
+/// Per-processor driver: drain the local queue.
+pub struct NoLbProc {
+    queue: VecDeque<WorkUnit>,
+}
+
+const T_NEXT: u64 = 1;
+
+impl Process for NoLbProc {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.schedule(prema_sim::SimTime::ZERO, T_NEXT);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+        match self.queue.pop_front() {
+            Some(u) => {
+                ctx.consume(Category::Scheduling, sched_cpu());
+                ctx.consume(Category::Callback, callback_cpu());
+                let dur = ctx.work_time(u.mflop);
+                ctx.consume(Category::Computation, dur);
+                ctx.schedule(prema_sim::SimTime::ZERO, T_NEXT);
+            }
+            None => ctx.finish(),
+        }
+    }
+}
+
+/// Run the benchmark with no load balancing.
+pub fn run(spec: &BenchSpec) -> SimReport {
+    Engine::build(spec.machine, |p| {
+        Box::new(NoLbProc {
+            queue: spec.units_of_proc(p).into(),
+        })
+    })
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_matches_analytic_bound() {
+        let spec = BenchSpec::test_scale(3);
+        let report = run(&spec);
+        let analytic = spec.nolb_makespan_secs();
+        let measured = report.makespan.as_secs_f64();
+        // Scheduling/callback overheads add a sliver on top.
+        assert!(measured >= analytic, "{measured} < {analytic}");
+        assert!(measured < analytic * 1.001, "{measured} too far above {analytic}");
+    }
+
+    #[test]
+    fn heavy_procs_never_idle_light_procs_finish_early() {
+        let spec = BenchSpec::test_scale(3);
+        let report = run(&spec);
+        assert_eq!(report.breakdowns[0][Category::Idle], prema_sim::SimTime::ZERO);
+        assert!(report.finish[0] > report.finish[7]);
+        // 2× weights: heavy block takes twice the light block.
+        let ratio = report.finish[0].as_secs_f64() / report.finish[7].as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn no_messages_are_sent() {
+        let spec = BenchSpec::test_scale(4);
+        let report = run(&spec);
+        assert!(report.msgs_sent.iter().all(|&m| m == 0));
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration: run every figure at test scale and check the
+//! invariants that must hold at any scale.
+
+use prema_harness::runner::{assert_work_conserved, run_test_figure};
+use prema_harness::{BenchSpec, Config};
+use prema_sim::Category;
+
+#[test]
+fn all_figures_conserve_work_across_all_six_configs() {
+    for fig in [3u32, 4, 5, 6] {
+        let report = run_test_figure(fig);
+        assert_work_conserved(&report);
+    }
+}
+
+#[test]
+fn nolb_matches_analytic_makespan_everywhere() {
+    for fig in [3u32, 4, 5, 6] {
+        let spec = BenchSpec::test_scale(fig);
+        let report = run_test_figure(fig);
+        let analytic = spec.nolb_makespan_secs();
+        let measured = report.makespan_secs(Config::NoLb);
+        assert!(
+            (measured - analytic).abs() / analytic < 0.001,
+            "fig {fig}: NoLB {measured} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn implicit_prema_always_at_least_matches_nolb() {
+    for fig in [3u32, 4, 5, 6] {
+        let report = run_test_figure(fig);
+        assert!(
+            report.makespan_secs(Config::PremaImplicit)
+                <= report.makespan_secs(Config::NoLb) * 1.001,
+            "fig {fig}: implicit worse than doing nothing"
+        );
+    }
+}
+
+#[test]
+fn makespan_never_beats_the_balanced_bound() {
+    for fig in [3u32, 4, 5, 6] {
+        let spec = BenchSpec::test_scale(fig);
+        let report = run_test_figure(fig);
+        let bound = spec.balanced_compute_secs();
+        for (cfg, rep) in &report.panels {
+            assert!(
+                rep.makespan.as_secs_f64() >= bound * 0.999,
+                "fig {fig} {}: makespan {} below the physical bound {bound}",
+                cfg.label(),
+                rep.makespan.as_secs_f64()
+            );
+        }
+    }
+}
+
+#[test]
+fn figure3_ordering_holds_at_test_scale() {
+    let report = run_test_figure(3);
+    let imp = report.makespan_secs(Config::PremaImplicit);
+    let nolb = report.makespan_secs(Config::NoLb);
+    assert!(imp < nolb * 0.9, "implicit {imp} vs NoLB {nolb}");
+    // Charm with no sync points cannot balance: it tracks NoLB.
+    let charm = report.makespan_secs(Config::CharmNoSync);
+    assert!((charm / nolb - 1.0).abs() < 0.05);
+}
+
+#[test]
+fn parmetis_sync_time_shows_up_only_for_parmetis_and_charm() {
+    let report = run_test_figure(3);
+    for (cfg, rep) in &report.panels {
+        let sync = rep.total_of(Category::Synchronization).as_secs_f64();
+        match cfg {
+            Config::ParMetis | Config::CharmSync4 => {}
+            _ => assert!(sync < 1e-9, "{}: unexpected sync time {sync}", cfg.label()),
+        }
+    }
+}
+
+#[test]
+fn prema_polling_thread_time_only_in_implicit() {
+    let report = run_test_figure(3);
+    assert!(
+        report
+            .get(Config::PremaImplicit)
+            .total_of(Category::PollingThread)
+            .as_secs_f64()
+            > 0.0
+    );
+    for c in [Config::NoLb, Config::PremaExplicit, Config::ParMetis] {
+        assert_eq!(
+            report.get(c).total_of(Category::PollingThread),
+            prema_sim::SimTime::ZERO,
+            "{}: polling thread time",
+            c.label()
+        );
+    }
+}
+
+#[test]
+fn reports_render_without_panicking() {
+    let report = run_test_figure(5);
+    let text = report.render(2);
+    assert!(text.contains("Figure 5"));
+    assert!(text.contains("PREMA (implicit)"));
+    assert!(text.contains("makespan"));
+    let summary = report.summary();
+    assert!(summary.lines().count() >= 8);
+}
+
+#[test]
+fn determinism_across_runs() {
+    let a = run_test_figure(4);
+    let b = run_test_figure(4);
+    for (pa, pb) in a.panels.iter().zip(&b.panels) {
+        assert_eq!(pa.0, pb.0);
+        assert_eq!(pa.1.makespan, pb.1.makespan);
+        assert_eq!(pa.1.finish, pb.1.finish);
+    }
+}

@@ -1,0 +1,506 @@
+//! The ILB scheduler: PREMA's message-driven execution engine plus the
+//! load-balancing protocol.
+//!
+//! One [`Scheduler`] runs per rank. It owns the rank's [`MolNode`] and drives
+//! the PREMA cycle the paper describes in §4: receive and route messages,
+//! schedule the next work unit, execute its handler, evaluate the local work
+//! level, and exchange load-balancing traffic with the policy's neighborhood.
+//!
+//! The scheduler is a plain (single-threaded) state machine; the `prema`
+//! facade composes it with OS threads and, in implicit mode, a preemptive
+//! polling thread that calls [`Scheduler::poll_system`] concurrently.
+
+use crate::policy::{LbPolicy, LoadSnapshot};
+use bytes::Bytes;
+use prema_dcs::{Rank, Tag, WireReader, WireWriter};
+use prema_mol::{Migratable, MobilePtr, MolEvent, MolNode, WorkItem};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Runtime-internal node-message handler ids (top of the u32 space).
+const LB_STATUS: u32 = 0xFFFF_F001;
+const LB_REQUEST: u32 = 0xFFFF_F002;
+const LB_NACK: u32 = 0xFFFF_F003;
+
+/// First runtime-reserved node-message handler id; application node-message
+/// handlers must stay below this.
+pub const NODE_HANDLER_LIMIT: u32 = 0xFFFF_F000;
+
+/// A work-unit handler: runs with the (detached) object, a context for
+/// sending messages, and the triggering work item.
+pub type WorkHandler<O> = Arc<dyn Fn(&mut HandlerCtx, &mut O, &WorkItem) + Send + Sync>;
+
+/// Buffered send context handed to work handlers. Handlers run with the
+/// object *detached* from the node (so the preemptive polling thread can keep
+/// balancing everything else); their sends are buffered here and applied when
+/// the unit completes.
+pub struct HandlerCtx {
+    rank: Rank,
+    nprocs: usize,
+    outgoing: Vec<Outgoing>,
+}
+
+enum Outgoing {
+    Object {
+        ptr: MobilePtr,
+        handler: u32,
+        hint: f64,
+        payload: Bytes,
+    },
+    Node {
+        dst: Rank,
+        handler: u32,
+        payload: Bytes,
+    },
+}
+
+impl HandlerCtx {
+    /// This rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Machine size.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Send a message to a mobile object (the paper's `ilb_message`).
+    pub fn message(&mut self, ptr: MobilePtr, handler: u32, payload: Bytes) {
+        self.message_with_hint(ptr, handler, 1.0, payload);
+    }
+
+    /// [`HandlerCtx::message`] with a computational weight hint.
+    pub fn message_with_hint(&mut self, ptr: MobilePtr, handler: u32, hint: f64, payload: Bytes) {
+        self.outgoing.push(Outgoing::Object {
+            ptr,
+            handler,
+            hint,
+            payload,
+        });
+    }
+
+    /// Send a rank-targeted application message.
+    pub fn node_message(&mut self, dst: Rank, handler: u32, payload: Bytes) {
+        assert!(handler < NODE_HANDLER_LIMIT, "handler id collides with runtime");
+        self.outgoing.push(Outgoing::Node {
+            dst,
+            handler,
+            payload,
+        });
+    }
+}
+
+/// Counters for one scheduler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Work units executed.
+    pub executed: u64,
+    /// Work requests sent.
+    pub requests_sent: u64,
+    /// Refusals received.
+    pub nacks_recv: u64,
+    /// Objects granted away in response to requests or flows.
+    pub granted: u64,
+    /// Status updates sent.
+    pub status_sent: u64,
+}
+
+/// A rank-targeted message handler.
+pub type NodeHandler = Arc<dyn Fn(&mut HandlerCtx, Rank, Bytes) + Send + Sync>;
+
+/// The per-rank PREMA scheduler.
+pub struct Scheduler<O: Migratable> {
+    node: MolNode<O>,
+    handlers: HashMap<u32, WorkHandler<O>>,
+    node_handlers: HashMap<u32, NodeHandler>,
+    policy: Box<dyn LbPolicy>,
+    known: HashMap<Rank, LoadSnapshot>,
+    /// Victim of the outstanding work request, if any.
+    outstanding: Option<Rank>,
+    /// Consecutive refusals in the current begging round.
+    attempt: u32,
+    /// Object currently detached for execution, if any.
+    executing: Option<MobilePtr>,
+    /// Last load snapshot published to the neighborhood (statuses are only
+    /// re-sent when the load changes).
+    last_published: Option<LoadSnapshot>,
+    stats: SchedStats,
+    lb_enabled: bool,
+}
+
+impl<O: Migratable> Scheduler<O> {
+    /// Build a scheduler over a MOL node with the given policy.
+    pub fn new(node: MolNode<O>, policy: Box<dyn LbPolicy>) -> Self {
+        Scheduler {
+            node,
+            handlers: HashMap::new(),
+            node_handlers: HashMap::new(),
+            policy,
+            known: HashMap::new(),
+            outstanding: None,
+            attempt: 0,
+            executing: None,
+            last_published: None,
+            stats: SchedStats::default(),
+            lb_enabled: true,
+        }
+    }
+
+    /// Disable load balancing entirely (the "no load balancing" baseline).
+    pub fn set_lb_enabled(&mut self, enabled: bool) {
+        self.lb_enabled = enabled;
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> Rank {
+        self.node.rank()
+    }
+
+    /// Machine size.
+    pub fn nprocs(&self) -> usize {
+        self.node.nprocs()
+    }
+
+    /// Scheduler counters.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// The underlying MOL node.
+    pub fn node(&self) -> &MolNode<O> {
+        &self.node
+    }
+
+    /// Mutable access to the underlying MOL node (registration etc.).
+    pub fn node_mut(&mut self) -> &mut MolNode<O> {
+        &mut self.node
+    }
+
+    /// Register the handler for work-unit messages with id `id`.
+    pub fn on_message(
+        &mut self,
+        id: u32,
+        f: impl Fn(&mut HandlerCtx, &mut O, &WorkItem) + Send + Sync + 'static,
+    ) {
+        let prev = self.handlers.insert(id, Arc::new(f));
+        assert!(prev.is_none(), "work handler {id} registered twice");
+    }
+
+    /// Register a handler for rank-targeted application messages.
+    pub fn on_node_message(
+        &mut self,
+        id: u32,
+        f: impl Fn(&mut HandlerCtx, Rank, Bytes) + Send + Sync + 'static,
+    ) {
+        assert!(id < NODE_HANDLER_LIMIT, "handler id collides with runtime");
+        let prev = self.node_handlers.insert(id, Arc::new(f));
+        assert!(prev.is_none(), "node handler {id} registered twice");
+    }
+
+    /// Current local load: queued work plus the unit in execution.
+    pub fn local_load(&self) -> LoadSnapshot {
+        let mut s = LoadSnapshot {
+            units: self.node.ready_len(),
+            weight: self.node.ready_load(),
+        };
+        if self.executing.is_some() {
+            s.units += 1;
+        }
+        s
+    }
+
+    /// Whether nothing is queued or executing locally.
+    pub fn is_idle(&self) -> bool {
+        self.node.ready_len() == 0 && self.executing.is_none()
+    }
+
+    /// PREMA's *polling operation* (§4): receive and process messages,
+    /// handle system load-balancing traffic, and evaluate the local work
+    /// level. Returns the number of protocol events handled.
+    pub fn poll(&mut self) -> usize {
+        let events = self.node.pump();
+        let n = events.len();
+        for ev in events {
+            self.handle_event(ev);
+        }
+        if self.lb_enabled {
+            self.lb_evaluate();
+        }
+        n
+    }
+
+    /// The *preemptive* poll: processes only system-generated traffic
+    /// (migrations, location updates, load-balancer messages), never
+    /// application messages. In implicit mode the `prema` facade calls this
+    /// from the polling thread while a work unit executes (§4.2).
+    pub fn poll_system(&mut self) -> usize {
+        let events = self.node.poll_system();
+        let n = events.len();
+        for ev in events {
+            self.handle_event(ev);
+        }
+        if self.lb_enabled {
+            self.lb_evaluate();
+        }
+        n
+    }
+
+    /// Begin the next queued work unit, detaching its object. Returns `None`
+    /// if the queue is empty. The caller runs the returned [`Execution`]'s
+    /// handler (possibly without holding any lock on this scheduler) and then
+    /// calls [`Scheduler::finish`].
+    pub fn begin(&mut self) -> Option<Execution<O>> {
+        assert!(self.executing.is_none(), "begin() while a unit is executing");
+        loop {
+            let item = self.node.pop_work()?;
+            let Some(obj) = self.node.take_object(item.ptr) else {
+                // The object is resident but detached — impossible here since
+                // we are the only executor. Treat defensively as a skip.
+                debug_assert!(false, "popped work for a detached object");
+                continue;
+            };
+            let handler = self
+                .handlers
+                .get(&item.handler)
+                .unwrap_or_else(|| panic!("no work handler registered for id {}", item.handler))
+                .clone();
+            self.executing = Some(item.ptr);
+            return Some(Execution {
+                item,
+                obj: Some(obj),
+                handler,
+                ctx: HandlerCtx {
+                    rank: self.rank(),
+                    nprocs: self.nprocs(),
+                    outgoing: Vec::new(),
+                },
+            });
+        }
+    }
+
+    /// Complete an execution started by [`Scheduler::begin`]: re-attach the
+    /// object, apply the handler's buffered sends, update counters, and
+    /// evaluate the load balancer.
+    pub fn finish(&mut self, exec: Execution<O>) {
+        let Execution { item, obj, ctx, .. } = exec;
+        let obj = obj.expect("execution finished twice");
+        assert_eq!(self.executing, Some(item.ptr), "finish() does not match begin()");
+        self.node.put_object(item.ptr, obj);
+        self.executing = None;
+        self.stats.executed += 1;
+        self.apply_outgoing(ctx.outgoing);
+        if self.lb_enabled {
+            self.lb_evaluate();
+        }
+    }
+
+    /// Convenience: begin + run + finish in one call (single-threaded /
+    /// explicit-mode use). Returns `false` if no work was queued.
+    pub fn step(&mut self) -> bool {
+        match self.begin() {
+            Some(mut exec) => {
+                exec.run();
+                self.finish(exec);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn apply_outgoing(&mut self, outgoing: Vec<Outgoing>) {
+        for out in outgoing {
+            match out {
+                Outgoing::Object {
+                    ptr,
+                    handler,
+                    hint,
+                    payload,
+                } => self.node.message_with_hint(ptr, handler, hint, payload),
+                Outgoing::Node {
+                    dst,
+                    handler,
+                    payload,
+                } => self.node.node_message(dst, handler, Tag::App, payload),
+            }
+        }
+    }
+
+    fn handle_event(&mut self, ev: MolEvent) {
+        match ev {
+            MolEvent::Node {
+                src,
+                handler,
+                payload,
+                ..
+            } => match handler {
+                LB_STATUS => {
+                    let mut r = WireReader::new(payload);
+                    let snap = LoadSnapshot {
+                        units: r.u64() as usize,
+                        weight: r.f64(),
+                    };
+                    self.known.insert(src, snap);
+                }
+                LB_REQUEST => {
+                    let mut r = WireReader::new(payload);
+                    let requester = LoadSnapshot {
+                        units: r.u64() as usize,
+                        weight: r.f64(),
+                    };
+                    self.handle_request(src, requester);
+                }
+                LB_NACK => {
+                    self.stats.nacks_recv += 1;
+                    self.outstanding = None;
+                    self.attempt += 1;
+                }
+                id => {
+                    if let Some(h) = self.node_handlers.get(&id).cloned() {
+                        let mut ctx = HandlerCtx {
+                            rank: self.rank(),
+                            nprocs: self.nprocs(),
+                            outgoing: Vec::new(),
+                        };
+                        h(&mut ctx, src, payload);
+                        self.apply_outgoing(ctx.outgoing);
+                    } else {
+                        panic!("no node handler registered for id {id}");
+                    }
+                }
+            },
+            MolEvent::Installed { .. } => {
+                // Work arrived: the begging round (if any) succeeded.
+                self.outstanding = None;
+                self.attempt = 0;
+            }
+            MolEvent::Object { .. } => {
+                unreachable!("pump()/poll_system() never emit Object events")
+            }
+        }
+    }
+
+    /// Answer a work request: migrate objects (with their queued messages)
+    /// to the requester, or send a refusal.
+    fn handle_request(&mut self, src: Rank, requester: LoadSnapshot) {
+        let local = self.local_load();
+        let want = self.policy.grant_units(&local, &requester);
+        if want == 0 {
+            self.node
+                .node_message(src, LB_NACK, Tag::System, Bytes::new());
+            return;
+        }
+        let granted = self.grant_objects(src, want);
+        if granted == 0 {
+            self.node
+                .node_message(src, LB_NACK, Tag::System, Bytes::new());
+        }
+    }
+
+    /// Migrate objects covering roughly `want_units` queued messages to
+    /// `dst`. Returns the number of units actually covered.
+    fn grant_objects(&mut self, dst: Rank, want_units: usize) -> usize {
+        let summary = self.node.ready_summary();
+        let mut covered = 0usize;
+        for (ptr, units, _weight) in summary {
+            if covered >= want_units {
+                break;
+            }
+            if Some(ptr) == self.executing {
+                continue; // never migrate the executing unit
+            }
+            // Don't strip ourselves bare: keep at least one queued unit
+            // unless the requester is completely empty.
+            if self.node.ready_len() <= units && covered > 0 {
+                break;
+            }
+            if self.node.migrate(ptr, dst) {
+                covered += units;
+                self.stats.granted += 1;
+            }
+        }
+        covered
+    }
+
+    /// Evaluate the local work level and act: publish status to the
+    /// neighborhood, push diffusive flows, and beg for work when under the
+    /// water-mark (§4.1's water-mark logic).
+    fn lb_evaluate(&mut self) {
+        let local = self.local_load();
+        let me = self.rank();
+        let n = self.nprocs();
+
+        // Publish status to the neighborhood when it changed.
+        if self.last_published != Some(local) {
+            let status = WireWriter::new()
+                .u64(local.units as u64)
+                .f64(local.weight)
+                .finish();
+            for nb in self.policy.neighborhood(me, n) {
+                self.node
+                    .node_message(nb, LB_STATUS, Tag::System, status.clone());
+                self.stats.status_sent += 1;
+            }
+            self.last_published = Some(local);
+        }
+
+        // Sender-initiated flows (diffusive policies). Ship only objects
+        // that fit wholly within the prescribed flow: overshooting ships the
+        // last object back and forth between near-balanced neighbors.
+        let flows = self.policy.flows(me, &local, &self.known);
+        for (dst, weight) in flows {
+            let mut remaining = weight;
+            let summary = self.node.ready_summary();
+            for (ptr, _units, w) in summary {
+                if Some(ptr) == self.executing || w > remaining {
+                    continue;
+                }
+                if self.node.migrate(ptr, dst) {
+                    remaining -= w.max(1e-9);
+                    self.stats.granted += 1;
+                }
+            }
+        }
+
+        // Receiver-initiated begging.
+        if self.outstanding.is_none()
+            && self.policy.is_underloaded(&local)
+            && self.attempt < (n as u32).max(4) * 2
+        {
+            if let Some(victim) = self.policy.choose_victim(me, n, &self.known, self.attempt) {
+                let req = WireWriter::new()
+                    .u64(local.units as u64)
+                    .f64(local.weight)
+                    .finish();
+                self.node.node_message(victim, LB_REQUEST, Tag::System, req);
+                self.outstanding = Some(victim);
+                self.stats.requests_sent += 1;
+            }
+        }
+    }
+
+    /// Reset the begging round (e.g. when new local work is created by the
+    /// application itself).
+    pub fn reset_backoff(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// An in-progress work unit: the detached object plus its handler. Produced
+/// by [`Scheduler::begin`]; run with [`Execution::run`]; completed with
+/// [`Scheduler::finish`].
+pub struct Execution<O: Migratable> {
+    /// The triggering message.
+    pub item: WorkItem,
+    obj: Option<O>,
+    handler: WorkHandler<O>,
+    ctx: HandlerCtx,
+}
+
+impl<O: Migratable> Execution<O> {
+    /// Execute the handler. May be called exactly once, from any thread.
+    pub fn run(&mut self) {
+        let obj = self.obj.as_mut().expect("run() after finish");
+        (self.handler)(&mut self.ctx, obj, &self.item);
+    }
+}

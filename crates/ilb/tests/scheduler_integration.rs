@@ -1,0 +1,216 @@
+//! Integration tests for the ILB scheduler: message-driven execution, the
+//! work-stealing protocol, diffusion flows, and detached-object execution.
+
+use bytes::Bytes;
+use prema_dcs::{Communicator, LocalFabric};
+use prema_ilb::{Diffusion, LbPolicy, Scheduler, WorkStealing};
+use prema_mol::{Migratable, MolNode};
+
+#[derive(Debug, PartialEq)]
+struct Counter {
+    value: i64,
+}
+
+impl Migratable for Counter {
+    fn pack(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.value.to_le_bytes());
+    }
+    fn unpack(b: &[u8]) -> Self {
+        Counter {
+            value: i64::from_le_bytes(b[..8].try_into().unwrap()),
+        }
+    }
+}
+
+const H_ADD: u32 = 1;
+
+fn machine(n: usize, mk_policy: impl Fn(usize) -> Box<dyn LbPolicy>) -> Vec<Scheduler<Counter>> {
+    LocalFabric::new(n)
+        .into_iter()
+        .enumerate()
+        .map(|(r, ep)| {
+            let node: MolNode<Counter> = MolNode::new(Communicator::new(Box::new(ep)));
+            let mut s = Scheduler::new(node, mk_policy(r));
+            s.on_message(H_ADD, |_ctx, c: &mut Counter, item| {
+                c.value += i64::from_le_bytes(item.payload[..8].try_into().unwrap());
+            });
+            s
+        })
+        .collect()
+}
+
+/// Drive all schedulers round-robin until no work remains anywhere.
+fn drain(scheds: &mut [Scheduler<Counter>]) -> Vec<u64> {
+    let mut executed = vec![0u64; scheds.len()];
+    let mut quiet_rounds = 0;
+    while quiet_rounds < 4 {
+        let mut progress = false;
+        for (r, s) in scheds.iter_mut().enumerate() {
+            s.poll();
+            // One unit per rank per round: interleaves ranks the way real
+            // concurrency would, so stealing has something to steal.
+            if s.step() {
+                executed[r] += 1;
+                progress = true;
+            }
+        }
+        if progress {
+            quiet_rounds = 0;
+        } else {
+            quiet_rounds += 1;
+        }
+    }
+    executed
+}
+
+#[test]
+fn local_execution_works() {
+    let mut scheds = machine(1, |_| Box::new(WorkStealing::new(1.0, 1)));
+    let ptr = scheds[0].node_mut().register(Counter { value: 0 });
+    for i in 1..=5i64 {
+        scheds[0]
+            .node_mut()
+            .message(ptr, H_ADD, Bytes::copy_from_slice(&i.to_le_bytes()));
+    }
+    let executed = drain(&mut scheds);
+    assert_eq!(executed, vec![5]);
+    assert_eq!(scheds[0].node().get(ptr).unwrap().value, 15);
+}
+
+#[test]
+fn stealing_spreads_a_rank_zero_pile() {
+    let n = 4;
+    let mut scheds = machine(n, |r| Box::new(WorkStealing::new(2.0, r as u64)));
+    for i in 0..40i64 {
+        let ptr = scheds[0].node_mut().register(Counter { value: 0 });
+        scheds[0]
+            .node_mut()
+            .message(ptr, H_ADD, Bytes::copy_from_slice(&i.to_le_bytes()));
+    }
+    let executed = drain(&mut scheds);
+    assert_eq!(executed.iter().sum::<u64>(), 40);
+    let spread = executed.iter().filter(|&&e| e > 0).count();
+    assert!(spread >= 2, "no work moved: {executed:?}");
+    // Stealing stats should reflect the traffic.
+    let total_granted: u64 = scheds.iter().map(|s| s.stats().granted).sum();
+    assert!(total_granted > 0);
+}
+
+#[test]
+fn diffusion_pushes_work_downhill() {
+    let n = 4;
+    let mut scheds = machine(n, |_| Box::new(Diffusion::new(0.5)));
+    for i in 0..24i64 {
+        let ptr = scheds[0].node_mut().register(Counter { value: 0 });
+        scheds[0]
+            .node_mut()
+            .message(ptr, H_ADD, Bytes::copy_from_slice(&i.to_le_bytes()));
+    }
+    let executed = drain(&mut scheds);
+    assert_eq!(executed.iter().sum::<u64>(), 24);
+    assert!(
+        executed.iter().filter(|&&e| e > 0).count() >= 2,
+        "diffusion moved nothing: {executed:?}"
+    );
+}
+
+#[test]
+fn lb_disabled_keeps_everything_local() {
+    let n = 4;
+    let mut scheds = machine(n, |r| Box::new(WorkStealing::new(2.0, r as u64)));
+    for s in scheds.iter_mut() {
+        s.set_lb_enabled(false);
+    }
+    for i in 0..10i64 {
+        let ptr = scheds[0].node_mut().register(Counter { value: 0 });
+        scheds[0]
+            .node_mut()
+            .message(ptr, H_ADD, Bytes::copy_from_slice(&i.to_le_bytes()));
+    }
+    let executed = drain(&mut scheds);
+    assert_eq!(executed, vec![10, 0, 0, 0]);
+}
+
+#[test]
+fn begin_finish_detached_execution() {
+    // begin() detaches; the object is invisible (and unmigratable) until
+    // finish(); its queued messages survive.
+    let mut scheds = machine(2, |r| Box::new(WorkStealing::new(1.0, r as u64)));
+    let ptr = scheds[0].node_mut().register(Counter { value: 0 });
+    scheds[0]
+        .node_mut()
+        .message(ptr, H_ADD, Bytes::copy_from_slice(&7i64.to_le_bytes()));
+    scheds[0]
+        .node_mut()
+        .message(ptr, H_ADD, Bytes::copy_from_slice(&5i64.to_le_bytes()));
+    scheds[0].poll();
+    let mut exec = scheds[0].begin().expect("work queued");
+    // While detached: object not borrowable, not migratable.
+    assert!(scheds[0].node().get(ptr).is_none());
+    assert!(!scheds[0].node_mut().migrate(ptr, 1));
+    exec.run();
+    scheds[0].finish(exec);
+    assert_eq!(scheds[0].node().get(ptr).unwrap().value, 7);
+    // Second message still queued and executable.
+    assert!(scheds[0].step());
+    assert_eq!(scheds[0].node().get(ptr).unwrap().value, 12);
+    assert_eq!(scheds[0].stats().executed, 2);
+}
+
+#[test]
+fn handler_sends_are_applied_after_finish() {
+    let mut scheds = machine(1, |_| Box::new(WorkStealing::new(1.0, 1)));
+    let a = scheds[0].node_mut().register(Counter { value: 0 });
+    let b = scheds[0].node_mut().register(Counter { value: 0 });
+    // Handler on `a` posts work to `b`.
+    scheds[0].on_message(2, move |ctx, c, _item| {
+        c.value += 1;
+        ctx.message(b, H_ADD, Bytes::copy_from_slice(&100i64.to_le_bytes()));
+    });
+    scheds[0].node_mut().message(a, 2, Bytes::new());
+    let executed = drain(&mut scheds);
+    assert_eq!(executed, vec![2]);
+    assert_eq!(scheds[0].node().get(a).unwrap().value, 1);
+    assert_eq!(scheds[0].node().get(b).unwrap().value, 100);
+}
+
+#[test]
+fn node_messages_dispatch_to_registered_handlers() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let mut scheds = machine(2, |r| Box::new(WorkStealing::new(1.0, r as u64)));
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen2 = seen.clone();
+    scheds[1].on_node_message(9, move |_ctx, src, payload| {
+        assert_eq!(src, 0);
+        seen2.store(u64::from_le_bytes(payload[..8].try_into().unwrap()), Ordering::SeqCst);
+    });
+    scheds[0].node_mut().node_message(
+        1,
+        9,
+        prema_dcs::Tag::App,
+        Bytes::copy_from_slice(&42u64.to_le_bytes()),
+    );
+    scheds[1].poll();
+    assert_eq!(seen.load(Ordering::SeqCst), 42);
+}
+
+#[test]
+fn executing_object_is_never_granted() {
+    // A steal request arriving mid-execution must not migrate the executing
+    // object, per §4.2.
+    let mut scheds = machine(2, |r| Box::new(WorkStealing::new(10.0, r as u64)));
+    let ptr = scheds[0].node_mut().register(Counter { value: 0 });
+    scheds[0].node_mut().message(ptr, H_ADD, Bytes::copy_from_slice(&1i64.to_le_bytes()));
+    scheds[0].poll();
+    let exec = scheds[0].begin().unwrap();
+    // Rank 1 is idle: its poll sends a steal request to rank 0.
+    scheds[1].poll();
+    // Rank 0's system poll handles the request mid-execution (as PREMA's
+    // polling thread would). Only NACK or other objects may be granted.
+    scheds[0].poll_system();
+    assert!(scheds[0].node().is_local(ptr) || scheds[0].node().get(ptr).is_none());
+    scheds[0].finish(exec);
+    // The object is still on rank 0 and executed there.
+    assert_eq!(scheds[0].stats().executed, 1);
+}

@@ -1,0 +1,84 @@
+//! Domain decomposition: splitting the problem domain into subdomains.
+//!
+//! The parallel mesher decomposes the unit cube into a grid of box
+//! subdomains — many more than there are processors, so the load balancer
+//! has something to move (§4: "the application's data domain is first
+//! decomposed into some number of subdomains, which is greater than the
+//! number of available physical processors").
+
+use crate::geom::Point3;
+use crate::subdomain::Subdomain;
+
+/// Split the unit cube into `nx × ny × nz` box subdomains.
+pub fn decompose_unit_cube(nx: usize, ny: usize, nz: usize, finest: f64) -> Vec<Subdomain> {
+    assert!(nx > 0 && ny > 0 && nz > 0);
+    let mut out = Vec::with_capacity(nx * ny * nz);
+    let mut id = 0u64;
+    for iz in 0..nz {
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let lo = Point3::new(ix as f64 / nx as f64, iy as f64 / ny as f64, iz as f64 / nz as f64);
+                let hi = Point3::new(
+                    (ix + 1) as f64 / nx as f64,
+                    (iy + 1) as f64 / ny as f64,
+                    (iz + 1) as f64 / nz as f64,
+                );
+                out.push(Subdomain::seed_box(id, lo, hi, finest));
+                id += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Choose a roughly cubic decomposition with at least `min_subdomains`
+/// blocks. Returns `(nx, ny, nz)`.
+pub fn cubic_decomposition(min_subdomains: usize) -> (usize, usize, usize) {
+    let mut n = 1usize;
+    while n * n * n < min_subdomains {
+        n += 1;
+    }
+    (n, n, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_tiles_the_cube() {
+        let subs = decompose_unit_cube(2, 3, 1, 0.05);
+        assert_eq!(subs.len(), 6);
+        let total: f64 = subs.iter().map(|s| s.box_volume()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Ids are unique and dense.
+        let mut ids: Vec<u64> = subs.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..6).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        let subs = decompose_unit_cube(2, 2, 2, 0.05);
+        for (i, a) in subs.iter().enumerate() {
+            for b in subs.iter().skip(i + 1) {
+                let sep = a.hi.x <= b.lo.x + 1e-12
+                    || b.hi.x <= a.lo.x + 1e-12
+                    || a.hi.y <= b.lo.y + 1e-12
+                    || b.hi.y <= a.lo.y + 1e-12
+                    || a.hi.z <= b.lo.z + 1e-12
+                    || b.hi.z <= a.lo.z + 1e-12;
+                assert!(sep, "blocks {} and {} overlap", a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn cubic_decomposition_covers_request() {
+        assert_eq!(cubic_decomposition(1), (1, 1, 1));
+        assert_eq!(cubic_decomposition(8), (2, 2, 2));
+        assert_eq!(cubic_decomposition(9), (3, 3, 3));
+        let (x, y, z) = cubic_decomposition(100);
+        assert!(x * y * z >= 100);
+    }
+}

@@ -1,0 +1,156 @@
+//! The advancing front: the set of oriented triangular faces separating
+//! meshed from unmeshed space.
+//!
+//! Faces are keyed by their sorted vertex triple. Adding a face whose triple
+//! is already present *cancels* both — that is how two fronts meet and the
+//! cavity closes. Faces are popped FIFO, which advances the front in
+//! breadth-first layers.
+
+use std::collections::{HashMap, VecDeque};
+
+/// An oriented face: three vertex indices whose right-hand normal points
+/// into the unmeshed region.
+pub type Face = [u32; 3];
+
+fn key_of(f: Face) -> [u32; 3] {
+    let mut k = f;
+    k.sort_unstable();
+    k
+}
+
+/// The set of active front faces.
+#[derive(Clone, Debug, Default)]
+pub struct Front {
+    faces: HashMap<[u32; 3], Face>,
+    order: VecDeque<[u32; 3]>,
+    cancelled: u64,
+}
+
+impl Front {
+    /// Empty front.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of active faces.
+    pub fn len(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Whether the front has closed (no active faces).
+    pub fn is_empty(&self) -> bool {
+        self.faces.is_empty()
+    }
+
+    /// Number of face pairs that met and annihilated so far.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Add an oriented face; if its (unoriented) triple is already on the
+    /// front the two faces cancel. Returns `true` if the face was inserted,
+    /// `false` if it cancelled an existing face.
+    pub fn add(&mut self, face: Face) -> bool {
+        assert!(face[0] != face[1] && face[1] != face[2] && face[0] != face[2]);
+        let key = key_of(face);
+        match self.faces.remove(&key) {
+            Some(_) => {
+                self.cancelled += 1;
+                false
+            }
+            None => {
+                self.faces.insert(key, face);
+                self.order.push_back(key);
+                true
+            }
+        }
+    }
+
+    /// Pop the oldest active face.
+    pub fn pop(&mut self) -> Option<Face> {
+        while let Some(key) = self.order.pop_front() {
+            if let Some(face) = self.faces.remove(&key) {
+                return Some(face);
+            }
+            // Stale queue entry: the face was cancelled since enqueueing.
+        }
+        None
+    }
+
+    /// Active faces in deterministic (insertion) order. Cancelled faces and
+    /// stale duplicates are skipped, so the result is reproducible across
+    /// runs — required for bit-stable serialization.
+    pub fn faces_in_order(&self) -> Vec<Face> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::with_capacity(self.faces.len());
+        for key in &self.order {
+            if let Some(&face) = self.faces.get(key) {
+                if seen.insert(*key) {
+                    out.push(face);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterate active faces in deterministic (insertion) order.
+    pub fn iter(&self) -> impl Iterator<Item = Face> {
+        self.faces_in_order().into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_pop_roundtrip() {
+        let mut f = Front::new();
+        assert!(f.add([0, 1, 2]));
+        assert!(f.add([1, 2, 3]));
+        assert_eq!(f.len(), 2);
+        let p = f.pop().unwrap();
+        assert_eq!(p, [0, 1, 2]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pop().unwrap(), [1, 2, 3]);
+        assert!(f.pop().is_none());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn opposite_faces_cancel() {
+        let mut f = Front::new();
+        assert!(f.add([0, 1, 2]));
+        // Same triple, any orientation → cancels.
+        assert!(!f.add([2, 1, 0]));
+        assert!(f.is_empty());
+        assert_eq!(f.cancelled(), 1);
+        // The stale queue entry must not resurface.
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_then_readd_works() {
+        let mut f = Front::new();
+        f.add([0, 1, 2]);
+        f.add([0, 2, 1]); // cancel
+        assert!(f.add([0, 1, 2])); // back again as a fresh face
+        assert_eq!(f.pop().unwrap(), [0, 1, 2]);
+    }
+
+    #[test]
+    fn pop_skips_stale_entries() {
+        let mut f = Front::new();
+        f.add([0, 1, 2]);
+        f.add([3, 4, 5]);
+        f.add([2, 1, 0]); // cancels the first
+        assert_eq!(f.pop().unwrap(), [3, 4, 5]);
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_face_rejected() {
+        Front::new().add([1, 1, 2]);
+    }
+}

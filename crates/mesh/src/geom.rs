@@ -1,0 +1,204 @@
+//! Minimal 3-D geometry for tetrahedral meshing.
+
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A point (or vector) in 3-space.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point3 {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+    /// z coordinate.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Construct from components.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Point3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Point3) -> Point3 {
+        Point3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Distance to another point.
+    pub fn dist(self, o: Point3) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Unit vector in this direction (zero vector stays zero).
+    pub fn normalized(self) -> Point3 {
+        let n = self.norm();
+        if n == 0.0 {
+            self
+        } else {
+            self / n
+        }
+    }
+}
+
+impl Add for Point3 {
+    type Output = Point3;
+    fn add(self, o: Point3) -> Point3 {
+        Point3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+impl Sub for Point3 {
+    type Output = Point3;
+    fn sub(self, o: Point3) -> Point3 {
+        Point3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+impl Mul<f64> for Point3 {
+    type Output = Point3;
+    fn mul(self, s: f64) -> Point3 {
+        Point3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+impl Div<f64> for Point3 {
+    type Output = Point3;
+    fn div(self, s: f64) -> Point3 {
+        Point3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+/// Signed volume of tetrahedron (a, b, c, d): positive when `d` lies on the
+/// side of plane (a,b,c) that the right-hand normal (b−a)×(c−a) points to.
+pub fn tet_volume(a: Point3, b: Point3, c: Point3, d: Point3) -> f64 {
+    (b - a).cross(c - a).dot(d - a) / 6.0
+}
+
+/// Area of triangle (a, b, c).
+pub fn tri_area(a: Point3, b: Point3, c: Point3) -> f64 {
+    (b - a).cross(c - a).norm() / 2.0
+}
+
+/// Unit normal of triangle (a, b, c) by the right-hand rule.
+pub fn tri_normal(a: Point3, b: Point3, c: Point3) -> Point3 {
+    (b - a).cross(c - a).normalized()
+}
+
+/// Centroid of a triangle.
+pub fn tri_centroid(a: Point3, b: Point3, c: Point3) -> Point3 {
+    (a + b + c) / 3.0
+}
+
+/// Radius–edge quality ratio of a tetrahedron: circumradius over shortest
+/// edge. Lower is better; a regular tet scores ≈ 0.612. Returns `f64::MAX`
+/// for degenerate tets.
+pub fn radius_edge_ratio(a: Point3, b: Point3, c: Point3, d: Point3) -> f64 {
+    let vol = tet_volume(a, b, c, d).abs();
+    if vol < 1e-300 {
+        return f64::MAX;
+    }
+    // Circumradius via the standard determinant-free formula:
+    // R = |α| where α solves the perpendicular bisector system.
+    let ba = b - a;
+    let ca = c - a;
+    let da = d - a;
+    let ba2 = ba.dot(ba);
+    let ca2 = ca.dot(ca);
+    let da2 = da.dot(da);
+    let num = ca.cross(da) * ba2 + da.cross(ba) * ca2 + ba.cross(ca) * da2;
+    let denom = 2.0 * ba.cross(ca).dot(da);
+    if denom.abs() < 1e-300 {
+        return f64::MAX;
+    }
+    let circumcenter_offset = num / denom;
+    let r = circumcenter_offset.norm();
+    let mut min_edge = f64::MAX;
+    let pts = [a, b, c, d];
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            min_edge = min_edge.min(pts[i].dist(pts[j]));
+        }
+    }
+    if min_edge == 0.0 {
+        f64::MAX
+    } else {
+        r / min_edge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_algebra() {
+        let a = Point3::new(1.0, 0.0, 0.0);
+        let b = Point3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Point3::new(0.0, 0.0, 1.0));
+        assert_eq!((a + b).norm(), 2f64.sqrt());
+        assert_eq!((a * 3.0).norm(), 3.0);
+        assert_eq!(Point3::default().normalized(), Point3::default());
+    }
+
+    #[test]
+    fn unit_tet_volume() {
+        let v = tet_volume(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(0.0, 0.0, 1.0),
+        );
+        assert!((v - 1.0 / 6.0).abs() < 1e-12);
+        // Swapping two vertices flips the sign.
+        let v2 = tet_volume(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 0.0, 1.0),
+        );
+        assert!((v2 + 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_area_and_normal() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(2.0, 0.0, 0.0);
+        let c = Point3::new(0.0, 2.0, 0.0);
+        assert!((tri_area(a, b, c) - 2.0).abs() < 1e-12);
+        assert_eq!(tri_normal(a, b, c), Point3::new(0.0, 0.0, 1.0));
+        let g = tri_centroid(a, b, c);
+        assert!((g.x - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_tet_quality() {
+        // Regular tetrahedron with unit edges.
+        let a = Point3::new(1.0, 1.0, 1.0);
+        let b = Point3::new(1.0, -1.0, -1.0);
+        let c = Point3::new(-1.0, 1.0, -1.0);
+        let d = Point3::new(-1.0, -1.0, 1.0);
+        let q = radius_edge_ratio(a, b, c, d);
+        assert!((q - 0.6123724).abs() < 1e-5, "q = {q}");
+    }
+
+    #[test]
+    fn degenerate_tet_quality_is_max() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(1.0, 0.0, 0.0);
+        let c = Point3::new(2.0, 0.0, 0.0);
+        let d = Point3::new(3.0, 0.0, 0.0);
+        assert_eq!(radius_edge_ratio(a, b, c, d), f64::MAX);
+    }
+}

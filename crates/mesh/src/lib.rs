@@ -1,0 +1,40 @@
+//! # prema-mesh — a 3-D advancing-front tetrahedral mesher
+//!
+//! The "real-world" application of the SC'03 paper's evaluation (§5): a
+//! 3-dimensional parallel advancing-front mesh generator whose subdomains
+//! are PREMA mobile objects. A moving crack front ([`sizing::CrackFront`])
+//! concentrates refinement in a shifting, *a-priori-unpredictable* subset of
+//! subdomains — the "highly adaptive and irregular" workload the runtime
+//! exists to balance.
+//!
+//! Simplifications relative to a production mesher (documented in
+//! DESIGN.md): subdomains are meshed independently from their own boundary
+//! fronts (no inter-subdomain conformity), apex placement uses snapping
+//! without global intersection tests, and unmeshable faces are parked
+//! rather than repaired. None of these affect the load-balancing behaviour
+//! the reproduction measures: per-subdomain work remains real, irregular,
+//! and driven by the live geometry.
+//!
+//! * [`geom`] — points, tet volumes, quality measures;
+//! * [`sizing`] — sizing fields, including the moving crack tip;
+//! * [`front`] — the advancing front (face set with cancellation);
+//! * [`subdomain`] — the mobile object: mesh + front + full serialization;
+//! * [`domain`] — decomposition of the unit cube into subdomains.
+
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod front;
+pub mod geom;
+pub mod quality;
+pub mod sizing;
+pub mod smooth;
+pub mod subdomain;
+
+pub use domain::{cubic_decomposition, decompose_unit_cube};
+pub use front::{Face, Front};
+pub use geom::Point3;
+pub use sizing::{CrackFront, Graded, Sizing, Uniform};
+pub use quality::QualityStats;
+pub use smooth::{laplacian_smooth, SmoothStats};
+pub use subdomain::{MeshStats, Subdomain};

@@ -1,0 +1,148 @@
+//! Mesh quality measurement.
+//!
+//! Downstream of mesh generation sits a field solver whose conditioning
+//! depends on element quality; the paper notes that load-balancing quality
+//! "can be of interest to any stages that come later in the execution
+//! chain". This module provides the standard radius–edge quality summary a
+//! solver-facing mesher reports.
+
+use crate::geom::radius_edge_ratio;
+use crate::subdomain::Subdomain;
+
+/// Distribution summary of per-tet radius–edge ratios (lower = better;
+/// a regular tetrahedron scores ≈ 0.612).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QualityStats {
+    /// Number of tets measured.
+    pub count: usize,
+    /// Best (minimum) ratio.
+    pub min: f64,
+    /// Worst (maximum, excluding degenerate `f64::MAX` entries).
+    pub max: f64,
+    /// Mean ratio.
+    pub mean: f64,
+    /// Tets whose ratio exceeds 2.0 (sliver-ish, would need cleanup).
+    pub poor: usize,
+    /// Degenerate tets (numerically zero volume).
+    pub degenerate: usize,
+    /// Histogram over the ratio ranges
+    /// `[0, 0.75), [0.75, 1), [1, 1.5), [1.5, 2), [2, ∞)`.
+    pub histogram: [usize; 5],
+}
+
+impl QualityStats {
+    /// Measure every tetrahedron of a subdomain.
+    pub fn measure(sub: &Subdomain) -> QualityStats {
+        let mut stats = QualityStats {
+            count: 0,
+            min: f64::MAX,
+            max: 0.0,
+            mean: 0.0,
+            poor: 0,
+            degenerate: 0,
+            histogram: [0; 5],
+        };
+        let mut sum = 0.0;
+        for t in &sub.tets {
+            let q = radius_edge_ratio(
+                sub.vertices[t[0] as usize],
+                sub.vertices[t[1] as usize],
+                sub.vertices[t[2] as usize],
+                sub.vertices[t[3] as usize],
+            );
+            if q == f64::MAX {
+                stats.degenerate += 1;
+                continue;
+            }
+            stats.count += 1;
+            sum += q;
+            stats.min = stats.min.min(q);
+            stats.max = stats.max.max(q);
+            let bucket = if q < 0.75 {
+                0
+            } else if q < 1.0 {
+                1
+            } else if q < 1.5 {
+                2
+            } else if q < 2.0 {
+                3
+            } else {
+                stats.poor += 1;
+                4
+            };
+            stats.histogram[bucket] += 1;
+        }
+        if stats.count > 0 {
+            stats.mean = sum / stats.count as f64;
+        } else {
+            stats.min = 0.0;
+        }
+        stats
+    }
+
+    /// Fraction of measured tets in acceptable shape (ratio < 2).
+    pub fn acceptable_fraction(&self) -> f64 {
+        if self.count == 0 {
+            return 1.0;
+        }
+        (self.count - self.poor) as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Point3;
+    use crate::sizing::Uniform;
+
+    fn meshed_box() -> Subdomain {
+        let mut s = Subdomain::seed_box(
+            1,
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 1.0, 1.0),
+            0.05,
+        );
+        let _ = s.mesh_all(&Uniform(0.35));
+        s
+    }
+
+    #[test]
+    fn stats_cover_every_tet() {
+        let s = meshed_box();
+        let q = QualityStats::measure(&s);
+        assert_eq!(q.count + q.degenerate, s.tets.len());
+        assert_eq!(q.histogram.iter().sum::<usize>(), q.count);
+        assert!(q.count > 0);
+    }
+
+    #[test]
+    fn bounds_are_consistent() {
+        let q = QualityStats::measure(&meshed_box());
+        assert!(q.min <= q.mean && q.mean <= q.max, "{q:?}");
+        // Nothing can beat the regular tetrahedron.
+        assert!(q.min >= 0.612 - 1e-6, "min {q:?}");
+        assert!((0.0..=1.0).contains(&q.acceptable_fraction()));
+    }
+
+    #[test]
+    fn empty_subdomain_is_trivially_fine() {
+        let s = Subdomain::seed_box(
+            1,
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 1.0, 1.0),
+            0.05,
+        );
+        let q = QualityStats::measure(&s);
+        assert_eq!(q.count, 0);
+        assert_eq!(q.acceptable_fraction(), 1.0);
+    }
+
+    #[test]
+    fn majority_of_generated_tets_are_acceptable() {
+        let q = QualityStats::measure(&meshed_box());
+        assert!(
+            q.acceptable_fraction() > 0.5,
+            "mesher produces mostly slivers: {q:?}"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Sizing fields: how fine the mesh must be at each point.
+//!
+//! The paper's motivating application is crack-growth simulation (§1): as a
+//! crack tip advances through the structure, the region around it must be
+//! re-meshed much more finely — and it is "unknown in advance when or where
+//! the crack growth will take place". [`CrackFront`] models exactly that
+//! moving refinement spike; [`Uniform`] and [`Graded`] cover calmer cases.
+
+use crate::geom::Point3;
+
+/// A spatially varying target edge length.
+pub trait Sizing {
+    /// Desired local edge length at `p`.
+    fn size_at(&self, p: Point3) -> f64;
+}
+
+/// Constant element size everywhere.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform(pub f64);
+
+impl Sizing for Uniform {
+    fn size_at(&self, _p: Point3) -> f64 {
+        self.0
+    }
+}
+
+/// Size graded linearly along x between two extremes (a classic boundary-
+/// layer style field).
+#[derive(Clone, Copy, Debug)]
+pub struct Graded {
+    /// Size at x = 0.
+    pub at_zero: f64,
+    /// Size at x = 1.
+    pub at_one: f64,
+}
+
+impl Sizing for Graded {
+    fn size_at(&self, p: Point3) -> f64 {
+        let t = p.x.clamp(0.0, 1.0);
+        self.at_zero * (1.0 - t) + self.at_one * t
+    }
+}
+
+/// A crack-tip refinement field: background size everywhere except inside a
+/// ball of `radius` around the current tip, where the size shrinks to
+/// `refined` (with smooth blending to the edge of the ball).
+///
+/// The tip position is a function of the refinement round, so the spike
+/// *moves* between rounds — the unpredictability that breaks history-based
+/// load prediction (§2, §3.2).
+#[derive(Clone, Copy, Debug)]
+pub struct CrackFront {
+    /// Element size away from the crack.
+    pub background: f64,
+    /// Element size at the tip.
+    pub refined: f64,
+    /// Radius of the refined ball.
+    pub radius: f64,
+    /// Current tip position.
+    pub tip: Point3,
+}
+
+impl CrackFront {
+    /// The tip's trajectory across the unit cube: a diagonal sweep
+    /// parameterized by round `t ∈ [0, rounds)`. Deterministic but — from a
+    /// per-subdomain perspective — "unpredictable": each round a different
+    /// set of subdomains is hit.
+    pub fn tip_at_round(round: usize, rounds: usize) -> Point3 {
+        let t = if rounds <= 1 {
+            0.0
+        } else {
+            round as f64 / (rounds - 1) as f64
+        };
+        // A bent path so it crosses subdomain boundaries non-monotonically.
+        Point3::new(t, 0.5 + 0.4 * (t * std::f64::consts::PI * 2.0).sin(), t * t)
+    }
+
+    /// The field for a given refinement round.
+    pub fn at_round(background: f64, refined: f64, radius: f64, round: usize, rounds: usize) -> Self {
+        CrackFront {
+            background,
+            refined,
+            radius,
+            tip: Self::tip_at_round(round, rounds),
+        }
+    }
+}
+
+impl Sizing for CrackFront {
+    fn size_at(&self, p: Point3) -> f64 {
+        let d = p.dist(self.tip);
+        if d >= self.radius {
+            self.background
+        } else {
+            let t = d / self.radius; // 0 at tip → 1 at ball edge
+            self.refined * (1.0 - t) + self.background * t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_constant() {
+        let s = Uniform(0.25);
+        assert_eq!(s.size_at(Point3::new(0.0, 0.0, 0.0)), 0.25);
+        assert_eq!(s.size_at(Point3::new(9.0, -4.0, 2.0)), 0.25);
+    }
+
+    #[test]
+    fn graded_interpolates() {
+        let s = Graded { at_zero: 1.0, at_one: 0.1 };
+        assert!((s.size_at(Point3::new(0.0, 0.0, 0.0)) - 1.0).abs() < 1e-12);
+        assert!((s.size_at(Point3::new(1.0, 0.0, 0.0)) - 0.1).abs() < 1e-12);
+        assert!((s.size_at(Point3::new(0.5, 0.0, 0.0)) - 0.55).abs() < 1e-12);
+        // Out-of-range clamps.
+        assert!((s.size_at(Point3::new(5.0, 0.0, 0.0)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crack_refines_near_tip_only() {
+        let c = CrackFront {
+            background: 0.5,
+            refined: 0.05,
+            radius: 0.2,
+            tip: Point3::new(0.5, 0.5, 0.5),
+        };
+        assert_eq!(c.size_at(Point3::new(0.0, 0.0, 0.0)), 0.5);
+        assert!((c.size_at(c.tip) - 0.05).abs() < 1e-12);
+        // Halfway out: blended.
+        let half = c.size_at(Point3::new(0.6, 0.5, 0.5));
+        assert!(half > 0.05 && half < 0.5, "half = {half}");
+    }
+
+    #[test]
+    fn tip_moves_between_rounds() {
+        let a = CrackFront::tip_at_round(0, 10);
+        let b = CrackFront::tip_at_round(5, 10);
+        let c = CrackFront::tip_at_round(9, 10);
+        assert!(a.dist(b) > 0.1);
+        assert!(b.dist(c) > 0.1);
+        // End of trajectory reaches the far corner region.
+        assert!(c.x > 0.9 && c.z > 0.8);
+    }
+
+    #[test]
+    fn single_round_trajectory_is_origin_corner() {
+        let p = CrackFront::tip_at_round(0, 1);
+        assert_eq!(p.x, 0.0);
+    }
+}

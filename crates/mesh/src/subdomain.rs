@@ -1,0 +1,713 @@
+//! Mesh subdomains: the mobile objects of the parallel mesher.
+//!
+//! Each subdomain owns a box of the problem domain and meshes it with a
+//! (simplified) 3-D advancing front: pop the oldest front face, place or
+//! reuse an apex vertex at the sizing-field-prescribed distance, emit the
+//! tetrahedron, and push the tet's other faces (cancelling where fronts
+//! meet). Subdomains implement [`Migratable`] — full pack/unpack of
+//! vertices, tetrahedra, and the live front — so the PREMA runtime can move
+//! them mid-computation.
+
+use crate::front::{Face, Front};
+use crate::geom::{tet_volume, tri_centroid, tri_normal, Point3};
+use crate::sizing::Sizing;
+use prema_mol::Migratable;
+use std::collections::HashMap;
+
+/// Spatial hash over vertices for apex snapping.
+#[derive(Clone, Debug, Default)]
+struct VertexGrid {
+    cell: f64,
+    map: HashMap<(i64, i64, i64), Vec<u32>>,
+}
+
+impl VertexGrid {
+    fn new(cell: f64) -> Self {
+        VertexGrid {
+            cell: cell.max(1e-9),
+            map: HashMap::new(),
+        }
+    }
+
+    fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    fn cell_of(&self, p: Point3) -> (i64, i64, i64) {
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+            (p.z / self.cell).floor() as i64,
+        )
+    }
+
+    fn insert(&mut self, idx: u32, p: Point3) {
+        self.map.entry(self.cell_of(p)).or_default().push(idx);
+    }
+
+    fn near(&self, p: Point3, radius: f64) -> Vec<u32> {
+        let r = (radius / self.cell).ceil() as i64;
+        let (cx, cy, cz) = self.cell_of(p);
+        let mut out = Vec::new();
+        for dx in -r..=r {
+            for dy in -r..=r {
+                for dz in -r..=r {
+                    if let Some(v) = self.map.get(&(cx + dx, cy + dy, cz + dz)) {
+                        out.extend_from_slice(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Statistics from one meshing run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MeshStats {
+    /// Tetrahedra created.
+    pub tets_created: usize,
+    /// Faces that could not be advanced (left for cleanup).
+    pub stuck_faces: usize,
+    /// Whether the front closed completely.
+    pub closed: bool,
+}
+
+/// One box-shaped piece of the problem domain, meshed independently.
+///
+/// ```
+/// use prema_mesh::{Point3, Subdomain, Uniform};
+/// use prema_mol::Migratable;
+///
+/// let mut sub = Subdomain::seed_box(1, Point3::new(0.0, 0.0, 0.0),
+///                                   Point3::new(1.0, 1.0, 1.0), 0.05);
+/// let stats = sub.mesh_all(&Uniform(0.4));
+/// assert!(stats.tets_created > 0);
+/// sub.validate();
+///
+/// // Subdomains are mobile objects: full serialization round-trip.
+/// let mut wire = Vec::new();
+/// sub.pack(&mut wire);
+/// let restored = Subdomain::unpack(&wire);
+/// assert_eq!(restored.tets, sub.tets);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Subdomain {
+    /// Stable id (assigned by the domain decomposition).
+    pub id: u64,
+    /// Box lower corner.
+    pub lo: Point3,
+    /// Box upper corner.
+    pub hi: Point3,
+    /// Mesh vertices.
+    pub vertices: Vec<Point3>,
+    /// Tetrahedra (vertex indices, positive orientation).
+    pub tets: Vec<[u32; 4]>,
+    /// The live advancing front.
+    pub front: Front,
+    /// Faces given up on (cavity cleanup would handle these).
+    pub stuck: Vec<Face>,
+    /// Total tets created over this subdomain's lifetime (across rounds).
+    pub total_tets: u64,
+    grid: VertexGrid,
+    /// How many tets already use each (unoriented) face: a face may join at
+    /// most two tets, which keeps the mesh manifold without global
+    /// intersection tests. Rebuilt from `tets` on unpack.
+    face_use: HashMap<[u32; 3], u8>,
+    /// Tets hosted per size-graded spatial cell: bounds overlap (the cheap
+    /// stand-in for intersection tests) and terminates the fill naturally
+    /// once a region is saturated. Rebuilt on unpack.
+    occupancy: HashMap<(i64, i64, i64), u8>,
+}
+
+impl Subdomain {
+    /// Create an empty subdomain over the box `[lo, hi]`, with its boundary
+    /// triangulation seeded as the initial front. `finest` is the smallest
+    /// sizing value expected (sets the snap-grid resolution).
+    pub fn seed_box(id: u64, lo: Point3, hi: Point3, finest: f64) -> Self {
+        let mut s = Subdomain {
+            id,
+            lo,
+            hi,
+            vertices: Vec::new(),
+            tets: Vec::new(),
+            front: Front::new(),
+            stuck: Vec::new(),
+            total_tets: 0,
+            grid: VertexGrid::new(finest),
+            face_use: HashMap::new(),
+            occupancy: HashMap::new(),
+        };
+        s.reseed();
+        s
+    }
+
+    /// Reset the mesh and re-seed the boundary front (used when a new
+    /// refinement round re-meshes the subdomain under a new sizing field).
+    pub fn reseed(&mut self) {
+        self.vertices.clear();
+        self.tets.clear();
+        self.front = Front::new();
+        self.stuck.clear();
+        self.grid = VertexGrid::new(self.grid.cell);
+        self.face_use.clear();
+        self.occupancy.clear();
+        let (lo, hi) = (self.lo, self.hi);
+        // Eight corners.
+        let corners = [
+            Point3::new(lo.x, lo.y, lo.z), // 0
+            Point3::new(hi.x, lo.y, lo.z), // 1
+            Point3::new(hi.x, hi.y, lo.z), // 2
+            Point3::new(lo.x, hi.y, lo.z), // 3
+            Point3::new(lo.x, lo.y, hi.z), // 4
+            Point3::new(hi.x, lo.y, hi.z), // 5
+            Point3::new(hi.x, hi.y, hi.z), // 6
+            Point3::new(lo.x, hi.y, hi.z), // 7
+        ];
+        for p in corners {
+            self.add_vertex(p);
+        }
+        // Twelve boundary triangles, oriented with normals pointing inward.
+        let quads: [([u32; 4], Point3); 6] = [
+            ([0, 3, 2, 1], Point3::new(0.0, 0.0, 1.0)),  // z = lo
+            ([4, 5, 6, 7], Point3::new(0.0, 0.0, -1.0)), // z = hi
+            ([0, 1, 5, 4], Point3::new(0.0, 1.0, 0.0)),  // y = lo
+            ([3, 7, 6, 2], Point3::new(0.0, -1.0, 0.0)), // y = hi
+            ([0, 4, 7, 3], Point3::new(1.0, 0.0, 0.0)),  // x = lo
+            ([1, 2, 6, 5], Point3::new(-1.0, 0.0, 0.0)), // x = hi
+        ];
+        for (q, inward) in quads {
+            for tri in [[q[0], q[1], q[2]], [q[0], q[2], q[3]]] {
+                let (a, b, c) = (
+                    self.vertices[tri[0] as usize],
+                    self.vertices[tri[1] as usize],
+                    self.vertices[tri[2] as usize],
+                );
+                let n = tri_normal(a, b, c);
+                let face = if n.dot(inward) >= 0.0 {
+                    tri
+                } else {
+                    [tri[0], tri[2], tri[1]]
+                };
+                self.front.add(face);
+            }
+        }
+    }
+
+    fn add_vertex(&mut self, p: Point3) -> u32 {
+        let idx = self.vertices.len() as u32;
+        self.vertices.push(p);
+        self.grid.insert(idx, p);
+        idx
+    }
+
+    /// Advance the front by at most `max_steps` faces under `sizing`.
+    /// Returns statistics; `closed` is true when the front emptied.
+    pub fn advance(&mut self, sizing: &dyn Sizing, max_steps: usize) -> MeshStats {
+        let mut stats = MeshStats::default();
+        for _ in 0..max_steps {
+            let Some(face) = self.front.pop() else {
+                stats.closed = true;
+                break;
+            };
+            if !self.advance_face(face, sizing) {
+                self.stuck.push(face);
+                stats.stuck_faces += 1;
+            } else {
+                stats.tets_created += 1;
+            }
+        }
+        if self.front.is_empty() {
+            stats.closed = true;
+        }
+        self.total_tets += stats.tets_created as u64;
+        stats
+    }
+
+    /// Mesh to completion (bounded by a step budget proportional to how many
+    /// elements this box can hold at the finest sizing value it sees).
+    pub fn mesh_all(&mut self, sizing: &dyn Sizing) -> MeshStats {
+        // Sample the sizing field over the box to estimate the finest
+        // resolution requested here.
+        let mut h = f64::MAX;
+        for ix in 0..3 {
+            for iy in 0..3 {
+                for iz in 0..3 {
+                    let p = Point3::new(
+                        self.lo.x + (self.hi.x - self.lo.x) * ix as f64 / 2.0,
+                        self.lo.y + (self.hi.y - self.lo.y) * iy as f64 / 2.0,
+                        self.lo.z + (self.hi.z - self.lo.z) * iz as f64 / 2.0,
+                    );
+                    h = h.min(sizing.size_at(p));
+                }
+            }
+        }
+        let h = h.max(self.grid.cell_size()).max(1e-6);
+        let capacity = (self.box_volume() / (h * h * h)).max(1.0);
+        let budget = 500 + ((capacity * 60.0).min(2_000_000.0) as usize);
+        self.advance(sizing, budget)
+    }
+
+    /// Size-graded occupancy cell (pitch h/2) of a point.
+    fn occupancy_cell(h: f64, p: Point3) -> (i64, i64, i64) {
+        let pitch = (0.5 * h).max(1e-9);
+        (
+            (p.x / pitch).floor() as i64,
+            (p.y / pitch).floor() as i64,
+            (p.z / pitch).floor() as i64,
+        )
+    }
+
+    /// Tets allowed per occupancy cell before the region is declared full.
+    const CELL_CAP: u8 = 8;
+
+    /// Whether a tet with this centroid may still be placed.
+    fn occupancy_allows(&self, h: f64, tet_centroid: Point3) -> bool {
+        let cell = Self::occupancy_cell(h, tet_centroid);
+        self.occupancy.get(&cell).copied().unwrap_or(0) < Self::CELL_CAP
+    }
+
+    /// Whether a tet `(face, apex)` would violate the two-tets-per-face
+    /// manifold invariant.
+    fn tet_is_manifold(&self, face: Face, apex: u32) -> bool {
+        for tri in [
+            [face[0], face[1], face[2]],
+            [face[0], face[1], apex],
+            [face[1], face[2], apex],
+            [face[2], face[0], apex],
+        ] {
+            let mut k = tri;
+            k.sort_unstable();
+            if self.face_use.get(&k).copied().unwrap_or(0) >= 2 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn record_tet_faces(&mut self, tet: [u32; 4]) {
+        for tri in [
+            [tet[0], tet[1], tet[2]],
+            [tet[0], tet[1], tet[3]],
+            [tet[1], tet[2], tet[3]],
+            [tet[2], tet[0], tet[3]],
+        ] {
+            let mut k = tri;
+            k.sort_unstable();
+            *self.face_use.entry(k).or_insert(0) += 1;
+        }
+    }
+
+    fn advance_face(&mut self, face: Face, sizing: &dyn Sizing) -> bool {
+        let (a, b, c) = (
+            self.vertices[face[0] as usize],
+            self.vertices[face[1] as usize],
+            self.vertices[face[2] as usize],
+        );
+        let centroid = tri_centroid(a, b, c);
+        let n = tri_normal(a, b, c); // points into the cavity
+        let h = sizing.size_at(centroid).max(1e-6);
+        // Ideal apex: equilateral-ish height above the face. Quantizing new
+        // vertices to a size-graded lattice (pitch h/2) keeps element sizes
+        // pinned to the sizing field — without it, front faces shrink across
+        // generations and the mesh over-refines.
+        let ideal_raw = centroid + n * (h * 0.8);
+        let pitch = 0.5 * h;
+        let q = |lo: f64, hi: f64, v: f64| {
+            (((v - lo) / pitch).round() * pitch + lo).clamp(lo, hi)
+        };
+        let ideal = Point3::new(
+            q(self.lo.x, self.hi.x, ideal_raw.x),
+            q(self.lo.y, self.hi.y, ideal_raw.y),
+            q(self.lo.z, self.hi.z, ideal_raw.z),
+        );
+        let min_vol = 1e-12;
+
+        // Candidates, best first: nearby existing vertices (front closure),
+        // then a fresh vertex at the ideal position. Each must yield a
+        // positively oriented tet that keeps the mesh manifold.
+        let snap_r = 0.6 * h;
+        let mut snaps: Vec<(f64, u32)> = self
+            .grid
+            .near(ideal, snap_r)
+            .into_iter()
+            .filter(|idx| !face.contains(idx))
+            .map(|idx| (self.vertices[idx as usize].dist(ideal), idx))
+            .filter(|&(d, _)| d <= snap_r)
+            .collect();
+        snaps.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
+        let mut apex: Option<u32> = None;
+        for (_, idx) in snaps {
+            let p = self.vertices[idx as usize];
+            if tet_volume(a, b, c, p) > min_vol
+                && self.tet_is_manifold(face, idx)
+                && self.occupancy_allows(h, centroid * 0.75 + p * 0.25)
+            {
+                apex = Some(idx);
+                break;
+            }
+        }
+        let d = match apex {
+            Some(idx) => idx,
+            None => {
+                if tet_volume(a, b, c, ideal) <= min_vol {
+                    return false; // clamping flattened the tet; give up
+                }
+                if !self.occupancy_allows(h, centroid * 0.75 + ideal * 0.25) {
+                    return false; // region saturated: cavity is full here
+                }
+                let idx = self.add_vertex(ideal);
+                if !self.tet_is_manifold(face, idx) {
+                    return false; // base face already closed elsewhere
+                }
+                idx
+            }
+        };
+        self.tets.push([face[0], face[1], face[2], d]);
+        self.record_tet_faces([face[0], face[1], face[2], d]);
+        let apex_p = self.vertices[d as usize];
+        let cell = Self::occupancy_cell(h, tri_centroid(a, b, c) * 0.75 + apex_p * 0.25);
+        *self.occupancy.entry(cell).or_insert(0) += 1;
+        // New front faces: the tet's other three sides, oriented away from
+        // the tet interior (into the remaining cavity).
+        for (tri, opposite) in [
+            ([face[0], face[1], d], c),
+            ([face[1], face[2], d], a),
+            ([face[2], face[0], d], b),
+        ] {
+            let (x, y, z) = (
+                self.vertices[tri[0] as usize],
+                self.vertices[tri[1] as usize],
+                self.vertices[tri[2] as usize],
+            );
+            let nf = tri_normal(x, y, z);
+            let to_opposite = opposite - tri_centroid(x, y, z);
+            let oriented = if nf.dot(to_opposite) > 0.0 {
+                [tri[0], tri[2], tri[1]]
+            } else {
+                tri
+            };
+            self.front.add(oriented);
+        }
+        true
+    }
+
+    /// Total meshed volume (sum of |tet| volumes).
+    pub fn meshed_volume(&self) -> f64 {
+        self.tets
+            .iter()
+            .map(|t| {
+                tet_volume(
+                    self.vertices[t[0] as usize],
+                    self.vertices[t[1] as usize],
+                    self.vertices[t[2] as usize],
+                    self.vertices[t[3] as usize],
+                )
+                .abs()
+            })
+            .sum()
+    }
+
+    /// The box volume this subdomain is responsible for.
+    pub fn box_volume(&self) -> f64 {
+        let d = self.hi - self.lo;
+        d.x * d.y * d.z
+    }
+
+    /// Structural sanity checks; panics on violation (used by tests).
+    pub fn validate(&self) {
+        for t in &self.tets {
+            for &v in t {
+                assert!((v as usize) < self.vertices.len(), "tet vertex out of range");
+            }
+            let vol = tet_volume(
+                self.vertices[t[0] as usize],
+                self.vertices[t[1] as usize],
+                self.vertices[t[2] as usize],
+                self.vertices[t[3] as usize],
+            );
+            assert!(vol > 0.0, "non-positive tet volume {vol}");
+        }
+        // Manifold-ish: every face appears in at most two tets.
+        let mut count: HashMap<[u32; 3], u32> = HashMap::new();
+        for t in &self.tets {
+            for f in [[t[0], t[1], t[2]], [t[0], t[1], t[3]], [t[0], t[2], t[3]], [t[1], t[2], t[3]]] {
+                let mut k = f;
+                k.sort_unstable();
+                *count.entry(k).or_insert(0) += 1;
+            }
+        }
+        for (f, n) in count {
+            assert!(n <= 2, "face {f:?} shared by {n} tets");
+        }
+    }
+}
+
+impl Migratable for Subdomain {
+    fn pack(&self, buf: &mut Vec<u8>) {
+        let w = |buf: &mut Vec<u8>, v: f64| buf.extend_from_slice(&v.to_le_bytes());
+        buf.extend_from_slice(&self.id.to_le_bytes());
+        for p in [self.lo, self.hi] {
+            w(buf, p.x);
+            w(buf, p.y);
+            w(buf, p.z);
+        }
+        w(buf, self.grid.cell);
+        buf.extend_from_slice(&(self.vertices.len() as u64).to_le_bytes());
+        for p in &self.vertices {
+            w(buf, p.x);
+            w(buf, p.y);
+            w(buf, p.z);
+        }
+        buf.extend_from_slice(&(self.tets.len() as u64).to_le_bytes());
+        for t in &self.tets {
+            for &v in t {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let faces: Vec<Face> = self.front.faces_in_order();
+        buf.extend_from_slice(&(faces.len() as u64).to_le_bytes());
+        for f in faces {
+            for v in f {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(self.stuck.len() as u64).to_le_bytes());
+        for f in &self.stuck {
+            for &v in f {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&self.total_tets.to_le_bytes());
+    }
+
+    fn unpack(buf: &[u8]) -> Self {
+        let mut off = 0usize;
+        let rd_u64 = |buf: &[u8], off: &mut usize| {
+            let v = u64::from_le_bytes(buf[*off..*off + 8].try_into().unwrap());
+            *off += 8;
+            v
+        };
+        let rd_f64 = |buf: &[u8], off: &mut usize| {
+            let v = f64::from_le_bytes(buf[*off..*off + 8].try_into().unwrap());
+            *off += 8;
+            v
+        };
+        let rd_u32 = |buf: &[u8], off: &mut usize| {
+            let v = u32::from_le_bytes(buf[*off..*off + 4].try_into().unwrap());
+            *off += 4;
+            v
+        };
+        let id = rd_u64(buf, &mut off);
+        let lo = Point3::new(rd_f64(buf, &mut off), rd_f64(buf, &mut off), rd_f64(buf, &mut off));
+        let hi = Point3::new(rd_f64(buf, &mut off), rd_f64(buf, &mut off), rd_f64(buf, &mut off));
+        let cell = rd_f64(buf, &mut off);
+        let nv = rd_u64(buf, &mut off) as usize;
+        let mut vertices = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            vertices.push(Point3::new(
+                rd_f64(buf, &mut off),
+                rd_f64(buf, &mut off),
+                rd_f64(buf, &mut off),
+            ));
+        }
+        let nt = rd_u64(buf, &mut off) as usize;
+        let mut tets = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            tets.push([
+                rd_u32(buf, &mut off),
+                rd_u32(buf, &mut off),
+                rd_u32(buf, &mut off),
+                rd_u32(buf, &mut off),
+            ]);
+        }
+        let nf = rd_u64(buf, &mut off) as usize;
+        let mut front = Front::new();
+        for _ in 0..nf {
+            front.add([
+                rd_u32(buf, &mut off),
+                rd_u32(buf, &mut off),
+                rd_u32(buf, &mut off),
+            ]);
+        }
+        let ns = rd_u64(buf, &mut off) as usize;
+        let mut stuck = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            stuck.push([
+                rd_u32(buf, &mut off),
+                rd_u32(buf, &mut off),
+                rd_u32(buf, &mut off),
+            ]);
+        }
+        let total_tets = rd_u64(buf, &mut off);
+        let mut grid = VertexGrid::new(cell);
+        for (i, p) in vertices.iter().enumerate() {
+            grid.insert(i as u32, *p);
+        }
+        let mut s = Subdomain {
+            id,
+            lo,
+            hi,
+            vertices,
+            tets: Vec::new(),
+            front,
+            stuck,
+            total_tets,
+            grid,
+            face_use: HashMap::new(),
+            occupancy: HashMap::new(),
+        };
+        for t in tets {
+            s.tets.push(t);
+            s.record_tet_faces(t);
+            // Occupancy is rebuilt conservatively at the finest pitch; since
+            // the sizing field is not part of the wire format, use the snap
+            // grid's cell, which is at least as fine as any local h.
+            let c = (s.vertices[t[0] as usize]
+                + s.vertices[t[1] as usize]
+                + s.vertices[t[2] as usize]
+                + s.vertices[t[3] as usize])
+                / 4.0;
+            let cell = Subdomain::occupancy_cell(2.0 * s.grid.cell_size(), c);
+            *s.occupancy.entry(cell).or_insert(0) += 1;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizing::{CrackFront, Uniform};
+
+    fn unit_box(id: u64) -> Subdomain {
+        Subdomain::seed_box(
+            id,
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 1.0, 1.0),
+            0.05,
+        )
+    }
+
+    #[test]
+    fn seeding_creates_boundary_front() {
+        let s = unit_box(1);
+        assert_eq!(s.vertices.len(), 8);
+        assert_eq!(s.front.len(), 12);
+        assert!(s.tets.is_empty());
+        // All seed faces point inward: normal · (center − centroid) > 0.
+        let center = Point3::new(0.5, 0.5, 0.5);
+        for f in s.front.iter() {
+            let (a, b, c) = (
+                s.vertices[f[0] as usize],
+                s.vertices[f[1] as usize],
+                s.vertices[f[2] as usize],
+            );
+            let n = tri_normal(a, b, c);
+            assert!(
+                n.dot(center - tri_centroid(a, b, c)) > 0.0,
+                "face {f:?} points outward"
+            );
+        }
+    }
+
+    #[test]
+    fn advancing_creates_valid_tets() {
+        let mut s = unit_box(1);
+        let stats = s.advance(&Uniform(0.5), 200);
+        assert!(stats.tets_created > 0);
+        s.validate();
+    }
+
+    #[test]
+    fn meshing_fills_most_of_the_box() {
+        let mut s = unit_box(1);
+        let _ = s.mesh_all(&Uniform(0.45));
+        s.validate();
+        let frac = s.meshed_volume() / s.box_volume();
+        assert!(frac > 0.5, "only {frac:.2} of the box meshed");
+    }
+
+    #[test]
+    fn finer_sizing_creates_more_tets() {
+        let mut coarse = unit_box(1);
+        let mut fine = unit_box(2);
+        let c = coarse.mesh_all(&Uniform(0.6));
+        let f = fine.mesh_all(&Uniform(0.3));
+        assert!(
+            f.tets_created > c.tets_created,
+            "fine {} !> coarse {}",
+            f.tets_created,
+            c.tets_created
+        );
+    }
+
+    #[test]
+    fn crack_subdomain_does_more_work_than_far_subdomain() {
+        // Two identical boxes; the crack tip sits inside the first.
+        let near_tip = CrackFront {
+            background: 0.5,
+            refined: 0.12,
+            radius: 0.6,
+            tip: Point3::new(0.5, 0.5, 0.5),
+        };
+        let mut hot = unit_box(1);
+        let mut cold = unit_box(2);
+        let hot_stats = hot.mesh_all(&near_tip);
+        let far_tip = CrackFront {
+            tip: Point3::new(10.0, 10.0, 10.0),
+            ..near_tip
+        };
+        let cold_stats = cold.mesh_all(&far_tip);
+        assert!(
+            hot_stats.tets_created > cold_stats.tets_created * 2,
+            "hot {} vs cold {}",
+            hot_stats.tets_created,
+            cold_stats.tets_created
+        );
+    }
+
+    #[test]
+    fn reseed_resets_but_keeps_lifetime_counter() {
+        let mut s = unit_box(1);
+        let first = s.mesh_all(&Uniform(0.5)).tets_created as u64;
+        assert!(first > 0);
+        s.reseed();
+        assert!(s.tets.is_empty());
+        assert_eq!(s.front.len(), 12);
+        let _ = s.mesh_all(&Uniform(0.5));
+        assert!(s.total_tets >= first * 2 - 2, "lifetime counter lost");
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_mid_mesh() {
+        let mut s = unit_box(7);
+        let _ = s.advance(&Uniform(0.4), 50);
+        let mut buf = Vec::new();
+        s.pack(&mut buf);
+        let mut r = Subdomain::unpack(&buf);
+        assert_eq!(r.id, s.id);
+        assert_eq!(r.vertices.len(), s.vertices.len());
+        assert_eq!(r.tets, s.tets);
+        assert_eq!(r.front.len(), s.front.len());
+        assert_eq!(r.total_tets, s.total_tets);
+        // And the restored subdomain can continue meshing.
+        let more = r.advance(&Uniform(0.4), 50);
+        r.validate();
+        let _ = more;
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut s = unit_box(3);
+            let st = s.mesh_all(&Uniform(0.35));
+            (st.tets_created, s.vertices.len(), s.meshed_volume())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert!((a.2 - b.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the mesher: serialization roundtrips of
+//! arbitrarily meshed subdomains, front invariants, and sizing monotonicity.
+
+use prema_mesh::{Front, Point3, Subdomain, Uniform};
+use prema_mol::Migratable;
+use proptest::prelude::*;
+
+fn arb_box() -> impl Strategy<Value = (Point3, Point3)> {
+    (
+        (-2.0f64..2.0, -2.0f64..2.0, -2.0f64..2.0),
+        (0.3f64..1.5, 0.3f64..1.5, 0.3f64..1.5),
+    )
+        .prop_map(|((x, y, z), (dx, dy, dz))| {
+            (Point3::new(x, y, z), Point3::new(x + dx, y + dy, z + dz))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pack_unpack_identity_mid_mesh((lo, hi) in arb_box(), h in 0.25f64..0.8, steps in 0usize..120) {
+        let mut s = Subdomain::seed_box(1, lo, hi, 0.05);
+        let _ = s.advance(&Uniform(h), steps);
+        let mut buf = Vec::new();
+        s.pack(&mut buf);
+        let r = Subdomain::unpack(&buf);
+        prop_assert_eq!(r.vertices.len(), s.vertices.len());
+        prop_assert_eq!(&r.tets, &s.tets);
+        prop_assert_eq!(r.front.len(), s.front.len());
+        prop_assert_eq!(r.front.faces_in_order(), s.front.faces_in_order());
+        // Re-pack must be byte-identical (stable wire format).
+        let mut buf2 = Vec::new();
+        r.pack(&mut buf2);
+        prop_assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn meshing_is_valid_for_any_box((lo, hi) in arb_box(), h in 0.25f64..0.9) {
+        let mut s = Subdomain::seed_box(3, lo, hi, 0.05);
+        let stats = s.mesh_all(&Uniform(h));
+        s.validate();
+        // The fill must produce something for any reasonable sizing.
+        prop_assert!(stats.tets_created > 0);
+        // Every vertex stays inside the (slightly padded) box.
+        for v in &s.vertices {
+            prop_assert!(v.x >= lo.x - 1e-9 && v.x <= hi.x + 1e-9);
+            prop_assert!(v.y >= lo.y - 1e-9 && v.y <= hi.y + 1e-9);
+            prop_assert!(v.z >= lo.z - 1e-9 && v.z <= hi.z + 1e-9);
+        }
+    }
+
+    #[test]
+    fn finer_sizing_never_creates_fewer_tets((lo, hi) in arb_box()) {
+        let run = |h: f64| {
+            let mut s = Subdomain::seed_box(4, lo, hi, 0.05);
+            s.mesh_all(&Uniform(h)).tets_created
+        };
+        let coarse = run(0.8);
+        let fine = run(0.4);
+        prop_assert!(fine >= coarse, "fine {} < coarse {}", fine, coarse);
+    }
+
+    #[test]
+    fn front_cancellation_is_an_involution(faces in proptest::collection::vec((0u32..12, 0u32..12, 0u32..12), 1..60)) {
+        let mut front = Front::new();
+        let mut parity = std::collections::HashMap::new();
+        for (a, b, c) in faces {
+            // Make vertices distinct by offsetting collisions.
+            let (a, b, c) = (a, 12 + b, 24 + c);
+            front.add([a, b, c]);
+            let mut key = [a, b, c];
+            key.sort_unstable();
+            *parity.entry(key).or_insert(0u32) += 1;
+        }
+        // A face is live iff it was added an odd number of times.
+        let live = parity.values().filter(|&&n| n % 2 == 1).count();
+        prop_assert_eq!(front.len(), live);
+    }
+}

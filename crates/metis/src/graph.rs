@@ -1,0 +1,210 @@
+//! Weighted undirected graphs in CSR form — the input to all partitioners.
+//!
+//! Matches the METIS data model: vertices carry computational weights
+//! (`vwgt`) and a migration size (`vsize`); edges carry communication weights
+//! (`adjwgt`). Stored compressed-sparse-row, each undirected edge appearing
+//! in both endpoints' adjacency lists.
+
+/// A weighted undirected graph in CSR form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Graph {
+    /// CSR row pointers; `xadj.len() == nv + 1`.
+    pub xadj: Vec<usize>,
+    /// Flattened adjacency lists.
+    pub adjncy: Vec<u32>,
+    /// Edge weights, parallel to `adjncy`.
+    pub adjwgt: Vec<f64>,
+    /// Vertex computational weights.
+    pub vwgt: Vec<f64>,
+    /// Vertex migration sizes (cost of moving the vertex's data).
+    pub vsize: Vec<f64>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    pub fn nv(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn ne(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Neighbors of `v` with edge weights.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.xadj[v];
+        let hi = self.xadj[v + 1];
+        self.adjncy[lo..hi]
+            .iter()
+            .zip(&self.adjwgt[lo..hi])
+            .map(|(&u, &w)| (u as usize, w))
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vwgt(&self) -> f64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Build from an undirected edge list. Each `(u, v, w)` is inserted in
+    /// both directions; self-loops are rejected; duplicate edges are allowed
+    /// and their weights sum.
+    pub fn from_edges(nv: usize, edges: &[(usize, usize, f64)], vwgt: Vec<f64>) -> Graph {
+        assert_eq!(vwgt.len(), nv);
+        let vsize = vec![1.0; nv];
+        Self::from_edges_with_sizes(nv, edges, vwgt, vsize)
+    }
+
+    /// [`Graph::from_edges`] with explicit per-vertex migration sizes.
+    pub fn from_edges_with_sizes(
+        nv: usize,
+        edges: &[(usize, usize, f64)],
+        vwgt: Vec<f64>,
+        vsize: Vec<f64>,
+    ) -> Graph {
+        assert_eq!(vwgt.len(), nv);
+        assert_eq!(vsize.len(), nv);
+        use std::collections::BTreeMap;
+        let mut adj: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); nv];
+        for &(u, v, w) in edges {
+            assert!(u < nv && v < nv, "edge ({u},{v}) out of range");
+            assert_ne!(u, v, "self-loop at {u}");
+            *adj[u].entry(v).or_insert(0.0) += w;
+            *adj[v].entry(u).or_insert(0.0) += w;
+        }
+        let mut xadj = Vec::with_capacity(nv + 1);
+        let mut adjncy = Vec::new();
+        let mut adjwgt = Vec::new();
+        xadj.push(0);
+        for row in &adj {
+            for (&u, &w) in row {
+                adjncy.push(u as u32);
+                adjwgt.push(w);
+            }
+            xadj.push(adjncy.len());
+        }
+        Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+            vsize,
+        }
+    }
+
+    /// A 1-D path graph of `n` unit-weight vertices (handy in tests).
+    pub fn path(n: usize) -> Graph {
+        let edges: Vec<(usize, usize, f64)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1, 1.0)).collect();
+        Self::from_edges(n, &edges, vec![1.0; n])
+    }
+
+    /// A `w`×`h` 2-D grid graph of unit-weight vertices.
+    pub fn grid(w: usize, h: usize) -> Graph {
+        let idx = |x: usize, y: usize| y * w + x;
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((idx(x, y), idx(x + 1, y), 1.0));
+                }
+                if y + 1 < h {
+                    edges.push((idx(x, y), idx(x, y + 1), 1.0));
+                }
+            }
+        }
+        Self::from_edges(w * h, &edges, vec![1.0; w * h])
+    }
+
+    /// Check CSR structural invariants (symmetry, ranges); panics on
+    /// violation. Used by tests and debug assertions.
+    pub fn validate(&self) {
+        let nv = self.nv();
+        assert_eq!(self.xadj.len(), nv + 1);
+        assert_eq!(self.xadj[0], 0);
+        assert_eq!(*self.xadj.last().unwrap(), self.adjncy.len());
+        assert_eq!(self.adjncy.len(), self.adjwgt.len());
+        assert_eq!(self.vsize.len(), nv);
+        for v in 0..nv {
+            assert!(self.xadj[v] <= self.xadj[v + 1]);
+            for (u, w) in self.neighbors(v) {
+                assert!(u < nv, "neighbor out of range");
+                assert_ne!(u, v, "self-loop");
+                assert!(w >= 0.0);
+                // Symmetry: v must appear in u's list with the same weight.
+                let back = self
+                    .neighbors(u)
+                    .find(|&(x, _)| x == v)
+                    .unwrap_or_else(|| panic!("edge ({v},{u}) not symmetric"));
+                assert!((back.1 - w).abs() < 1e-9, "asymmetric weight on ({v},{u})");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_symmetric_csr() {
+        let g = Graph::from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0)], vec![1.0, 2.0, 3.0]);
+        g.validate();
+        assert_eq!(g.nv(), 3);
+        assert_eq!(g.ne(), 2);
+        assert_eq!(g.degree(1), 2);
+        let n0: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 2.0)]);
+        assert_eq!(g.total_vwgt(), 6.0);
+    }
+
+    #[test]
+    fn duplicate_edges_merge_weights() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0), (1, 0, 2.5)], vec![1.0; 2]);
+        g.validate();
+        assert_eq!(g.ne(), 1);
+        assert_eq!(g.neighbors(0).next().unwrap(), (1, 3.5));
+    }
+
+    #[test]
+    fn grid_has_expected_edge_count() {
+        let g = Graph::grid(4, 3);
+        g.validate();
+        assert_eq!(g.nv(), 12);
+        // Horizontal: 3 per row × 3 rows; vertical: 4 per column pair × 2.
+        assert_eq!(g.ne(), 3 * 3 + 4 * 2);
+        // Corner has degree 2; interior degree 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn path_graph_structure() {
+        let g = Graph::path(5);
+        g.validate();
+        assert_eq!(g.ne(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let g = Graph::path(0);
+        g.validate();
+        assert_eq!(g.nv(), 0);
+        let g = Graph::path(1);
+        g.validate();
+        assert_eq!(g.nv(), 1);
+        assert_eq!(g.ne(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let _ = Graph::from_edges(2, &[(1, 1, 1.0)], vec![1.0; 2]);
+    }
+}

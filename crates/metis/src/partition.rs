@@ -1,0 +1,393 @@
+//! Multilevel k-way partitioning via recursive bisection.
+//!
+//! The METIS recipe: coarsen with heavy-edge matching, bisect the coarsest
+//! graph by greedy region growing, then project back up refining with
+//! Fiduccia–Mattheyses passes at every level. k-way partitions come from
+//! recursive bisection with proportional weight targets.
+
+use crate::coarsen::coarsen_to;
+use crate::graph::Graph;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Tuning knobs for the partitioner.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionConfig {
+    /// RNG seed (partitions are deterministic given the seed).
+    pub seed: u64,
+    /// Allowed imbalance: a side may weigh up to `ubfactor` × its target.
+    pub ubfactor: f64,
+    /// Stop coarsening below this many vertices.
+    pub coarsen_to: usize,
+    /// FM refinement passes per level.
+    pub fm_passes: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            seed: 1,
+            ubfactor: 1.05,
+            coarsen_to: 64,
+            fm_passes: 4,
+        }
+    }
+}
+
+/// Partition `g` into `k` parts of (approximately) equal vertex weight,
+/// minimizing edge cut. Returns `part[v] ∈ 0..k`.
+///
+/// ```
+/// use prema_metis::{partition_kway, edge_cut, imbalance, Graph, PartitionConfig};
+/// let g = Graph::grid(8, 8);
+/// let part = partition_kway(&g, 4, &PartitionConfig::default());
+/// assert_eq!(part.len(), 64);
+/// assert!(imbalance(&g, &part, 4) <= 1.25);
+/// assert!(edge_cut(&g, &part) < 30.0);
+/// ```
+pub fn partition_kway(g: &Graph, k: usize, cfg: &PartitionConfig) -> Vec<u32> {
+    assert!(k >= 1);
+    let mut part = vec![0u32; g.nv()];
+    if k == 1 || g.nv() == 0 {
+        return part;
+    }
+    let verts: Vec<usize> = (0..g.nv()).collect();
+    recurse(g, &verts, 0, k, cfg, cfg.seed, &mut part);
+    // Recursive bisection freezes boundaries pairwise; a direct k-way pass
+    // recovers cut across all part pairs.
+    crate::kwayrefine::kway_refine(g, &mut part, k, cfg.ubfactor, cfg.fm_passes);
+    part
+}
+
+fn recurse(
+    g: &Graph,
+    verts: &[usize],
+    first_part: u32,
+    k: usize,
+    cfg: &PartitionConfig,
+    seed: u64,
+    out: &mut [u32],
+) {
+    if k == 1 {
+        for &v in verts {
+            out[v] = first_part;
+        }
+        return;
+    }
+    let k_left = k / 2;
+    let frac = k_left as f64 / k as f64;
+    let (sub, origin) = induced_subgraph(g, verts);
+    let side = multilevel_bisect(&sub, frac, cfg, seed);
+    let (mut left, mut right) = (Vec::new(), Vec::new());
+    for (i, &s) in side.iter().enumerate() {
+        if s == 0 {
+            left.push(origin[i]);
+        } else {
+            right.push(origin[i]);
+        }
+    }
+    let s2 = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(k as u64);
+    recurse(g, &left, first_part, k_left, cfg, s2, out);
+    recurse(g, &right, first_part + k_left as u32, k - k_left, cfg, s2 ^ 0xABCD, out);
+}
+
+/// Extract the subgraph induced by `verts`; edges to outside vertices are
+/// dropped. Returns the subgraph and the map back to original ids.
+pub fn induced_subgraph(g: &Graph, verts: &[usize]) -> (Graph, Vec<usize>) {
+    let mut local = vec![usize::MAX; g.nv()];
+    for (i, &v) in verts.iter().enumerate() {
+        local[v] = i;
+    }
+    let mut edges = Vec::new();
+    let mut vwgt = Vec::with_capacity(verts.len());
+    let mut vsize = Vec::with_capacity(verts.len());
+    for (i, &v) in verts.iter().enumerate() {
+        vwgt.push(g.vwgt[v]);
+        vsize.push(g.vsize[v]);
+        for (u, w) in g.neighbors(v) {
+            let lu = local[u];
+            if lu != usize::MAX && lu > i {
+                edges.push((i, lu, w));
+            }
+        }
+    }
+    (
+        Graph::from_edges_with_sizes(verts.len(), &edges, vwgt, vsize),
+        verts.to_vec(),
+    )
+}
+
+/// Multilevel bisection: side 0 should receive `frac` of the total weight.
+pub fn multilevel_bisect(g: &Graph, frac: f64, cfg: &PartitionConfig, seed: u64) -> Vec<u32> {
+    if g.nv() == 0 {
+        return Vec::new();
+    }
+    let levels = coarsen_to(g, cfg.coarsen_to, seed);
+    let coarsest: &Graph = levels.last().map(|l| &l.graph).unwrap_or(g);
+    let mut part = grow_bisection(coarsest, frac, seed);
+    fm_refine(coarsest, &mut part, frac, cfg.fm_passes, cfg.ubfactor);
+    // Project back through the levels (coarsest → finest), refining at each.
+    // `levels[i].map` maps the graph one level finer (levels[i-1].graph, or
+    // `g` for i == 0) onto `levels[i].graph`.
+    for i in (0..levels.len()).rev() {
+        let map = &levels[i].map;
+        let fine_graph: &Graph = if i == 0 { g } else { &levels[i - 1].graph };
+        let mut fine_part = vec![0u32; map.len()];
+        for v in 0..map.len() {
+            fine_part[v] = part[map[v] as usize];
+        }
+        part = fine_part;
+        fm_refine(fine_graph, &mut part, frac, cfg.fm_passes, cfg.ubfactor);
+    }
+    part
+}
+
+/// Greedy graph growing: BFS from a random start until side 0 holds `frac`
+/// of the total weight.
+pub fn grow_bisection(g: &Graph, frac: f64, seed: u64) -> Vec<u32> {
+    let nv = g.nv();
+    let total = g.total_vwgt();
+    let target0 = total * frac;
+    let mut part = vec![1u32; nv];
+    if nv == 0 {
+        return part;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut w0 = 0.0;
+    let mut queue = std::collections::VecDeque::new();
+    let mut visited = vec![false; nv];
+    let start = rng.gen_range(0..nv);
+    queue.push_back(start);
+    visited[start] = true;
+    while w0 < target0 {
+        let v = match queue.pop_front() {
+            Some(v) => v,
+            None => {
+                // Disconnected graph: jump to an unvisited vertex.
+                match (0..nv).find(|&v| !visited[v]) {
+                    Some(v) => {
+                        visited[v] = true;
+                        v
+                    }
+                    None => break,
+                }
+            }
+        };
+        part[v] = 0;
+        w0 += g.vwgt[v];
+        for (u, _) in g.neighbors(v) {
+            if !visited[u] {
+                visited[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    part
+}
+
+/// Fiduccia–Mattheyses boundary refinement for a 2-way partition with target
+/// fraction `frac` for side 0. Moves vertices between sides to reduce cut,
+/// with per-pass rollback to the best seen prefix.
+pub fn fm_refine(g: &Graph, part: &mut [u32], frac: f64, passes: usize, ub: f64) {
+    let nv = g.nv();
+    if nv == 0 {
+        return;
+    }
+    let total = g.total_vwgt();
+    let targets = [total * frac, total * (1.0 - frac)];
+    let limit = [targets[0] * ub, targets[1] * ub];
+
+    for _ in 0..passes {
+        let mut w = [0.0f64; 2];
+        for v in 0..nv {
+            w[part[v] as usize] += g.vwgt[v];
+        }
+        // gain[v] = cut reduction if v switches sides.
+        let mut gain = vec![0.0f64; nv];
+        #[allow(clippy::needless_range_loop)] // v indexes gain, part, and the graph
+        for v in 0..nv {
+            for (u, ew) in g.neighbors(v) {
+                if part[u] == part[v] {
+                    gain[v] -= ew;
+                } else {
+                    gain[v] += ew;
+                }
+            }
+        }
+        let mut locked = vec![false; nv];
+        let mut heap: std::collections::BinaryHeap<(Ordered, usize, u64)> =
+            std::collections::BinaryHeap::new();
+        let mut stamp = vec![0u64; nv];
+        for (v, &g) in gain.iter().enumerate() {
+            heap.push((ordered(g), v, 0));
+        }
+        let mut moves: Vec<usize> = Vec::new();
+        let mut cum = 0.0f64;
+        let mut best_cum = 0.0f64;
+        let mut best_len = 0usize;
+        // Tie-break equal-cut prefixes by balance, so zero-gain moves that
+        // repair imbalance are kept rather than rolled back.
+        let imbalance_of = |w: &[f64; 2]| (w[0] - targets[0]).abs().max((w[1] - targets[1]).abs());
+        let mut best_imb = imbalance_of(&w);
+
+        while let Some((gq, v, s)) = heap.pop() {
+            if locked[v] || s != stamp[v] || gq.0 != gain[v] {
+                continue;
+            }
+            let from = part[v] as usize;
+            let to = 1 - from;
+            // Balance check: allow the move if the destination stays within
+            // its limit, or if it strictly improves balance.
+            let dest_ok = w[to] + g.vwgt[v] <= limit[to];
+            let improves_balance = w[from] - targets[from] > w[to] + g.vwgt[v] - targets[to];
+            if !dest_ok && !improves_balance {
+                continue;
+            }
+            // Move it.
+            locked[v] = true;
+            part[v] = to as u32;
+            w[from] -= g.vwgt[v];
+            w[to] += g.vwgt[v];
+            cum += gain[v];
+            moves.push(v);
+            let imb = imbalance_of(&w);
+            if cum > best_cum + 1e-12 || (cum >= best_cum - 1e-12 && imb < best_imb - 1e-12) {
+                best_cum = cum;
+                best_imb = imb;
+                best_len = moves.len();
+            }
+            for (u, ew) in g.neighbors(v) {
+                if !locked[u] {
+                    // v changed sides: edges to u flip contribution by 2·ew.
+                    if part[u] == part[v] {
+                        gain[u] -= 2.0 * ew;
+                    } else {
+                        gain[u] += 2.0 * ew;
+                    }
+                    stamp[u] += 1;
+                    heap.push((ordered(gain[u]), u, stamp[u]));
+                }
+            }
+        }
+        // Roll back past the best prefix.
+        for &v in &moves[best_len..] {
+            part[v] = 1 - part[v];
+        }
+        if best_len == 0 {
+            break; // pass achieved nothing; stop early
+        }
+    }
+}
+
+/// Total-order wrapper for f64 heap keys (gains are finite by construction).
+#[derive(PartialEq, PartialOrd)]
+struct Ordered(f64);
+impl Eq for Ordered {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Ordered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("NaN gain")
+    }
+}
+fn ordered(x: f64) -> Ordered {
+    debug_assert!(x.is_finite());
+    Ordered(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{edge_cut, imbalance};
+
+    #[test]
+    fn bisect_grid_is_balanced_and_cheap() {
+        let g = Graph::grid(16, 16);
+        let cfg = PartitionConfig::default();
+        let part = partition_kway(&g, 2, &cfg);
+        assert!(imbalance(&g, &part, 2) <= 1.10, "imbalance {}", imbalance(&g, &part, 2));
+        // Optimal cut of a 16×16 grid bisection is 16; accept some slack.
+        let cut = edge_cut(&g, &part);
+        assert!(cut <= 28.0, "cut {cut} too high");
+    }
+
+    #[test]
+    fn kway_partition_covers_all_parts() {
+        let g = Graph::grid(12, 12);
+        let cfg = PartitionConfig::default();
+        for k in [2, 3, 4, 7, 8] {
+            let part = partition_kway(&g, k, &cfg);
+            let mut seen = vec![false; k];
+            for &p in &part {
+                seen[p as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "k={k}: some part empty");
+            assert!(
+                imbalance(&g, &part, k) <= 1.25,
+                "k={k} imbalance {}",
+                imbalance(&g, &part, k)
+            );
+        }
+    }
+
+    #[test]
+    fn fm_improves_a_bad_partition() {
+        let g = Graph::grid(10, 10);
+        // Stripe partition (alternating columns): terrible cut.
+        let mut part: Vec<u32> = (0..g.nv()).map(|v| ((v % 10) % 2) as u32).collect();
+        let before = edge_cut(&g, &part);
+        fm_refine(&g, &mut part, 0.5, 8, 1.05);
+        let after = edge_cut(&g, &part);
+        assert!(after < before, "FM failed to improve: {before} → {after}");
+        assert!(imbalance(&g, &part, 2) <= 1.15);
+    }
+
+    #[test]
+    fn partition_is_deterministic_for_a_seed() {
+        let g = Graph::grid(12, 8);
+        let cfg = PartitionConfig::default();
+        let a = partition_kway(&g, 4, &cfg);
+        let b = partition_kway(&g, 4, &cfg);
+        assert_eq!(a, b);
+        let cfg2 = PartitionConfig { seed: 999, ..cfg };
+        let _c = partition_kway(&g, 4, &cfg2); // different seed must not panic
+    }
+
+    #[test]
+    fn weighted_vertices_balance_by_weight() {
+        // 8 vertices in a path; vertex 0 is very heavy.
+        let mut vwgt = vec![1.0; 8];
+        vwgt[0] = 7.0;
+        let edges: Vec<(usize, usize, f64)> = (0..7).map(|i| (i, i + 1, 1.0)).collect();
+        let g = Graph::from_edges(8, &edges, vwgt);
+        let part = partition_kway(&g, 2, &PartitionConfig::default());
+        // Total weight 14 → each side ~7. The heavy vertex should sit alone
+        // (or nearly so) on its side.
+        let w = crate::metrics::part_weights(&g, &part, 2);
+        assert!(w[0].max(w[1]) <= 9.0, "weights {w:?}");
+    }
+
+    #[test]
+    fn disconnected_graph_partitions() {
+        // Two disjoint 4-cliques.
+        let mut edges = Vec::new();
+        for base in [0usize, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j, 1.0));
+                }
+            }
+        }
+        let g = Graph::from_edges(8, &edges, vec![1.0; 8]);
+        let part = partition_kway(&g, 2, &PartitionConfig::default());
+        // Perfect answer: one clique per side, zero cut.
+        assert_eq!(edge_cut(&g, &part), 0.0);
+        assert!((imbalance(&g, &part, 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_equals_one_is_identity() {
+        let g = Graph::grid(5, 5);
+        let part = partition_kway(&g, 1, &PartitionConfig::default());
+        assert!(part.iter().all(|&p| p == 0));
+    }
+}

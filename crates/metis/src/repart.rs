@@ -1,0 +1,312 @@
+//! Adaptive repartitioning: scratch-remap, diffusion, and the Unified
+//! Repartitioning Algorithm.
+//!
+//! When mesh adaptation unbalances an existing partition, two repair families
+//! exist (§3.1 of the paper):
+//!
+//! * **scratch-remap** — partition from scratch (best balance/cut), then
+//!   relabel the new parts to maximize overlap with the old partition so as
+//!   few vertices as possible actually move;
+//! * **diffusive** — nudge the existing partition by moving boundary vertices
+//!   from overloaded to underloaded parts (minimal movement, weaker balance).
+//!
+//! ParMETIS V3's `AdaptiveRepart` (the **Unified Repartitioning Algorithm**,
+//! Schloegel–Karypis–Kumar 2000) computes both and keeps whichever minimizes
+//! `|Ecut| + α·|Vmove|`, where the Relative Cost Factor α is supplied by the
+//! application. [`adaptive_repart`] reproduces that structure.
+
+use crate::graph::Graph;
+use crate::metrics::{edge_cut, part_weights, ura_cost, vmove};
+use crate::partition::{fm_refine, partition_kway, PartitionConfig};
+
+/// Which strategy the Unified Repartitioning Algorithm selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UraChoice {
+    /// The scratch-remap candidate won.
+    ScratchRemap,
+    /// The diffusive candidate won.
+    Diffusion,
+}
+
+/// Result of an adaptive repartitioning.
+#[derive(Clone, Debug)]
+pub struct RepartResult {
+    /// The new partition vector.
+    pub part: Vec<u32>,
+    /// Which candidate won.
+    pub choice: UraChoice,
+    /// `|Ecut| + α·|Vmove|` of the winner.
+    pub cost: f64,
+    /// Edge cut of the winner.
+    pub cut: f64,
+    /// Migration volume of the winner.
+    pub moved: f64,
+}
+
+/// Scratch-remap repartitioning: partition from scratch, then permute part
+/// labels to maximize weight overlap with `old` (greedy assignment on the
+/// k×k overlap matrix), minimizing `|Vmove|` without touching the cut.
+pub fn scratch_remap(g: &Graph, old: &[u32], k: usize, cfg: &PartitionConfig) -> Vec<u32> {
+    let fresh = partition_kway(g, k, cfg);
+    remap_labels(g, old, &fresh, k)
+}
+
+/// Permute the labels of `new` to maximize overlap (by `vsize`) with `old`.
+pub fn remap_labels(g: &Graph, old: &[u32], new: &[u32], k: usize) -> Vec<u32> {
+    // overlap[new_label][old_label] = vsize in common.
+    let mut overlap = vec![vec![0.0f64; k]; k];
+    for v in 0..g.nv() {
+        overlap[new[v] as usize][old[v] as usize] += g.vsize[v];
+    }
+    // Greedy maximum assignment: repeatedly take the largest remaining cell.
+    let mut cells: Vec<(f64, usize, usize)> = Vec::with_capacity(k * k);
+    for (n, row) in overlap.iter().enumerate() {
+        for (o, &w) in row.iter().enumerate() {
+            cells.push((w, n, o));
+        }
+    }
+    cells.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then((a.1, a.2).cmp(&(b.1, b.2))));
+    let mut label_of_new = vec![usize::MAX; k];
+    let mut old_taken = vec![false; k];
+    for (_, n, o) in cells {
+        if label_of_new[n] == usize::MAX && !old_taken[o] {
+            label_of_new[n] = o;
+            old_taken[o] = true;
+        }
+    }
+    // Any leftover new labels take the remaining old labels.
+    let mut free: Vec<usize> = (0..k).filter(|&o| !old_taken[o]).collect();
+    for l in label_of_new.iter_mut() {
+        if *l == usize::MAX {
+            *l = free.pop().expect("label bookkeeping broken");
+        }
+    }
+    new.iter().map(|&p| label_of_new[p as usize] as u32).collect()
+}
+
+/// Diffusive repartitioning: repeatedly move the best boundary vertex (by
+/// cut gain per unit weight) from the most overloaded part to an adjacent
+/// underloaded part, until balance reaches `ubfactor` or no move helps.
+pub fn diffusive_repart(g: &Graph, old: &[u32], k: usize, ubfactor: f64) -> Vec<u32> {
+    let mut part = old.to_vec();
+    let nv = g.nv();
+    if nv == 0 {
+        return part;
+    }
+    let total = g.total_vwgt();
+    let avg = total / k as f64;
+    let mut w = part_weights(g, &part, k);
+    // Bounded number of sweeps to guarantee termination.
+    let max_moves = nv * 4;
+    let mut moves = 0usize;
+    loop {
+        let max_w = w.iter().cloned().fold(0.0, f64::max);
+        if max_w <= avg * ubfactor || moves >= max_moves {
+            break;
+        }
+        // Most overloaded part.
+        let from = (0..k).max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap()).unwrap();
+        // Best boundary vertex of `from` to move to an underloaded neighbor
+        // part: maximize (cut gain, -weight distortion).
+        let mut best: Option<(f64, usize, usize)> = None; // (score, v, to)
+        for v in 0..nv {
+            if part[v] as usize != from {
+                continue;
+            }
+            // Candidate destination parts among neighbors.
+            let mut ext: Vec<(usize, f64)> = Vec::new();
+            let mut internal = 0.0;
+            for (u, ew) in g.neighbors(v) {
+                let pu = part[u] as usize;
+                if pu == from {
+                    internal += ew;
+                } else {
+                    match ext.iter_mut().find(|(p, _)| *p == pu) {
+                        Some((_, s)) => *s += ew,
+                        None => ext.push((pu, ew)),
+                    }
+                }
+            }
+            for (to, external) in ext {
+                if w[to] + g.vwgt[v] > avg * ubfactor {
+                    continue; // would overload the destination
+                }
+                if w[to] >= w[from] {
+                    continue; // diffusion only flows downhill
+                }
+                let score = external - internal;
+                if best.is_none_or(|(bs, _, _)| score > bs) {
+                    best = Some((score, v, to));
+                }
+            }
+        }
+        let Some((_, v, to)) = best else { break };
+        let from = part[v] as usize;
+        part[v] = to as u32;
+        w[from] -= g.vwgt[v];
+        w[to] += g.vwgt[v];
+        moves += 1;
+    }
+    // A few FM sweeps per adjacent part pair would be the full algorithm;
+    // a global 2-way pass is a reasonable serial stand-in when k == 2.
+    if k == 2 {
+        fm_refine(g, &mut part, 0.5, 2, ubfactor);
+    }
+    part
+}
+
+/// The Unified Repartitioning Algorithm: compute a scratch-remap candidate
+/// and a diffusive candidate, evaluate `|Ecut| + alpha·|Vmove|` for each, and
+/// keep the cheaper (§3.1, Equation 1).
+///
+/// Balance is a *constraint*, not part of the objective: a candidate that
+/// fails the balance tolerance (diffusion cannot reach a part that holds no
+/// boundary vertices, for instance) only wins if the other candidate is even
+/// worse balanced.
+/// ```
+/// use prema_metis::{adaptive_repart, imbalance, Graph, PartitionConfig};
+/// // A graph whose left half (x < 4) got heavier after "refinement",
+/// // unbalancing the old x-split partition.
+/// let mut g = Graph::grid(8, 4);
+/// for v in 0..32 { if v % 8 < 4 { g.vwgt[v] = 4.0; } }
+/// let old: Vec<u32> = (0..32).map(|v| if v % 8 < 4 { 0 } else { 1 }).collect();
+/// let out = adaptive_repart(&g, &old, 2, 1.0, &PartitionConfig::default());
+/// assert!(imbalance(&g, &out.part, 2) < imbalance(&g, &old, 2));
+/// ```
+pub fn adaptive_repart(
+    g: &Graph,
+    old: &[u32],
+    k: usize,
+    alpha: f64,
+    cfg: &PartitionConfig,
+) -> RepartResult {
+    let sr = scratch_remap(g, old, k, cfg);
+    let di = diffusive_repart(g, old, k, cfg.ubfactor);
+    let cost_sr = ura_cost(g, old, &sr, alpha);
+    let cost_di = ura_cost(g, old, &di, alpha);
+    // Feasibility wins over cost; among equally (in)feasible candidates,
+    // cost decides. Allow slack over the partitioner's own tolerance since
+    // discrete vertex weights rarely land exactly.
+    let tol = cfg.ubfactor + 0.10;
+    let bal_sr = crate::metrics::imbalance(g, &sr, k);
+    let bal_di = crate::metrics::imbalance(g, &di, k);
+    let feasible = (bal_sr <= tol, bal_di <= tol);
+    let pick_sr = match feasible {
+        (true, false) => true,
+        (false, true) => false,
+        (true, true) => cost_sr <= cost_di,
+        (false, false) => bal_sr <= bal_di,
+    };
+    if pick_sr {
+        RepartResult {
+            cost: cost_sr,
+            cut: edge_cut(g, &sr),
+            moved: vmove(g, old, &sr),
+            part: sr,
+            choice: UraChoice::ScratchRemap,
+        }
+    } else {
+        RepartResult {
+            cost: cost_di,
+            cut: edge_cut(g, &di),
+            moved: vmove(g, old, &di),
+            part: di,
+            choice: UraChoice::Diffusion,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::imbalance;
+
+    /// A grid whose left third became 4× heavier (a refinement "spike").
+    fn spiked_grid(w: usize, h: usize) -> (Graph, Vec<u32>) {
+        let mut g = Graph::grid(w, h);
+        for y in 0..h {
+            for x in 0..w / 3 {
+                g.vwgt[y * w + x] = 4.0;
+            }
+        }
+        // Old partition: vertical halves (balanced before the spike).
+        let part: Vec<u32> = (0..w * h).map(|v| if v % w < w / 2 { 0 } else { 1 }).collect();
+        (g, part)
+    }
+
+    #[test]
+    fn remap_labels_minimizes_movement() {
+        let g = Graph::grid(4, 4);
+        let old: Vec<u32> = (0..16).map(|v| if v < 8 { 0 } else { 1 }).collect();
+        // Fresh partition identical but with labels swapped.
+        let fresh: Vec<u32> = old.iter().map(|&p| 1 - p).collect();
+        let remapped = remap_labels(&g, &old, &fresh, 2);
+        assert_eq!(remapped, old, "remap should undo the label swap");
+        assert_eq!(vmove(&g, &old, &remapped), 0.0);
+    }
+
+    #[test]
+    fn diffusion_restores_balance_on_spike() {
+        let (g, old) = spiked_grid(12, 6);
+        let before = imbalance(&g, &old, 2);
+        assert!(before > 1.2, "test premise: spike unbalances ({before})");
+        let new = diffusive_repart(&g, &old, 2, 1.1);
+        let after = imbalance(&g, &new, 2);
+        assert!(after <= 1.15, "diffusion failed: {before} → {after}");
+        // Diffusion should move far fewer vertices than a from-scratch split.
+        assert!(vmove(&g, &old, &new) < g.nv() as f64 / 2.0);
+    }
+
+    #[test]
+    fn scratch_remap_balances_and_limits_movement() {
+        let (g, old) = spiked_grid(12, 6);
+        let new = scratch_remap(&g, &old, 2, &PartitionConfig::default());
+        assert!(imbalance(&g, &new, 2) <= 1.15);
+        // Remapping must beat the label-swapped alternative: at most half the
+        // graph moves.
+        assert!(vmove(&g, &old, &new) <= g.nv() as f64 / 2.0);
+    }
+
+    #[test]
+    fn ura_prefers_diffusion_when_alpha_large() {
+        let (g, old) = spiked_grid(12, 6);
+        // Movement extremely expensive → diffusive wins.
+        let r = adaptive_repart(&g, &old, 2, 100.0, &PartitionConfig::default());
+        assert_eq!(r.choice, UraChoice::Diffusion);
+    }
+
+    #[test]
+    fn ura_cost_is_min_of_candidates() {
+        let (g, old) = spiked_grid(9, 6);
+        let cfg = PartitionConfig::default();
+        let r = adaptive_repart(&g, &old, 2, 1.0, &cfg);
+        let sr = scratch_remap(&g, &old, 2, &cfg);
+        let di = diffusive_repart(&g, &old, 2, cfg.ubfactor);
+        let c_sr = ura_cost(&g, &old, &sr, 1.0);
+        let c_di = ura_cost(&g, &old, &di, 1.0);
+        assert!((r.cost - c_sr.min(c_di)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn already_balanced_graph_barely_moves_under_diffusion() {
+        let g = Graph::grid(8, 8);
+        let old: Vec<u32> = (0..64).map(|v| if v % 8 < 4 { 0 } else { 1 }).collect();
+        let new = diffusive_repart(&g, &old, 2, 1.05);
+        assert_eq!(vmove(&g, &old, &new), 0.0, "balanced input should be a no-op");
+    }
+
+    #[test]
+    fn kway_adaptive_repart_smoke() {
+        let (g, _) = spiked_grid(16, 8);
+        // 4-way old partition by quadrant.
+        let old: Vec<u32> = (0..g.nv())
+            .map(|v| {
+                let x = v % 16;
+                let y = v / 16;
+                ((y / 4) * 2 + x / 8) as u32
+            })
+            .collect();
+        let r = adaptive_repart(&g, &old, 4, 1.0, &PartitionConfig::default());
+        assert!(imbalance(&g, &r.part, 4) < imbalance(&g, &old, 4));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the partitioning substrate.
+
+use prema_metis::{
+    adaptive_repart, diffusive_repart, edge_cut, imbalance, part_weights, partition_kway,
+    scratch_remap, ura_cost, Graph, PartitionConfig,
+};
+use proptest::prelude::*;
+
+/// Random connected-ish graph: a path backbone plus random chords.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..40, proptest::collection::vec((0usize..40, 0usize..40, 0.1f64..5.0), 0..60))
+        .prop_map(|(nv, chords)| {
+            let mut edges: Vec<(usize, usize, f64)> =
+                (0..nv - 1).map(|i| (i, i + 1, 1.0)).collect();
+            for (a, b, w) in chords {
+                let (a, b) = (a % nv, b % nv);
+                if a != b {
+                    edges.push((a.min(b), a.max(b), w));
+                }
+            }
+            let vwgt: Vec<f64> = (0..nv).map(|i| 1.0 + (i % 4) as f64).collect();
+            Graph::from_edges(nv, &edges, vwgt)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_covers_every_vertex_and_part(g in arb_graph(), k in 2usize..6) {
+        let part = partition_kway(&g, k, &PartitionConfig::default());
+        prop_assert_eq!(part.len(), g.nv());
+        for &p in &part {
+            prop_assert!((p as usize) < k);
+        }
+    }
+
+    #[test]
+    fn partition_balance_is_bounded(g in arb_graph(), k in 2usize..5) {
+        let part = partition_kway(&g, k, &PartitionConfig::default());
+        // Discrete weights can't balance perfectly; bound by the heaviest
+        // vertex over the average part weight plus tolerance.
+        let w = part_weights(&g, &part, k);
+        let total: f64 = w.iter().sum();
+        let avg = total / k as f64;
+        let wmax_vertex = g.vwgt.iter().cloned().fold(0.0, f64::max);
+        let bound = avg + wmax_vertex + avg * 0.3;
+        for x in w {
+            prop_assert!(x <= bound, "part weight {} exceeds bound {}", x, bound);
+        }
+    }
+
+    #[test]
+    fn edge_cut_nonnegative_and_bounded(g in arb_graph(), k in 2usize..5) {
+        let part = partition_kway(&g, k, &PartitionConfig::default());
+        let cut = edge_cut(&g, &part);
+        let total_w: f64 = g.adjwgt.iter().sum::<f64>() / 2.0;
+        prop_assert!(cut >= 0.0);
+        prop_assert!(cut <= total_w + 1e-9);
+    }
+
+    #[test]
+    fn partition_deterministic(g in arb_graph(), k in 2usize..5, seed in 0u64..1000) {
+        let cfg = PartitionConfig { seed, ..PartitionConfig::default() };
+        let a = partition_kway(&g, k, &cfg);
+        let b = partition_kway(&g, k, &cfg);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diffusion_ends_within_tolerance_or_no_worse(g in arb_graph(), k in 2usize..5) {
+        // Contract: the result is within the balance tolerance, OR (when the
+        // tolerance is unreachable, e.g. unreachable empty parts) no worse
+        // than the input. Cut refinement may trade balance *within* the
+        // tolerance, so the bound is max(before, tolerance + vertex slack).
+        let nv = g.nv();
+        let old: Vec<u32> = (0..nv).map(|v| ((v * k) / nv) as u32).collect();
+        let new = diffusive_repart(&g, &old, k, 1.1);
+        let before = imbalance(&g, &old, k);
+        let after = imbalance(&g, &new, k);
+        // Discrete vertices: one max-weight vertex of slack over the target.
+        let avg = g.total_vwgt() / k as f64;
+        let slack = g.vwgt.iter().cloned().fold(0.0, f64::max) / avg.max(1e-12);
+        prop_assert!(
+            after <= (1.1 + slack).max(before) + 1e-9,
+            "balance {before} → {after} beyond tolerance"
+        );
+    }
+
+    #[test]
+    fn scratch_remap_beats_unremapped_on_movement(g in arb_graph(), k in 2usize..5) {
+        let nv = g.nv();
+        let old: Vec<u32> = (0..nv).map(|v| ((v * k) / nv) as u32).collect();
+        let remapped = scratch_remap(&g, &old, k, &PartitionConfig::default());
+        // Remapping is a label permutation: the cut must equal that of the
+        // raw partition, and the movement must be no more than any labeling.
+        let raw = partition_kway(&g, k, &PartitionConfig::default());
+        prop_assert!((edge_cut(&g, &remapped) - edge_cut(&g, &raw)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ura_choice_is_cost_or_feasibility_justified(g in arb_graph(), k in 2usize..4, alpha in 0.1f64..10.0) {
+        let nv = g.nv();
+        let old: Vec<u32> = (0..nv).map(|v| ((v * k) / nv) as u32).collect();
+        let r = adaptive_repart(&g, &old, k, alpha, &PartitionConfig::default());
+        // Reported cost must be consistent with the returned partition.
+        let expect = ura_cost(&g, &old, &r.part, alpha);
+        prop_assert!((r.cost - expect).abs() < 1e-9);
+        prop_assert!(r.cut >= 0.0 && r.moved >= 0.0);
+    }
+
+    #[test]
+    fn coarsening_preserves_total_weight(g in arb_graph(), seed in 0u64..100) {
+        let levels = prema_metis::coarsen::coarsen_to(&g, 8, seed);
+        for level in &levels {
+            level.graph.validate();
+            prop_assert!((level.graph.total_vwgt() - g.total_vwgt()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matching_is_a_valid_matching(g in arb_graph(), seed in 0u64..100) {
+        let mate = prema_metis::coarsen::heavy_edge_matching(&g, seed);
+        for v in 0..g.nv() {
+            let m = mate[v] as usize;
+            prop_assert_eq!(mate[m] as usize, v);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # prema-mol — the Mobile Object Layer
+//!
+//! The global-namespace and migration substrate of PREMA (Chrisochoides,
+//! Barker, Nave, Hawblitzel — *Mobile object layer: a runtime substrate for
+//! parallel adaptive and irregular computations*, 2000; reference [6] of the
+//! SC'03 paper).
+//!
+//! Applications decompose their data domain into **mobile objects** (mesh
+//! subdomains, tree nodes, ...), register them to obtain **mobile pointers**
+//! ([`MobilePtr`]), and thereafter address all communication to pointers
+//! rather than ranks. The MOL routes each message to wherever its target
+//! object currently lives, forwarding along migration trails and preserving
+//! per-sender delivery order — so the load balancer above may move objects at
+//! will without the application noticing.
+//!
+//! * [`ptr`] — mobile pointers and per-rank allocation.
+//! * [`migrate`] — the [`Migratable`] pack/unpack trait.
+//! * [`proto`] — the wire protocol (messages, migration packets, location
+//!   updates).
+//! * [`node`] — the per-rank runtime: routing, ordering, migration,
+//!   application vs. system polling.
+
+#![warn(missing_docs)]
+
+pub mod migrate;
+pub mod node;
+pub mod proto;
+pub mod ptr;
+
+pub use migrate::{pack_to_vec, Migratable};
+pub use node::{MolConfig, MolEvent, MolNode, MolStats, WorkItem};
+pub use proto::MolEnvelope;
+pub use ptr::{MobilePtr, PtrAllocator};

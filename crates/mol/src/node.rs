@@ -1,0 +1,701 @@
+//! The per-rank Mobile Object Layer node.
+//!
+//! [`MolNode`] owns a rank's [`Communicator`] and implements the three MOL
+//! guarantees the paper relies on (§4):
+//!
+//! 1. **Global name space** — [`MolNode::register`] assigns fresh
+//!    [`MobilePtr`]s; a pointer works from any rank, forever.
+//! 2. **Transparent migration** — [`MolNode::migrate`] packs an object (plus
+//!    its in-flight ordering state) and ships it; the source keeps a forward
+//!    pointer so the name never dangles.
+//! 3. **Automatic forwarding with preserved order** — messages chase the
+//!    object along forward pointers; per-(sender, object) sequence numbers
+//!    make delivery order identical to send order regardless of the path
+//!    each message took. Lazy location updates collapse forwarding chains.
+//!
+//! The node is deliberately *mechanism only*: [`MolNode::poll`] returns
+//! [`MolEvent`]s and the layer above (the ILB scheduler / the `prema` facade)
+//! decides when to execute them. That split is what lets PREMA process
+//! system-generated load-balancing traffic preemptively
+//! ([`MolNode::poll_system`]) without ever running application handlers
+//! behind the application's back.
+
+use crate::migrate::{pack_to_vec, Migratable};
+use crate::proto::{
+    LocUpdate, MigratePacket, MolEnvelope, NodeMsg, H_MOL_LOCUPD, H_MOL_MIGRATE, H_MOL_MSG,
+    H_NODE_MSG,
+};
+use crate::ptr::{MobilePtr, PtrAllocator};
+use bytes::Bytes;
+use prema_dcs::{Communicator, Envelope, Rank, Tag};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Location-update strategy knobs (the forwarding-vs-updates tradeoff).
+///
+/// The MOL always forwards along migration trails, so any setting is
+/// *correct*; these knobs trade update traffic against forwarding-chain
+/// length. The defaults are the paper's lazy scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MolConfig {
+    /// Notify the object's *home* rank on every installation (keeps the
+    /// home's guess fresh so cold senders take at most one extra hop).
+    pub update_home_on_install: bool,
+    /// When forwarding a message, lazily teach the original sender where the
+    /// object went, collapsing its chain for subsequent sends.
+    pub update_sender_on_forward: bool,
+    /// Eagerly broadcast every installation to all ranks. Shortest chains,
+    /// highest update traffic — O(P) messages per migration.
+    pub broadcast_on_install: bool,
+}
+
+impl Default for MolConfig {
+    fn default() -> Self {
+        MolConfig {
+            update_home_on_install: true,
+            update_sender_on_forward: true,
+            broadcast_on_install: false,
+        }
+    }
+}
+
+/// Counters describing a node's MOL activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MolStats {
+    /// Object messages sent from this rank.
+    pub sent: u64,
+    /// Object messages delivered to local objects.
+    pub delivered: u64,
+    /// Object messages forwarded because the target had migrated away.
+    pub forwarded: u64,
+    /// Objects migrated out.
+    pub migrations_out: u64,
+    /// Objects installed via migration.
+    pub migrations_in: u64,
+    /// Location updates sent.
+    pub locupd_sent: u64,
+    /// Messages buffered out-of-order (sequence gap) at arrival.
+    pub reordered: u64,
+}
+
+/// What [`MolNode::poll`] hands to the layer above.
+#[derive(Debug)]
+pub enum MolEvent {
+    /// A message for a local object, delivered in per-sender send order.
+    /// Execute it with [`MolNode::with_object`].
+    Object {
+        /// Target object.
+        ptr: MobilePtr,
+        /// Original sender.
+        sender: Rank,
+        /// Application handler id.
+        handler: u32,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// A rank-targeted message (e.g. load-balancer traffic).
+    Node {
+        /// Sender rank.
+        src: Rank,
+        /// Application/runtime handler id.
+        handler: u32,
+        /// Payload.
+        payload: Bytes,
+        /// Whether it was sent with [`Tag::System`].
+        system: bool,
+    },
+    /// An object just arrived via migration and is now local.
+    Installed {
+        /// The object.
+        ptr: MobilePtr,
+        /// The rank it came from.
+        from: Rank,
+    },
+}
+
+struct Entry<O> {
+    /// The object itself; `None` while detached for execution
+    /// ([`MolNode::take_object`]). A detached object still receives and
+    /// orders messages, but cannot migrate — PREMA never migrates an
+    /// executing work unit (§4.2).
+    obj: Option<O>,
+    /// Migration epoch: number of times this object has moved.
+    epoch: u64,
+    /// Next expected sequence number per original sender.
+    expected: HashMap<Rank, u64>,
+    /// Out-of-order buffer per original sender.
+    ooo: HashMap<Rank, BTreeMap<u64, MolEnvelope>>,
+}
+
+/// The per-rank MOL runtime. Generic over the application's mobile object
+/// type `O`; applications with several kinds of objects use an enum.
+///
+/// ```
+/// use prema_dcs::{Communicator, LocalFabric};
+/// use prema_mol::{Migratable, MolEvent, MolNode};
+/// use bytes::Bytes;
+///
+/// struct Counter(u64);
+/// impl Migratable for Counter {
+///     fn pack(&self, buf: &mut Vec<u8>) { buf.extend(self.0.to_le_bytes()); }
+///     fn unpack(b: &[u8]) -> Self { Counter(u64::from_le_bytes(b[..8].try_into().unwrap())) }
+/// }
+///
+/// // Two ranks on one thread for illustration.
+/// let mut eps = LocalFabric::new(2).into_iter();
+/// let mut a: MolNode<Counter> = MolNode::new(Communicator::new(Box::new(eps.next().unwrap())));
+/// let mut b: MolNode<Counter> = MolNode::new(Communicator::new(Box::new(eps.next().unwrap())));
+///
+/// let ptr = a.register(Counter(0));
+/// assert!(a.migrate(ptr, 1));              // move the object to rank 1...
+/// a.message(ptr, 7, Bytes::new());          // ...and message it by name.
+/// let _ = a.poll();                         // (routes the send)
+/// let events = b.poll();                    // rank 1 installs + receives
+/// assert!(events.iter().any(|e| matches!(e, MolEvent::Object { handler: 7, .. })));
+/// assert!(b.is_local(ptr));
+/// ```
+pub struct MolNode<O: Migratable> {
+    comm: Communicator,
+    cfg: MolConfig,
+    alloc: PtrAllocator,
+    objects: HashMap<MobilePtr, Entry<O>>,
+    /// Best-known location of remote objects, with the epoch of the info.
+    location: HashMap<MobilePtr, (Rank, u64)>,
+    /// Forward pointers for objects that were local and migrated away.
+    forwards: HashMap<MobilePtr, (Rank, u64)>,
+    /// Outgoing sequence counters per target object.
+    seq_out: HashMap<MobilePtr, u64>,
+    /// In-order messages awaiting execution.
+    ready: VecDeque<MolEnvelope>,
+    /// Messages parked at the home rank until the object's location is known.
+    limbo: HashMap<MobilePtr, Vec<MolEnvelope>>,
+    stats: MolStats,
+}
+
+impl<O: Migratable> MolNode<O> {
+    /// Build a node over a communicator endpoint with the default (lazy)
+    /// location-update strategy.
+    pub fn new(comm: Communicator) -> Self {
+        Self::with_config(comm, MolConfig::default())
+    }
+
+    /// Build a node with an explicit location-update strategy.
+    pub fn with_config(comm: Communicator, cfg: MolConfig) -> Self {
+        let rank = comm.rank();
+        MolNode {
+            comm,
+            cfg,
+            alloc: PtrAllocator::new(rank),
+            objects: HashMap::new(),
+            location: HashMap::new(),
+            forwards: HashMap::new(),
+            seq_out: HashMap::new(),
+            ready: VecDeque::new(),
+            limbo: HashMap::new(),
+            stats: MolStats::default(),
+        }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> Rank {
+        self.comm.rank()
+    }
+
+    /// Machine size.
+    pub fn nprocs(&self) -> usize {
+        self.comm.nprocs()
+    }
+
+    /// MOL activity counters.
+    pub fn stats(&self) -> MolStats {
+        self.stats
+    }
+
+    /// Access the underlying communicator (traffic counters etc.).
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    // ---- name space & object store -------------------------------------
+
+    /// Register a new mobile object, returning its global name.
+    pub fn register(&mut self, obj: O) -> MobilePtr {
+        let ptr = self.alloc.alloc();
+        self.objects.insert(
+            ptr,
+            Entry {
+                obj: Some(obj),
+                epoch: 0,
+                expected: HashMap::new(),
+                ooo: HashMap::new(),
+            },
+        );
+        ptr
+    }
+
+    /// Whether `ptr` currently lives on this rank.
+    pub fn is_local(&self, ptr: MobilePtr) -> bool {
+        self.objects.contains_key(&ptr)
+    }
+
+    /// Number of local objects.
+    pub fn local_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The names of all local objects (unspecified order).
+    pub fn local_ptrs(&self) -> Vec<MobilePtr> {
+        self.objects.keys().copied().collect()
+    }
+
+    /// Borrow a local object (`None` if remote or currently detached).
+    pub fn get(&self, ptr: MobilePtr) -> Option<&O> {
+        self.objects.get(&ptr).and_then(|e| e.obj.as_ref())
+    }
+
+    /// Mutably borrow a local object (`None` if remote or detached).
+    pub fn get_mut(&mut self, ptr: MobilePtr) -> Option<&mut O> {
+        self.objects.get_mut(&ptr).and_then(|e| e.obj.as_mut())
+    }
+
+    /// Detach a local object for execution. While detached the object keeps
+    /// receiving (and ordering) messages but [`MolNode::migrate`] refuses to
+    /// move it — PREMA never migrates an executing work unit (§4.2). Pair
+    /// with [`MolNode::put_object`].
+    pub fn take_object(&mut self, ptr: MobilePtr) -> Option<O> {
+        self.objects.get_mut(&ptr).and_then(|e| e.obj.take())
+    }
+
+    /// Re-attach an object detached by [`MolNode::take_object`].
+    pub fn put_object(&mut self, ptr: MobilePtr, obj: O) {
+        let entry = self
+            .objects
+            .get_mut(&ptr)
+            .expect("put_object for an object that is not resident");
+        assert!(entry.obj.is_none(), "put_object over a present object");
+        entry.obj = Some(obj);
+    }
+
+    /// Run `f` with mutable access to a local object *and* the node, so the
+    /// body can send further MOL messages (the paper's handler execution
+    /// model). Returns `None` if `ptr` is not local or already detached.
+    ///
+    /// The body must not migrate `ptr` itself — [`MolNode::migrate`] will
+    /// return `false` for a detached object.
+    pub fn with_object<R>(&mut self, ptr: MobilePtr, f: impl FnOnce(&mut Self, &mut O) -> R) -> Option<R> {
+        let mut obj = self.take_object(ptr)?;
+        let r = f(self, &mut obj);
+        self.put_object(ptr, obj);
+        Some(r)
+    }
+
+    // ---- messaging ------------------------------------------------------
+
+    /// Send an application message to a mobile object, wherever it lives.
+    /// `handler` is an application-level id dispatched by the caller when the
+    /// message comes back out of [`MolNode::poll`] at the destination.
+    pub fn message(&mut self, ptr: MobilePtr, handler: u32, payload: Bytes) {
+        self.message_with_hint(ptr, handler, 1.0, payload);
+    }
+
+    /// [`MolNode::message`] with an explicit computational-weight hint for
+    /// the load balancer (the paper's programmer-supplied hints, §2).
+    pub fn message_with_hint(&mut self, ptr: MobilePtr, handler: u32, hint: f64, payload: Bytes) {
+        assert!(!ptr.is_null(), "message to NULL mobile pointer");
+        let seq = {
+            let c = self.seq_out.entry(ptr).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        let env = MolEnvelope {
+            target: ptr,
+            sender: self.rank(),
+            seq,
+            handler,
+            hops: 0,
+            hint,
+            payload,
+        };
+        self.stats.sent += 1;
+        self.route(env);
+    }
+
+    /// Send a rank-targeted message (bypasses object routing). System-tagged
+    /// messages are visible to [`MolNode::poll_system`].
+    pub fn node_message(&mut self, dst: Rank, handler: u32, tag: Tag, payload: Bytes) {
+        let body = NodeMsg { handler, payload }.encode();
+        self.comm.am_send(dst, H_NODE_MSG, tag, body);
+    }
+
+    fn route(&mut self, env: MolEnvelope) {
+        let ptr = env.target;
+        if self.objects.contains_key(&ptr) {
+            self.accept_local(env);
+            return;
+        }
+        let dst = self.best_guess(ptr);
+        match dst {
+            Some(d) => {
+                let wire = env.encode();
+                self.comm.am_send(d, H_MOL_MSG, Tag::App, wire);
+            }
+            None => {
+                // We are the home rank and have never seen the object: park
+                // the message until a location update or installation.
+                self.limbo.entry(ptr).or_default().push(env);
+            }
+        }
+    }
+
+    /// Where we would currently route a message for `ptr`: a forward pointer
+    /// if we once owned it, else the freshest cached location, else its home.
+    /// `None` means "here is the home and we know nothing" (limbo).
+    fn best_guess(&self, ptr: MobilePtr) -> Option<Rank> {
+        let fwd = self.forwards.get(&ptr);
+        let loc = self.location.get(&ptr);
+        match (fwd, loc) {
+            (Some(&(fr, fe)), Some(&(lr, le))) => Some(if fe >= le { fr } else { lr }),
+            (Some(&(fr, _)), None) => Some(fr),
+            (None, Some(&(lr, _))) => Some(lr),
+            (None, None) => {
+                if ptr.home == self.rank() {
+                    None
+                } else {
+                    Some(ptr.home)
+                }
+            }
+        }
+    }
+
+    fn accept_local(&mut self, env: MolEnvelope) {
+        let entry = self
+            .objects
+            .get_mut(&env.target)
+            .expect("accept_local on non-local object");
+        let exp = entry.expected.entry(env.sender).or_insert(0);
+        use std::cmp::Ordering::*;
+        match env.seq.cmp(exp) {
+            Equal => {
+                *exp += 1;
+                let sender = env.sender;
+                self.ready.push_back(env);
+                // Drain any now-in-order buffered messages from this sender.
+                let target = self.ready.back().unwrap().target;
+                let entry = self.objects.get_mut(&target).unwrap();
+                if let Some(buf) = entry.ooo.get_mut(&sender) {
+                    let exp = entry.expected.get_mut(&sender).unwrap();
+                    while let Some(next) = buf.remove(exp) {
+                        *exp += 1;
+                        self.ready.push_back(next);
+                    }
+                    if buf.is_empty() {
+                        entry.ooo.remove(&sender);
+                    }
+                }
+            }
+            Greater => {
+                self.stats.reordered += 1;
+                entry.ooo.entry(env.sender).or_default().insert(env.seq, env);
+            }
+            Less => {
+                // Duplicate (cannot happen with a reliable transport); drop.
+                debug_assert!(false, "duplicate sequence number {}", env.seq);
+            }
+        }
+    }
+
+    // ---- migration ------------------------------------------------------
+
+    /// Uninstall a local object and ship it to `dst`. In-flight ordering
+    /// state and queued messages travel with it; this rank keeps a forward
+    /// pointer so stale sends still find the object.
+    ///
+    /// Returns `false` if `ptr` is not local (e.g. it already migrated) or is
+    /// currently detached for execution — an executing work unit must finish
+    /// before it can move (§4.2).
+    pub fn migrate(&mut self, ptr: MobilePtr, dst: Rank) -> bool {
+        assert_ne!(dst, self.rank(), "migrate to self");
+        if self.objects.get(&ptr).is_none_or(|e| e.obj.is_none()) {
+            return false;
+        }
+        let entry = self.objects.remove(&ptr).unwrap();
+        // Pull this object's accepted-but-unexecuted messages out of the
+        // ready queue, preserving their order.
+        let mut pending = Vec::new();
+        self.ready.retain_mut(|e| {
+            if e.target == ptr {
+                pending.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        let buffered: Vec<MolEnvelope> = entry
+            .ooo
+            .into_values()
+            .flat_map(|m| m.into_values())
+            .collect();
+        let epoch = entry.epoch + 1;
+        let packet = MigratePacket {
+            ptr,
+            epoch,
+            object: Bytes::from(pack_to_vec(entry.obj.as_ref().expect("checked above"))),
+            expected: entry.expected.into_iter().collect(),
+            pending,
+            buffered,
+        };
+        self.forwards.insert(ptr, (dst, epoch));
+        self.location.insert(ptr, (dst, epoch));
+        self.stats.migrations_out += 1;
+        self.comm.am_send(dst, H_MOL_MIGRATE, Tag::System, packet.encode());
+        true
+    }
+
+    fn install(&mut self, from: Rank, packet: MigratePacket) -> MolEvent {
+        let ptr = packet.ptr;
+        let obj = O::unpack(&packet.object);
+        // If this object once lived here and left, the stale forward pointer
+        // must die: it is local again.
+        self.forwards.remove(&ptr);
+        self.location.remove(&ptr);
+        self.objects.insert(
+            ptr,
+            Entry {
+                obj: Some(obj),
+                epoch: packet.epoch,
+                expected: packet.expected.into_iter().collect(),
+                ooo: HashMap::new(),
+            },
+        );
+        self.stats.migrations_in += 1;
+        for env in packet.pending {
+            self.ready.push_back(env);
+        }
+        for env in packet.buffered {
+            self.accept_local(env);
+        }
+        // Location dissemination per the configured strategy.
+        let upd = LocUpdate {
+            ptr,
+            owner: self.rank(),
+            epoch: packet.epoch,
+        };
+        if self.cfg.broadcast_on_install {
+            for dst in 0..self.nprocs() {
+                if dst != self.rank() {
+                    self.stats.locupd_sent += 1;
+                    self.comm.am_send(dst, H_MOL_LOCUPD, Tag::System, upd.encode());
+                }
+            }
+        } else if self.cfg.update_home_on_install && ptr.home != self.rank() {
+            self.stats.locupd_sent += 1;
+            self.comm.am_send(ptr.home, H_MOL_LOCUPD, Tag::System, upd.encode());
+        }
+        // Any messages parked here (we may be the home) can now be routed.
+        if let Some(msgs) = self.limbo.remove(&ptr) {
+            for env in msgs {
+                self.route(env);
+            }
+        }
+        MolEvent::Installed { ptr, from }
+    }
+
+    // ---- polling ---------------------------------------------------------
+
+    /// Process every queued incoming message and return the resulting events:
+    /// in-order application messages for local objects, node messages, and
+    /// installation notices. This is PREMA's *application-posted* polling
+    /// operation.
+    ///
+    /// **Contract:** every [`MolEvent::Object`] in the returned batch must be
+    /// executed (or deliberately discarded) *before* its object migrates
+    /// again — the deliveries have left the runtime's custody and would not
+    /// travel with the object. The [`MolNode::pump`]/[`MolNode::pop_work`]
+    /// pair (used by the ILB scheduler) sidesteps the issue by keeping
+    /// undelivered work inside the node.
+    pub fn poll(&mut self) -> Vec<MolEvent> {
+        let mut events = Vec::new();
+        while let Some(env) = self.comm.try_recv() {
+            self.handle_wire(env, &mut events);
+        }
+        self.drain_ready(&mut events);
+        events
+    }
+
+    /// Process only *system-generated* traffic — migrations, location
+    /// updates, and system-tagged node messages — sidelining application
+    /// messages untouched (their order is preserved for the next
+    /// [`MolNode::poll`]). This is what PREMA's preemptive polling thread
+    /// runs at its periodic wake-ups (§4.2): load-balancing messages are seen
+    /// promptly, yet no application handler ever runs preemptively.
+    pub fn poll_system(&mut self) -> Vec<MolEvent> {
+        let mut events = Vec::new();
+        while let Some(env) = self.comm.try_recv_transport() {
+            let is_system = env.tag == Tag::System;
+            if is_system {
+                self.handle_wire(env, &mut events);
+            } else {
+                self.comm.sideline(env);
+            }
+        }
+        events
+    }
+
+    fn handle_wire(&mut self, env: Envelope, events: &mut Vec<MolEvent>) {
+        match env.handler {
+            h if h == H_MOL_MSG => {
+                let menv = MolEnvelope::decode(env.payload);
+                if self.objects.contains_key(&menv.target) {
+                    self.accept_local(menv);
+                } else {
+                    self.forward(menv);
+                }
+            }
+            h if h == H_MOL_MIGRATE => {
+                let packet = MigratePacket::decode(env.payload);
+                events.push(self.install(env.src, packet));
+            }
+            h if h == H_MOL_LOCUPD => {
+                let upd = LocUpdate::decode(env.payload);
+                self.learn_location(upd);
+            }
+            h if h == H_NODE_MSG => {
+                let body = NodeMsg::decode(env.payload);
+                events.push(MolEvent::Node {
+                    src: env.src,
+                    handler: body.handler,
+                    payload: body.payload,
+                    system: env.tag == Tag::System,
+                });
+            }
+            other => panic!("MOL received unknown DCS handler {other:?}"),
+        }
+    }
+
+    fn forward(&mut self, mut menv: MolEnvelope) {
+        let ptr = menv.target;
+        let sender = menv.sender;
+        match self.best_guess(ptr) {
+            Some(next) => {
+                menv.hops += 1;
+                self.stats.forwarded += 1;
+                // Lazily teach the original sender where the object went so
+                // its next message takes the short path.
+                if let Some(&(owner, epoch)) = self.forwards.get(&ptr).or(self.location.get(&ptr)) {
+                    if self.cfg.update_sender_on_forward && sender != self.rank() && sender != owner
+                    {
+                        let upd = LocUpdate { ptr, owner, epoch };
+                        self.stats.locupd_sent += 1;
+                        self.comm.am_send(sender, H_MOL_LOCUPD, Tag::System, upd.encode());
+                    }
+                }
+                let wire = menv.encode();
+                self.comm.am_send(next, H_MOL_MSG, Tag::App, wire);
+            }
+            None => {
+                self.limbo.entry(ptr).or_default().push(menv);
+            }
+        }
+    }
+
+    fn learn_location(&mut self, upd: LocUpdate) {
+        if self.objects.contains_key(&upd.ptr) {
+            return; // it's here; any cached location is stale by definition
+        }
+        let fresher = |cur: Option<&(Rank, u64)>| cur.is_none_or(|&(_, e)| upd.epoch > e);
+        if fresher(self.location.get(&upd.ptr)) {
+            self.location.insert(upd.ptr, (upd.owner, upd.epoch));
+        }
+        if let Some(&(_, fe)) = self.forwards.get(&upd.ptr) {
+            if upd.epoch > fe {
+                self.forwards.insert(upd.ptr, (upd.owner, upd.epoch));
+            }
+        }
+        if let Some(msgs) = self.limbo.remove(&upd.ptr) {
+            for env in msgs {
+                self.route(env);
+            }
+        }
+    }
+
+    fn drain_ready(&mut self, events: &mut Vec<MolEvent>) {
+        while let Some(env) = self.ready.pop_front() {
+            self.stats.delivered += 1;
+            events.push(MolEvent::Object {
+                ptr: env.target,
+                sender: env.sender,
+                handler: env.handler,
+                payload: env.payload,
+            });
+        }
+    }
+
+    /// Number of in-order messages queued for local execution.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Sum of the weight hints of all queued work (the load estimate PREMA's
+    /// balancer compares against its water-mark).
+    pub fn ready_load(&self) -> f64 {
+        self.ready.iter().map(|e| e.hint).sum()
+    }
+
+    /// Process incoming wire traffic *without* draining the work queue:
+    /// routed application messages stay queued (visible via
+    /// [`MolNode::pop_work`]); only node messages and installation notices
+    /// are returned. This is the scheduler's ingest step.
+    pub fn pump(&mut self) -> Vec<MolEvent> {
+        let mut events = Vec::new();
+        while let Some(env) = self.comm.try_recv() {
+            self.handle_wire(env, &mut events);
+        }
+        events
+    }
+
+    /// Pop the oldest queued work unit (an in-order application message for a
+    /// local object), if any.
+    pub fn pop_work(&mut self) -> Option<WorkItem> {
+        let env = self.ready.pop_front()?;
+        self.stats.delivered += 1;
+        Some(WorkItem {
+            ptr: env.target,
+            sender: env.sender,
+            handler: env.handler,
+            hint: env.hint,
+            payload: env.payload,
+        })
+    }
+
+    /// Per-object summary of queued work: `(object, queued messages, summed
+    /// weight hints)`, heaviest first. The load balancer uses this to decide
+    /// which mobile objects to hand over when granting a work request.
+    pub fn ready_summary(&self) -> Vec<(MobilePtr, usize, f64)> {
+        let mut acc: HashMap<MobilePtr, (usize, f64)> = HashMap::new();
+        for e in &self.ready {
+            let slot = acc.entry(e.target).or_insert((0, 0.0));
+            slot.0 += 1;
+            slot.1 += e.hint;
+        }
+        let mut out: Vec<(MobilePtr, usize, f64)> =
+            acc.into_iter().map(|(p, (n, w))| (p, n, w)).collect();
+        out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// A unit of queued work: one in-order message for one local object.
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// Target object (guaranteed resident when popped, though it may be
+    /// detached if the caller interleaves).
+    pub ptr: MobilePtr,
+    /// Original sender.
+    pub sender: Rank,
+    /// Application handler id.
+    pub handler: u32,
+    /// Computational weight hint.
+    pub hint: f64,
+    /// Payload.
+    pub payload: Bytes,
+}

@@ -1,0 +1,162 @@
+//! Per-processor time accounting.
+//!
+//! Every nanosecond a simulated processor spends is attributed to exactly one
+//! [`Category`]. The categories are the legend entries of Figures 3–6 of the
+//! paper, so a [`TimeBreakdown`] per processor is precisely one bar of those
+//! stacked bar charts.
+
+use crate::time::SimTime;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// What a processor was doing during a span of virtual time.
+///
+/// These match the stacked-bar legends in the paper's evaluation figures:
+/// the PREMA runs use `Computation`/`Callback`/`Scheduling`/`Messaging`/
+/// `PollingThread`/`Idle`; the ParMETIS runs use `Computation`/
+/// `Synchronization`/`PartitionCalc`/`Idle`; Charm++ uses the message-driven
+/// subset.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[repr(usize)]
+pub enum Category {
+    /// Useful application work (executing work-unit bodies).
+    Computation = 0,
+    /// Waiting with nothing runnable.
+    Idle = 1,
+    /// CPU cost of sending and receiving messages (software overhead).
+    Messaging = 2,
+    /// Selecting the next work unit / maintaining run queues.
+    Scheduling = 3,
+    /// Handler-dispatch overhead around application callbacks.
+    Callback = 4,
+    /// The implicit-mode polling thread's periodic wake-ups.
+    PollingThread = 5,
+    /// Computing a new partition (ParMETIS-style repartitioners).
+    PartitionCalc = 6,
+    /// Barriers and all-to-all load-information exchange.
+    Synchronization = 7,
+}
+
+impl Category {
+    /// All categories, in figure-legend order.
+    pub const ALL: [Category; 8] = [
+        Category::Computation,
+        Category::Idle,
+        Category::Messaging,
+        Category::Scheduling,
+        Category::Callback,
+        Category::PollingThread,
+        Category::PartitionCalc,
+        Category::Synchronization,
+    ];
+
+    /// Number of categories.
+    pub const COUNT: usize = 8;
+
+    /// Short human-readable label used in harness reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Computation => "compute",
+            Category::Idle => "idle",
+            Category::Messaging => "messaging",
+            Category::Scheduling => "scheduling",
+            Category::Callback => "callback",
+            Category::PollingThread => "poll-thread",
+            Category::PartitionCalc => "partition",
+            Category::Synchronization => "sync",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulated time per [`Category`] for one processor.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    spans: [SimTime; Category::COUNT],
+}
+
+impl TimeBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `dur` to `cat`.
+    pub fn add(&mut self, cat: Category, dur: SimTime) {
+        self.spans[cat as usize] += dur;
+    }
+
+    /// Total accounted time across all categories.
+    pub fn total(&self) -> SimTime {
+        self.spans.iter().copied().sum()
+    }
+
+    /// Total of every category except `Idle` — the "busy" time.
+    pub fn busy(&self) -> SimTime {
+        self.total() - self.spans[Category::Idle as usize]
+    }
+
+    /// Everything that is neither computation nor idle: the runtime-system
+    /// overhead the paper quotes as a percentage of useful computation.
+    pub fn overhead(&self) -> SimTime {
+        self.busy() - self.spans[Category::Computation as usize]
+    }
+
+    /// Iterate `(category, accumulated time)` pairs in legend order.
+    pub fn iter(&self) -> impl Iterator<Item = (Category, SimTime)> + '_ {
+        Category::ALL.iter().map(move |&c| (c, self.spans[c as usize]))
+    }
+}
+
+impl Index<Category> for TimeBreakdown {
+    type Output = SimTime;
+    fn index(&self, cat: Category) -> &SimTime {
+        &self.spans[cat as usize]
+    }
+}
+
+impl IndexMut<Category> for TimeBreakdown {
+    fn index_mut(&mut self, cat: Category) -> &mut SimTime {
+        &mut self.spans[cat as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut b = TimeBreakdown::new();
+        b.add(Category::Computation, SimTime::from_secs(10));
+        b.add(Category::Idle, SimTime::from_secs(2));
+        b.add(Category::Messaging, SimTime::from_millis(500));
+        assert_eq!(b.total(), SimTime::from_millis(12_500));
+        assert_eq!(b.busy(), SimTime::from_millis(10_500));
+        assert_eq!(b.overhead(), SimTime::from_millis(500));
+        assert_eq!(b[Category::Computation], SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn iter_covers_all_categories_once() {
+        let b = TimeBreakdown::new();
+        let cats: Vec<Category> = b.iter().map(|(c, _)| c).collect();
+        assert_eq!(cats.len(), Category::COUNT);
+        for c in Category::ALL {
+            assert_eq!(cats.iter().filter(|&&x| x == c).count(), 1);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = Category::ALL.iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), Category::COUNT);
+    }
+}

@@ -1,0 +1,34 @@
+//! # prema-sim — a deterministic discrete-event distributed machine
+//!
+//! This crate is the hardware substrate for the PREMA reproduction: a
+//! discrete-event simulation of a distributed-memory cluster. The paper's
+//! experiments ran on 128 × 333 MHz UltraSPARC-2i nodes over Fast Ethernet;
+//! [`MachineConfig::paper_testbed`] models exactly that (processor Mflop/s
+//! rate, network latency + bandwidth, per-message software overheads), and the
+//! engine runs 128 virtual processors deterministically on one host.
+//!
+//! The crucial modelling decision, taken straight from the paper's problem
+//! statement, is that **messages are only seen when the software polls**:
+//! a processor busy inside a coarse-grained work unit does not notice queued
+//! load-balancing traffic. Runtimes built on this engine therefore exhibit
+//! the exact phenomenon the paper studies — explicit polling delays load
+//! balancer messages, while PREMA's preemptive polling thread (modelled as
+//! periodic wake-ups inside long work units) sees them in bounded time.
+//!
+//! See [`engine`] for the execution model, [`account`] for the time
+//! categories (the stacked-bar legends of Figures 3–6), and [`stats`] for the
+//! report type the harness turns into tables.
+
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod engine;
+pub mod net;
+pub mod stats;
+pub mod time;
+
+pub use account::{Category, TimeBreakdown};
+pub use engine::{Ctx, Engine, ProcId, Process, SimMessage};
+pub use net::{MachineConfig, NetworkConfig};
+pub use stats::SimReport;
+pub use time::SimTime;

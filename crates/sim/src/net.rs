@@ -1,0 +1,128 @@
+//! Network and machine cost models.
+//!
+//! The simulated machine mirrors the paper's testbed: a cluster of identical
+//! processors connected by a switched commodity network (128 × 333 MHz
+//! UltraSPARC-2i over Fast Ethernet in the paper). Message transit time is the
+//! classic latency/bandwidth model `L + size/B`; the CPU additionally pays a
+//! fixed software overhead per send and per receive, which is how "Messaging
+//! Time" accrues in the figures.
+
+use crate::time::SimTime;
+
+/// Point-to-point network model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkConfig {
+    /// One-way wire latency.
+    pub latency: SimTime,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl NetworkConfig {
+    /// Fast-Ethernet-like defaults matching the paper's testbed:
+    /// ~70 µs one-way latency, 100 Mbit/s ≈ 12.5 MB/s.
+    pub fn fast_ethernet() -> Self {
+        NetworkConfig {
+            latency: SimTime::from_micros(70),
+            bandwidth_bytes_per_sec: 12.5e6,
+        }
+    }
+
+    /// Wire transit time for a message of `size` bytes.
+    pub fn transit(&self, size: usize) -> SimTime {
+        self.latency + SimTime::from_secs_f64(size as f64 / self.bandwidth_bytes_per_sec)
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::fast_ethernet()
+    }
+}
+
+/// The whole simulated machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Number of processors.
+    pub procs: usize,
+    /// Per-processor floating-point rate, in Mflop/s. Work-unit weights are
+    /// specified in Mflop (as in the paper: heavy ≈ 500 Mflop), so
+    /// `time = mflop / mflops`.
+    pub mflops: f64,
+    /// CPU cost charged to the sender per message (software send overhead).
+    pub send_cpu: SimTime,
+    /// CPU cost charged to the receiver per message drained from the inbox.
+    pub recv_cpu: SimTime,
+    /// Network model.
+    pub net: NetworkConfig,
+}
+
+impl MachineConfig {
+    /// The paper's testbed: 128 × 333 Mflop/s processors on Fast Ethernet,
+    /// with LAM/MPI-era per-message software overheads (~25 µs a side).
+    pub fn paper_testbed() -> Self {
+        MachineConfig {
+            procs: 128,
+            mflops: 333.0,
+            send_cpu: SimTime::from_micros(25),
+            recv_cpu: SimTime::from_micros(25),
+            net: NetworkConfig::fast_ethernet(),
+        }
+    }
+
+    /// A small machine for unit tests.
+    pub fn small(procs: usize) -> Self {
+        MachineConfig {
+            procs,
+            ..MachineConfig::paper_testbed()
+        }
+    }
+
+    /// Virtual time to execute `mflop` million floating-point operations.
+    pub fn work_time(&self, mflop: f64) -> SimTime {
+        SimTime::from_secs_f64(mflop / self.mflops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_is_latency_plus_serialization() {
+        let net = NetworkConfig {
+            latency: SimTime::from_micros(100),
+            bandwidth_bytes_per_sec: 1e6,
+        };
+        // 1000 bytes at 1 MB/s = 1 ms serialization.
+        let t = net.transit(1000);
+        assert_eq!(t, SimTime::from_micros(100) + SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn zero_byte_message_costs_only_latency() {
+        let net = NetworkConfig::fast_ethernet();
+        assert_eq!(net.transit(0), net.latency);
+    }
+
+    #[test]
+    fn work_time_matches_paper_scale() {
+        let m = MachineConfig::paper_testbed();
+        // A 500 Mflop "heavy" unit on a 333 Mflop/s processor ≈ 1.5 s.
+        let t = m.work_time(500.0);
+        assert!((t.as_secs_f64() - 1.5015).abs() < 1e-3, "{t:?}");
+        // A 250 Mflop "light" unit is exactly half.
+        assert_eq!(m.work_time(250.0).as_nanos() * 2, t.as_nanos() + t.as_nanos() % 2);
+    }
+
+    #[test]
+    fn transit_monotone_in_size() {
+        let net = NetworkConfig::fast_ethernet();
+        let mut prev = SimTime::ZERO;
+        for size in [0usize, 1, 64, 1500, 65536, 1 << 20] {
+            let t = net.transit(size);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Simulation reports and summary statistics.
+//!
+//! A [`SimReport`] is the raw material for every figure and table in the
+//! paper's evaluation: per-processor stacked time breakdowns (Figures 3–6),
+//! load-distribution quality (standard deviation of computation time), and
+//! runtime-system overhead as a percentage of useful computation.
+
+use crate::account::{Category, TimeBreakdown};
+use crate::time::SimTime;
+use std::fmt::Write as _;
+
+/// Result of running an [`Engine`](crate::Engine) to completion.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Per-processor time accounting.
+    pub breakdowns: Vec<TimeBreakdown>,
+    /// Per-processor finish time.
+    pub finish: Vec<SimTime>,
+    /// Global completion time (max finish).
+    pub makespan: SimTime,
+    /// Per-processor messages sent.
+    pub msgs_sent: Vec<u64>,
+    /// Per-processor bytes sent.
+    pub bytes_sent: Vec<u64>,
+    /// Total events processed (a determinism fingerprint).
+    pub events: u64,
+}
+
+impl SimReport {
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.breakdowns.len()
+    }
+
+    /// A copy with every processor's `Idle` padded up to the global makespan,
+    /// so all stacked bars have equal height — exactly how the paper's figures
+    /// render early finishers.
+    pub fn idle_normalized(&self) -> SimReport {
+        let mut out = self.clone();
+        for (b, &f) in out.breakdowns.iter_mut().zip(&out.finish) {
+            b.add(Category::Idle, self.makespan.saturating_sub(f));
+        }
+        out
+    }
+
+    /// Sum of one category across processors.
+    pub fn total_of(&self, cat: Category) -> SimTime {
+        self.breakdowns.iter().map(|b| b[cat]).sum()
+    }
+
+    /// Mean of one category across processors, in seconds.
+    pub fn mean_of(&self, cat: Category) -> f64 {
+        if self.breakdowns.is_empty() {
+            return 0.0;
+        }
+        self.total_of(cat).as_secs_f64() / self.breakdowns.len() as f64
+    }
+
+    /// Population standard deviation of one category across processors, in
+    /// seconds. `stddev_of(Computation)` is the paper's load-quality metric.
+    pub fn stddev_of(&self, cat: Category) -> f64 {
+        let n = self.breakdowns.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.mean_of(cat);
+        let var = self
+            .breakdowns
+            .iter()
+            .map(|b| {
+                let d = b[cat].as_secs_f64() - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt()
+    }
+
+    /// Runtime-system overhead (everything busy that is not computation) as a
+    /// fraction of useful computation time, summed over all processors. The
+    /// paper quotes this as e.g. 0.029% for PREMA and 29.9% for ParMETIS.
+    pub fn overhead_fraction(&self) -> f64 {
+        let compute = self.total_of(Category::Computation).as_secs_f64();
+        if compute == 0.0 {
+            return 0.0;
+        }
+        let overhead: f64 = self
+            .breakdowns
+            .iter()
+            .map(|b| b.overhead().as_secs_f64())
+            .sum();
+        overhead / compute
+    }
+
+    /// Synchronization + partition-calculation time as a fraction of useful
+    /// computation (the cost the paper attributes to stop-and-repartition).
+    pub fn sync_fraction(&self) -> f64 {
+        let compute = self.total_of(Category::Computation).as_secs_f64();
+        if compute == 0.0 {
+            return 0.0;
+        }
+        (self.total_of(Category::Synchronization).as_secs_f64()
+            + self.total_of(Category::PartitionCalc).as_secs_f64())
+            / compute
+    }
+
+    /// Render the per-processor breakdown as CSV (all categories, one row
+    /// per processor), for plotting the stacked bars exactly as the paper's
+    /// figures draw them.
+    pub fn render_csv(&self) -> String {
+        let norm = self.idle_normalized();
+        let mut s = String::new();
+        let _ = write!(s, "proc");
+        for c in Category::ALL {
+            let _ = write!(s, ",{}", c.label());
+        }
+        let _ = writeln!(s, ",finish");
+        for p in 0..norm.procs() {
+            let _ = write!(s, "{p}");
+            for c in Category::ALL {
+                let _ = write!(s, ",{:.6}", norm.breakdowns[p][c].as_secs_f64());
+            }
+            let _ = writeln!(s, ",{:.6}", self.finish[p].as_secs_f64());
+        }
+        s
+    }
+
+    /// Render an ASCII table: one row per processor, one column per non-empty
+    /// category, plus the finish time. `stride > 1` samples every `stride`-th
+    /// processor (figures show 128 bars; text output shows fewer rows).
+    pub fn render_table(&self, title: &str, stride: usize) -> String {
+        let stride = stride.max(1);
+        let norm = self.idle_normalized();
+        let used: Vec<Category> = Category::ALL
+            .into_iter()
+            .filter(|&c| norm.total_of(c) > SimTime::ZERO)
+            .collect();
+        let mut s = String::new();
+        let _ = writeln!(s, "== {title} ==");
+        let _ = write!(s, "{:>5}", "proc");
+        for c in &used {
+            let _ = write!(s, " {:>11}", c.label());
+        }
+        let _ = writeln!(s, " {:>11}", "finish");
+        for p in (0..norm.procs()).step_by(stride) {
+            let _ = write!(s, "{p:>5}");
+            for &c in &used {
+                let _ = write!(s, " {:>11.3}", norm.breakdowns[p][c].as_secs_f64());
+            }
+            let _ = writeln!(s, " {:>11.3}", self.finish[p].as_secs_f64());
+        }
+        let _ = writeln!(
+            s,
+            "makespan {:.3}s  compute-stddev {:.3}s  overhead {:.4}%  sync {:.3}%",
+            self.makespan.as_secs_f64(),
+            self.stddev_of(Category::Computation),
+            self.overhead_fraction() * 100.0,
+            self.sync_fraction() * 100.0
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(compute_secs: &[u64]) -> SimReport {
+        let breakdowns: Vec<TimeBreakdown> = compute_secs
+            .iter()
+            .map(|&c| {
+                let mut b = TimeBreakdown::new();
+                b.add(Category::Computation, SimTime::from_secs(c));
+                b
+            })
+            .collect();
+        let finish: Vec<SimTime> = compute_secs.iter().map(|&c| SimTime::from_secs(c)).collect();
+        let makespan = finish.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        SimReport {
+            breakdowns,
+            finish,
+            makespan,
+            msgs_sent: vec![0; compute_secs.len()],
+            bytes_sent: vec![0; compute_secs.len()],
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn idle_normalization_equalizes_bar_heights() {
+        let r = mk(&[10, 6, 2]).idle_normalized();
+        for b in &r.breakdowns {
+            assert_eq!(b.total(), SimTime::from_secs(10));
+        }
+        assert_eq!(r.breakdowns[2][Category::Idle], SimTime::from_secs(8));
+    }
+
+    #[test]
+    fn stddev_zero_for_balanced_load() {
+        let r = mk(&[5, 5, 5, 5]);
+        assert_eq!(r.stddev_of(Category::Computation), 0.0);
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        let r = mk(&[2, 4]);
+        // mean 3, deviations ±1 → population stddev 1.
+        assert!((r.stddev_of(Category::Computation) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_fraction_counts_non_compute_busy_time() {
+        let mut r = mk(&[10, 10]);
+        r.breakdowns[0].add(Category::Messaging, SimTime::from_secs(1));
+        r.breakdowns[1].add(Category::Synchronization, SimTime::from_secs(3));
+        assert!((r.overhead_fraction() - 4.0 / 20.0).abs() < 1e-12);
+        assert!((r.sync_fraction() - 3.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_never_counts_as_overhead() {
+        let mut r = mk(&[10]);
+        r.breakdowns[0].add(Category::Idle, SimTime::from_secs(100));
+        assert_eq!(r.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn render_csv_has_header_and_all_rows() {
+        let r = mk(&[3, 1, 2]);
+        let csv = r.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("proc,compute,idle"));
+        assert!(lines[0].ends_with("finish"));
+        // Row 1 (3s compute, no idle pad needed): finish column is 3.
+        assert!(lines[1].ends_with("3.000000"));
+        // Every row has the same number of fields.
+        let n = lines[0].split(',').count();
+        assert!(lines.iter().all(|l| l.split(',').count() == n));
+    }
+
+    #[test]
+    fn render_table_contains_expected_columns() {
+        let mut r = mk(&[3, 1]);
+        r.breakdowns[0].add(Category::PollingThread, SimTime::from_millis(5));
+        let s = r.render_table("demo", 1);
+        assert!(s.contains("demo"));
+        assert!(s.contains("compute"));
+        assert!(s.contains("poll-thread"));
+        assert!(s.contains("makespan"));
+        // Unused categories are omitted.
+        assert!(!s.contains("partition"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the discrete-event engine: determinism, time
+//! accounting consistency, and message conservation under randomized
+//! drivers.
+
+use prema_sim::{Category, Ctx, Engine, MachineConfig, Process, SimReport, SimTime};
+use proptest::prelude::*;
+
+/// A driver scripted by a list of actions. Deterministic given the script.
+struct Scripted {
+    script: Vec<Action>,
+    pc: usize,
+    received: u64,
+}
+
+#[derive(Clone, Debug)]
+enum Action {
+    Compute(u32),
+    Send { dst: usize, size: u16 },
+    PollAll,
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<Action>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u32..2000).prop_map(Action::Compute),
+            (0usize..4, 0u16..2048).prop_map(|(dst, size)| Action::Send { dst, size }),
+            Just(Action::PollAll),
+        ],
+        1..40,
+    )
+}
+
+impl Process for Scripted {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.schedule(SimTime::ZERO, 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, _t: u64) {
+        match self.script.get(self.pc).cloned() {
+            None => {
+                // Drain whatever arrived, then stop.
+                self.received += ctx.poll().len() as u64;
+                ctx.finish();
+            }
+            Some(action) => {
+                self.pc += 1;
+                match action {
+                    Action::Compute(us) => {
+                        ctx.consume(Category::Computation, SimTime::from_micros(us as u64));
+                    }
+                    Action::Send { dst, size } => {
+                        let dst = dst % ctx.num_procs();
+                        ctx.send(dst, 1, size as usize, Box::new(()));
+                    }
+                    Action::PollAll => {
+                        self.received += ctx.poll().len() as u64;
+                    }
+                }
+                ctx.schedule(SimTime::ZERO, 0);
+            }
+        }
+    }
+}
+
+fn run(scripts: &[Vec<Action>]) -> SimReport {
+    Engine::build(MachineConfig::small(scripts.len()), |p| {
+        Box::new(Scripted {
+            script: scripts[p].clone(),
+            pc: 0,
+            received: 0,
+        })
+    })
+    .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn runs_are_bit_deterministic(scripts in proptest::collection::vec(arb_script(), 2..5)) {
+        let a = run(&scripts);
+        let b = run(&scripts);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.finish, b.finish);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.breakdowns, b.breakdowns);
+        prop_assert_eq!(a.msgs_sent, b.msgs_sent);
+    }
+
+    #[test]
+    fn accounting_never_exceeds_finish_time(scripts in proptest::collection::vec(arb_script(), 2..5)) {
+        let r = run(&scripts);
+        for p in 0..r.procs() {
+            // Everything a processor was charged happened before it finished.
+            prop_assert!(
+                r.breakdowns[p].total() <= r.finish[p] + SimTime(1),
+                "proc {} accounted {:?} beyond finish {:?}",
+                p, r.breakdowns[p].total(), r.finish[p]
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_is_max_finish(scripts in proptest::collection::vec(arb_script(), 2..5)) {
+        let r = run(&scripts);
+        let max = r.finish.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        prop_assert_eq!(r.makespan, max);
+    }
+
+    #[test]
+    fn computation_time_matches_script(scripts in proptest::collection::vec(arb_script(), 2..5)) {
+        let r = run(&scripts);
+        for (p, script) in scripts.iter().enumerate() {
+            let expect: u64 = script
+                .iter()
+                .map(|a| match a {
+                    Action::Compute(us) => *us as u64 * 1_000,
+                    _ => 0,
+                })
+                .sum();
+            prop_assert_eq!(r.breakdowns[p][Category::Computation].as_nanos(), expect);
+        }
+    }
+
+    #[test]
+    fn idle_normalization_equalizes_totals(scripts in proptest::collection::vec(arb_script(), 2..5)) {
+        let r = run(&scripts).idle_normalized();
+        for p in 0..r.procs() {
+            prop_assert!(
+                r.breakdowns[p].total() + SimTime(1) >= r.makespan,
+                "proc {p} bar shorter than makespan after normalization"
+            );
+        }
+    }
+}

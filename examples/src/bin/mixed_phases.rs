@@ -1,0 +1,135 @@
+//! End-to-end mixed-phase application — the paper's §6 future work, built
+//! on this reproduction's [`prema::PhaseBarrier`] extension.
+//!
+//! Phase A (asynchronous, highly adaptive): subdomains re-mesh under a
+//! moving crack front with implicit load balancing — no global
+//! synchronization anywhere.
+//!
+//! Phase B (loosely synchronous): a mock Jacobi-style "field solver" sweeps
+//! over whatever subdomains ended up on each rank, with a barrier per
+//! iteration — the regime classic repartitioners were built for.
+//!
+//! The bridge is a single [`prema::PhaseBarrier::wait`] call: once crossed,
+//! migrations have settled and every rank owns a stable set of subdomains
+//! for the solver phase.
+//!
+//! Run with: `cargo run -p prema-examples --release --bin mixed_phases`
+
+use bytes::Bytes;
+use prema::{launch, Completion, PhaseBarrier, PremaConfig};
+use prema_mesh::{decompose_unit_cube, CrackFront, QualityStats, Subdomain};
+
+const H_REFINE: u32 = 1;
+const GRID: usize = 3;
+const ROUNDS: u32 = 3;
+const RANKS: usize = 4;
+const SOLVER_ITERS: usize = 5;
+
+fn main() {
+    let nsubs = GRID * GRID * GRID;
+    let total_tasks = (nsubs as u64) * (ROUNDS as u64);
+
+    let results = launch::<Subdomain, (usize, u64, usize, f64), _>(
+        PremaConfig::implicit(RANKS),
+        move |rt| {
+            rt.on_message(H_REFINE, |ctx, sub, item| {
+                let round = u32::from_le_bytes(item.payload[..4].try_into().unwrap());
+                let sizing = CrackFront::at_round(0.45, 0.12, 0.5, round as usize, ROUNDS as usize);
+                sub.reseed();
+                let stats = sub.mesh_all(&sizing);
+                if round + 1 < ROUNDS {
+                    ctx.message_with_hint(
+                        item.ptr,
+                        H_REFINE,
+                        stats.tets_created.max(1) as f64,
+                        Bytes::copy_from_slice(&(round + 1).to_le_bytes()),
+                    );
+                }
+            });
+            let completion = Completion::install(&rt, total_tasks);
+            let mut barrier = PhaseBarrier::install(&rt);
+
+            // ---- Phase A: asynchronous adaptive meshing ----
+            if rt.rank() == 0 {
+                for sub in decompose_unit_cube(GRID, GRID, GRID, 0.12) {
+                    let ptr = rt.register(sub);
+                    rt.message(ptr, H_REFINE, Bytes::copy_from_slice(&0u32.to_le_bytes()));
+                }
+            }
+            let mut refined = 0u64;
+            loop {
+                if rt.step() {
+                    refined += 1;
+                    completion.report(&rt, 1);
+                } else {
+                    rt.poll();
+                    if completion.is_done() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+
+            // ---- Phase boundary: quiesce ----
+            barrier.wait(&rt);
+
+            // ---- Phase B: loosely synchronous "solver" sweeps ----
+            // Each iteration relaxes a value per local tet, then barriers —
+            // the bulk-synchronous pattern of an iterative field solver.
+            let (local_subs, local_tets) = rt.with_scheduler(|s| {
+                let n = s.node();
+                let tets: usize = n
+                    .local_ptrs()
+                    .iter()
+                    .filter_map(|&p| n.get(p))
+                    .map(|sub| sub.tets.len())
+                    .sum();
+                (n.local_count(), tets)
+            });
+            let mut residual = 1.0f64;
+            for _ in 0..SOLVER_ITERS {
+                // Relaxation work proportional to local tets.
+                let mut x = 1.0f64;
+                for i in 0..(local_tets as u64 * 200) {
+                    x = (x + i as f64).sqrt().max(1.0);
+                }
+                std::hint::black_box(x);
+                residual *= 0.5; // pretend convergence
+                barrier.wait(&rt);
+            }
+
+            // Report a quality summary for the subdomains we ended up with.
+            let acceptable = rt.with_scheduler(|s| {
+                let n = s.node();
+                let mut acc = 0.0;
+                let mut count = 0;
+                for &p in n.local_ptrs().iter() {
+                    if let Some(sub) = n.get(p) {
+                        acc += QualityStats::measure(sub).acceptable_fraction();
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    1.0
+                } else {
+                    acc / count as f64
+                }
+            });
+            let _ = residual;
+            (rt.rank(), refined, local_subs, acceptable)
+        },
+    );
+
+    println!("mixed-phase run: {ROUNDS} adaptive rounds, then {SOLVER_ITERS} solver sweeps");
+    println!("rank  refinements  solver-subdomains  mesh-quality(acceptable)");
+    let mut total = 0;
+    for (rank, refined, subs, quality) in results {
+        println!("{rank:>4}  {refined:>11}  {subs:>17}  {:>22.1}%", quality * 100.0);
+        total += refined;
+    }
+    assert_eq!(total, total_tasks);
+    println!(
+        "asynchronous phase balanced by PREMA; solver phase ran on the settled \
+         distribution — the paper's §6 end-to-end goal."
+    );
+}

@@ -1,0 +1,1 @@
+//! Runnable examples for the PREMA runtime live in `src/bin/`.
