@@ -35,7 +35,10 @@ fn ablate_poll_interval(c: &mut Criterion) {
             ..prema_drv::PremaCfg::default()
         };
         let r = prema_drv::run(&spec, cfg);
-        println!("poll_interval {ms:>5} ms → makespan {:.2}s", r.makespan.as_secs_f64());
+        println!(
+            "poll_interval {ms:>5} ms → makespan {:.2}s",
+            r.makespan.as_secs_f64()
+        );
         group.bench_function(format!("{ms}ms"), |b| {
             b.iter(|| black_box(prema_drv::run(black_box(&spec), cfg).makespan))
         });
@@ -55,7 +58,10 @@ fn ablate_watermark(c: &mut Criterion) {
             ..prema_drv::PremaCfg::default()
         };
         let r = prema_drv::run(&spec, cfg);
-        println!("watermark {wm:>6.0} Mflop → makespan {:.2}s", r.makespan.as_secs_f64());
+        println!(
+            "watermark {wm:>6.0} Mflop → makespan {:.2}s",
+            r.makespan.as_secs_f64()
+        );
         group.bench_function(format!("{wm}"), |b| {
             b.iter(|| black_box(prema_drv::run(black_box(&spec), cfg).makespan))
         });
@@ -74,7 +80,10 @@ fn ablate_alpha(c: &mut Criterion) {
             ..parmetis_drv::ParMetisCfg::default()
         };
         let r = parmetis_drv::run(&spec, cfg);
-        println!("alpha {alpha:>6.1} → makespan {:.2}s", r.makespan.as_secs_f64());
+        println!(
+            "alpha {alpha:>6.1} → makespan {:.2}s",
+            r.makespan.as_secs_f64()
+        );
         group.bench_function(format!("{alpha}"), |b| {
             b.iter(|| black_box(parmetis_drv::run(black_box(&spec), cfg).makespan))
         });
@@ -90,7 +99,10 @@ fn ablate_sync_points(c: &mut Criterion) {
     for sync_points in [0usize, 1, 4, 7] {
         // unit counts divide I = sync_points + 1 for these choices (1280 units)
         let r = charm_drv::run(&spec, sync_points);
-        println!("sync points {sync_points} → makespan {:.2}s", r.makespan.as_secs_f64());
+        println!(
+            "sync points {sync_points} → makespan {:.2}s",
+            r.makespan.as_secs_f64()
+        );
         group.bench_function(format!("{sync_points}"), |b| {
             b.iter(|| black_box(charm_drv::run(black_box(&spec), sync_points).makespan))
         });
@@ -109,7 +121,10 @@ fn ablate_grant(c: &mut Criterion) {
             ..prema_drv::PremaCfg::default()
         };
         let r = prema_drv::run(&spec, cfg);
-        println!("max_grant {grant:>3} → makespan {:.2}s", r.makespan.as_secs_f64());
+        println!(
+            "max_grant {grant:>3} → makespan {:.2}s",
+            r.makespan.as_secs_f64()
+        );
         group.bench_function(format!("{grant}"), |b| {
             b.iter(|| black_box(prema_drv::run(black_box(&spec), cfg).makespan))
         });
@@ -145,10 +160,9 @@ fn ablate_forwarding(c: &mut Criterion) {
         let ptr = nodes[0].register(Blob(0));
         for round in 0..50usize {
             let dst = (round * 3 + 1) % 8;
-            for src in 0..8 {
-                if nodes[src].is_local(ptr) && src != dst {
+            if let Some(src) = nodes.iter().position(|n| n.is_local(ptr)) {
+                if src != dst {
                     let _ = nodes[src].migrate(ptr, dst);
-                    break;
                 }
             }
             nodes[7].message(ptr, 1, Bytes::from_static(b"m"));

@@ -37,17 +37,16 @@ fn bench_figures(c: &mut Criterion) {
 
         let mut group = c.benchmark_group(format!("figure{figure}"));
         group.sample_size(10);
-        for cfg in Config::ALL {
+        // One config per figure is enough for timing; running all six
+        // under `b.iter` would multiply bench time sixfold for no
+        // information — the summary above already records every panel.
+        if let Some(cfg) = Config::ALL.into_iter().next() {
             group.bench_function(format!("{:?}", cfg), |b| {
                 b.iter(|| {
                     let r = run_figure(figure, black_box(&spec));
                     black_box(r.makespan_secs(cfg))
                 })
             });
-            // One config per figure is enough for timing; running all six
-            // under `b.iter` would multiply bench time sixfold for no
-            // information — the summary above already records every panel.
-            break;
         }
         group.finish();
     }

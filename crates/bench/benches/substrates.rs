@@ -26,7 +26,13 @@ fn bench_partitioning(c: &mut Criterion) {
     let mut group = c.benchmark_group("metis");
     let g = Graph::grid(64, 64); // 4096 vertices
     group.bench_function("partition_kway_4096v_k8", |b| {
-        b.iter(|| black_box(partition_kway(black_box(&g), 8, &PartitionConfig::default())))
+        b.iter(|| {
+            black_box(partition_kway(
+                black_box(&g),
+                8,
+                &PartitionConfig::default(),
+            ))
+        })
     });
     let old: Vec<u32> = (0..g.nv()).map(|v| (v * 8 / g.nv()) as u32).collect();
     group.bench_function("adaptive_repart_4096v_k8", |b| {
@@ -42,7 +48,12 @@ fn bench_partitioning(c: &mut Criterion) {
     });
     let small = Graph::grid(16, 16);
     group.bench_function("heavy_edge_matching_256v", |b| {
-        b.iter(|| black_box(prema_metis::coarsen::heavy_edge_matching(black_box(&small), 7)))
+        b.iter(|| {
+            black_box(prema_metis::coarsen::heavy_edge_matching(
+                black_box(&small),
+                7,
+            ))
+        })
     });
     group.finish();
 }
@@ -96,7 +107,7 @@ fn bench_sim_engine(c: &mut Criterion) {
             }
             self.left -= 1;
             ctx.consume(Category::Computation, SimTime::from_millis(1));
-            if self.left % 8 == 0 && ctx.pid() + 1 < ctx.num_procs() {
+            if self.left.is_multiple_of(8) && ctx.pid() + 1 < ctx.num_procs() {
                 ctx.send(ctx.pid() + 1, 1, 64, Box::new(()));
             }
             let _ = ctx.poll();
@@ -146,5 +157,11 @@ fn bench_mesher(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partitioning, bench_mol, bench_sim_engine, bench_mesher);
+criterion_group!(
+    benches,
+    bench_partitioning,
+    bench_mol,
+    bench_sim_engine,
+    bench_mesher
+);
 criterion_main!(benches);

@@ -117,9 +117,30 @@ mod tests {
         db.end_phase();
         let loads = db.chare_loads(&[1, 0, 1]);
         assert_eq!(loads.len(), 3);
-        assert_eq!(loads[0], ChareLoad { chare: 0, pe: 1, load: 2.0 });
-        assert_eq!(loads[1], ChareLoad { chare: 1, pe: 0, load: 0.0 });
-        assert_eq!(loads[2], ChareLoad { chare: 2, pe: 1, load: 4.0 });
+        assert_eq!(
+            loads[0],
+            ChareLoad {
+                chare: 0,
+                pe: 1,
+                load: 2.0
+            }
+        );
+        assert_eq!(
+            loads[1],
+            ChareLoad {
+                chare: 1,
+                pe: 0,
+                load: 0.0
+            }
+        );
+        assert_eq!(
+            loads[2],
+            ChareLoad {
+                chare: 2,
+                pe: 1,
+                load: 4.0
+            }
+        );
     }
 
     #[test]

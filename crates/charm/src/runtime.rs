@@ -212,7 +212,10 @@ impl<C: Chare> CharmRuntime<C> {
     pub fn set_placement(&mut self, placement: Vec<usize>) {
         assert_eq!(placement.len(), self.chares.len());
         assert!(placement.iter().all(|&p| p < self.pes.len()));
-        assert!(self.pes.iter().all(|p| p.queue.is_empty()), "placement set after seeding");
+        assert!(
+            self.pes.iter().all(|p| p.queue.is_empty()),
+            "placement set after seeding"
+        );
         self.placement = placement;
     }
 
@@ -291,7 +294,9 @@ impl<C: Chare> CharmRuntime<C> {
         let owner = self.placement[msg.chare];
         if owner != pe {
             let arrival = st.clock + self.machine.net.transit(msg.payload.len() + 24);
-            self.pes[owner].queue.push_back(QueuedMsg { arrival, ..msg });
+            self.pes[owner]
+                .queue
+                .push_back(QueuedMsg { arrival, ..msg });
             // Re-sort not needed: arrival monotonicity is approximate; the
             // queue is FIFO per PE which matches Charm++'s scheduler.
             return;
@@ -318,7 +323,8 @@ impl<C: Chare> CharmRuntime<C> {
         st.clock += consumed;
         self.db.record_execution(msg.chare, consumed.as_secs_f64());
         if let Some(from) = msg.from {
-            self.db.record_comm(from, msg.chare, msg.payload.len() as f64);
+            self.db
+                .record_comm(from, msg.chare, msg.payload.len() as f64);
         }
 
         // Apply sends.
@@ -554,7 +560,12 @@ mod tests {
         };
         let g = run(LbStrategy::Greedy);
         let r = run(LbStrategy::Refine(1.1));
-        assert!(r.migrations <= g.migrations, "refine {} > greedy {}", r.migrations, g.migrations);
+        assert!(
+            r.migrations <= g.migrations,
+            "refine {} > greedy {}",
+            r.migrations,
+            g.migrations
+        );
     }
 
     #[test]
@@ -578,12 +589,12 @@ mod tests {
             .iter()
             .map(|b| b[Category::Synchronization])
             .sum();
-        assert!(sync_total > SimTime::ZERO, "no synchronization cost recorded");
-        // The light PEs waited roughly the heavy/light difference.
         assert!(
-            report.breakdowns[1][Category::Synchronization]
-                > machine(4).work_time(900.0)
+            sync_total > SimTime::ZERO,
+            "no synchronization cost recorded"
         );
+        // The light PEs waited roughly the heavy/light difference.
+        assert!(report.breakdowns[1][Category::Synchronization] > machine(4).work_time(900.0));
     }
 
     #[test]

@@ -50,11 +50,15 @@ pub fn greedy_assign(chares: &[ChareLoad], npes: usize) -> Vec<usize> {
     let nchares = chares.iter().map(|c| c.chare + 1).max().unwrap_or(0);
     let mut mapping = vec![0usize; nchares];
     let mut order: Vec<&ChareLoad> = chares.iter().collect();
-    order.sort_by(|a, b| b.load.partial_cmp(&a.load).unwrap().then(a.chare.cmp(&b.chare)));
+    order.sort_by(|a, b| {
+        b.load
+            .partial_cmp(&a.load)
+            .unwrap()
+            .then(a.chare.cmp(&b.chare))
+    });
     // Min-heap of (load, pe).
-    let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> = (0..npes)
-        .map(|p| Reverse((OrderedF64(0.0), p)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> =
+        (0..npes).map(|p| Reverse((OrderedF64(0.0), p))).collect();
     for c in order {
         let Reverse((OrderedF64(load), pe)) = heap.pop().unwrap();
         mapping[c.chare] = pe;
@@ -86,7 +90,12 @@ pub fn refine_assign(chares: &[ChareLoad], npes: usize, threshold: f64) -> Vec<u
         by_pe[c.pe].push(c);
     }
     for list in &mut by_pe {
-        list.sort_by(|a, b| b.load.partial_cmp(&a.load).unwrap().then(a.chare.cmp(&b.chare)));
+        list.sort_by(|a, b| {
+            b.load
+                .partial_cmp(&a.load)
+                .unwrap()
+                .then(a.chare.cmp(&b.chare))
+        });
     }
 
     for pe in 0..npes {
@@ -158,7 +167,7 @@ mod tests {
 
     #[test]
     fn greedy_balances_uniform_chares() {
-        let cs = loads(&[(0, 1.0); 8].to_vec());
+        let cs = loads([(0, 1.0); 8].as_ref());
         let m = greedy_assign(&cs, 4);
         let l = pe_loads(&cs, &m, 4);
         assert!(l.iter().all(|&x| (x - 2.0).abs() < 1e-9), "{l:?}");
@@ -173,7 +182,10 @@ mod tests {
         let m = greedy_assign(&cs, 2);
         let l = pe_loads(&cs, &m, 2);
         // Optimal split: 10 vs 9.
-        assert!(l.iter().cloned().fold(0.0, f64::max) <= 10.0 + 1e-9, "{l:?}");
+        assert!(
+            l.iter().cloned().fold(0.0, f64::max) <= 10.0 + 1e-9,
+            "{l:?}"
+        );
     }
 
     #[test]
@@ -182,7 +194,10 @@ mod tests {
         let cs = loads(&[(0, 1.0), (0, 1.0), (0, 1.0), (0, 1.0)]);
         let m = refine_assign(&cs, 2, 1.05);
         let l = pe_loads(&cs, &m, 2);
-        assert!((l[0] - 2.0).abs() < 1e-9 && (l[1] - 2.0).abs() < 1e-9, "{l:?}");
+        assert!(
+            (l[0] - 2.0).abs() < 1e-9 && (l[1] - 2.0).abs() < 1e-9,
+            "{l:?}"
+        );
         // A balanced input is untouched.
         let cs2 = loads(&[(0, 1.0), (1, 1.0)]);
         let m2 = refine_assign(&cs2, 2, 1.05);
@@ -209,7 +224,7 @@ mod tests {
     #[test]
     fn metis_strategy_respects_communication() {
         // Two chare cliques; cutting inside a clique is expensive.
-        let cs = loads(&[(0, 1.0); 8].to_vec());
+        let cs = loads([(0, 1.0); 8].as_ref());
         let mut comm = Vec::new();
         for base in [0usize, 4] {
             for i in 0..4 {

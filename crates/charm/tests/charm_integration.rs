@@ -90,7 +90,10 @@ fn migration_counts_are_reported() {
     }
     let report = rt.run();
     assert!(report.migrations > 0);
-    assert!(report.migrations <= 8, "cannot migrate more chares than exist");
+    assert!(
+        report.migrations <= 8,
+        "cannot migrate more chares than exist"
+    );
 }
 
 #[test]

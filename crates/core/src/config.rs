@@ -113,7 +113,10 @@ mod tests {
 
     #[test]
     fn presets_have_expected_modes() {
-        assert!(matches!(PremaConfig::implicit(4).mode, LbMode::Implicit { .. }));
+        assert!(matches!(
+            PremaConfig::implicit(4).mode,
+            LbMode::Implicit { .. }
+        ));
         assert_eq!(PremaConfig::explicit(4).mode, LbMode::Explicit);
         assert_eq!(PremaConfig::disabled(4).mode, LbMode::Disabled);
         assert_eq!(PremaConfig::implicit(4).nprocs, 4);
@@ -125,10 +128,21 @@ mod tests {
             PolicyKind::WorkStealing { watermark: 2.0 }.build(1).name(),
             "work-stealing"
         );
-        assert_eq!(PolicyKind::Diffusion { threshold: 0.5 }.build(1).name(), "diffusion");
-        assert_eq!(PolicyKind::Multilist { low_units: 1 }.build(1).name(), "multilist");
         assert_eq!(
-            PolicyKind::Gradient { low_weight: 1.0, high_weight: 2.0 }.build(1).name(),
+            PolicyKind::Diffusion { threshold: 0.5 }.build(1).name(),
+            "diffusion"
+        );
+        assert_eq!(
+            PolicyKind::Multilist { low_units: 1 }.build(1).name(),
+            "multilist"
+        );
+        assert_eq!(
+            PolicyKind::Gradient {
+                low_weight: 1.0,
+                high_weight: 2.0
+            }
+            .build(1)
+            .name(),
             "gradient"
         );
     }

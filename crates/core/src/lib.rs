@@ -52,6 +52,8 @@
 pub mod config;
 pub mod phases;
 pub mod runtime;
+pub mod shutdown;
+pub mod sync;
 pub mod termination;
 
 pub use config::{LbMode, PolicyKind, PremaConfig};

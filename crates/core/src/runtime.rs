@@ -21,14 +21,13 @@
 //! of the application".
 
 use crate::config::{LbMode, PremaConfig};
+use crate::shutdown::{run_poll_loop, StopFlag};
+use crate::sync::{Arc, Mutex};
 use bytes::Bytes;
-use parking_lot::Mutex;
 use prema_dcs::{Communicator, LocalFabric, Rank};
 use prema_ilb as ilb;
 use prema_ilb::LoadSnapshot;
 use prema_mol::{Migratable, MobilePtr, MolNode, MolStats, WorkItem};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
 /// Handle to one rank's PREMA runtime, used from that rank's application
 /// thread.
@@ -185,7 +184,7 @@ where
     F: Fn(Runtime<O>) -> R + Send + Sync + 'static,
 {
     let endpoints = LocalFabric::new(cfg.nprocs);
-    let stop = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(StopFlag::new());
     let main = Arc::new(main);
 
     let mut app_threads = Vec::with_capacity(cfg.nprocs);
@@ -204,10 +203,11 @@ where
             let sched = sched.clone();
             let stop = stop.clone();
             poll_threads.push(std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
+                run_poll_loop(&stop, || {
                     std::thread::sleep(poll_interval);
                     sched.lock().poll_system();
-                }
+                    true
+                });
             }));
         }
 
@@ -222,11 +222,14 @@ where
         }));
     }
 
+    // Join app threads first (no lock held — a join while holding a
+    // scheduler mutex would deadlock against the pollers; see the loom model
+    // in tests/loom_shutdown.rs), then request stop and reap the pollers.
     let results: Vec<R> = app_threads
         .into_iter()
         .map(|t| t.join().expect("rank thread panicked"))
         .collect();
-    stop.store(true, Ordering::Relaxed);
+    stop.request_stop();
     for t in poll_threads {
         t.join().expect("polling thread panicked");
     }

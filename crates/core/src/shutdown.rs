@@ -1,0 +1,99 @@
+//! The implicit-mode shutdown protocol, isolated for model checking.
+//!
+//! [`launch`](crate::launch) pairs every rank's polling thread with one
+//! shared [`StopFlag`]: app threads run to completion, the launcher requests
+//! stop, and each poller observes the request and exits before being joined.
+//! The protocol lives here — behind the [`crate::sync`] facade — so that
+//! `crates/core/tests/loom_shutdown.rs` can explore **every** interleaving
+//! of flag store, flag load, scheduler-mutex handoff, and join under the
+//! loom model checker. Keeping it a leaf module keeps the model's state
+//! space small enough to exhaust.
+//!
+//! # Memory ordering
+//!
+//! The store uses `Release` and the load `Acquire`, so everything the
+//! requester wrote before [`StopFlag::request_stop`] is visible to the
+//! poller when it observes the stop — the poller's final `poll_system` pass
+//! must see the app threads' completed sends. `Relaxed` would be flagged by
+//! `cargo xtask lint` (and is not verified by the SC-only loom stand-in).
+
+use crate::sync::{AtomicBool, Ordering};
+
+/// A one-way latch telling polling threads to wind down.
+#[derive(Debug, Default)]
+pub struct StopFlag {
+    stop: AtomicBool,
+}
+
+impl StopFlag {
+    /// A new, un-requested flag.
+    pub fn new() -> StopFlag {
+        StopFlag {
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Request shutdown. All writes made before this call happen-before any
+    /// [`StopFlag::is_requested`] call that observes it.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_requested(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// Drive one polling thread until `stop` is requested.
+///
+/// `step` performs one poll pass (in production: pace, lock the scheduler,
+/// `poll_system`) and returns whether to keep polling — production steps
+/// always return `true`; model tests use the return value to bound the loop
+/// for the explorer. The stop check precedes every step, so a poller never
+/// touches the scheduler after it has observed the stop request.
+pub fn run_poll_loop(stop: &StopFlag, mut step: impl FnMut() -> bool) {
+    while !stop.is_requested() && step() {}
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_loop_exits_once_stop_is_requested() {
+        let stop = StopFlag::new();
+        let mut steps = 0;
+        run_poll_loop(&stop, || {
+            steps += 1;
+            if steps == 3 {
+                stop.request_stop();
+            }
+            true
+        });
+        assert_eq!(steps, 3);
+    }
+
+    #[test]
+    fn poll_loop_never_steps_after_prior_stop() {
+        let stop = StopFlag::new();
+        stop.request_stop();
+        let mut steps = 0;
+        run_poll_loop(&stop, || {
+            steps += 1;
+            true
+        });
+        assert_eq!(steps, 0);
+    }
+
+    #[test]
+    fn step_can_end_the_loop_itself() {
+        let stop = StopFlag::new();
+        let mut steps = 0;
+        run_poll_loop(&stop, || {
+            steps += 1;
+            steps < 2
+        });
+        assert_eq!(steps, 2);
+    }
+}

@@ -41,7 +41,12 @@ fn run_config(cfg: PremaConfig, objects: usize, hits: u64) -> Vec<(u64, u64)> {
         let completion = Completion::install(&rt, total);
         if rt.rank() == 0 {
             let ptrs: Vec<_> = (0..objects)
-                .map(|i| rt.register(Cell { id: i as u64, hits: 0 }))
+                .map(|i| {
+                    rt.register(Cell {
+                        id: i as u64,
+                        hits: 0,
+                    })
+                })
                 .collect();
             for _ in 0..hits {
                 for &p in &ptrs {
@@ -86,7 +91,10 @@ fn explicit_mode_completes() {
 #[test]
 fn disabled_mode_keeps_work_on_rank_zero() {
     let results = run_config(PremaConfig::disabled(3), 6, 5);
-    assert_eq!(results[0].0, 30, "rank 0 should execute everything: {results:?}");
+    assert_eq!(
+        results[0].0, 30,
+        "rank 0 should execute everything: {results:?}"
+    );
     assert_eq!(results[1].0 + results[2].0, 0);
     // And nothing migrated.
     assert!(results.iter().all(|r| r.1 == 0));
@@ -147,7 +155,12 @@ fn object_state_survives_migration_exactly() {
         let completion = Completion::install(&rt, (objects as u64) * total_hits);
         if rt.rank() == 0 {
             let ptrs: Vec<_> = (0..objects)
-                .map(|i| rt.register(Cell { id: i as u64, hits: 0 }))
+                .map(|i| {
+                    rt.register(Cell {
+                        id: i as u64,
+                        hits: 0,
+                    })
+                })
                 .collect();
             for _ in 0..total_hits {
                 for &p in &ptrs {
@@ -269,7 +282,9 @@ fn explicit_application_migration() {
         rt.on_message(H_HIT, |_ctx, cell, _item| cell.hits += 1);
         let completion = Completion::install(&rt, 6);
         if rt.rank() == 0 {
-            let ptrs: Vec<_> = (0..6).map(|i| rt.register(Cell { id: i, hits: 0 })).collect();
+            let ptrs: Vec<_> = (0..6)
+                .map(|i| rt.register(Cell { id: i, hits: 0 }))
+                .collect();
             // Hand-place: object i on rank i % 3.
             for (i, &p) in ptrs.iter().enumerate() {
                 let dst = i % 3;

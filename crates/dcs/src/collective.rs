@@ -98,7 +98,10 @@ impl<'a> Collectives<'a> {
                 let _epoch = r.u64();
                 let src = r.u64() as usize;
                 let body = r.bytes();
-                assert!(parts[src].is_none(), "duplicate gather contribution from {src}");
+                assert!(
+                    parts[src].is_none(),
+                    "duplicate gather contribution from {src}"
+                );
                 parts[src] = Some(body);
                 have += 1;
             }

@@ -87,14 +87,18 @@ impl Communicator {
         if let Some(env) = self.sidelined.borrow_mut().pop_front() {
             return Some(self.count_recv(env));
         }
-        self.transport.recv_timeout(timeout).map(|e| self.count_recv(e))
+        self.transport
+            .recv_timeout(timeout)
+            .map(|e| self.count_recv(e))
     }
 
     /// Blocking receive with timeout that bypasses the sideline queue. Used
     /// by waits that *produce* sidelined messages (collectives): consuming
     /// the sideline here would starve the transport and livelock.
     pub fn recv_timeout_transport(&self, timeout: Duration) -> Option<Envelope> {
-        self.transport.recv_timeout(timeout).map(|e| self.count_recv(e))
+        self.transport
+            .recv_timeout(timeout)
+            .map(|e| self.count_recv(e))
     }
 
     /// Non-blocking receive that bypasses the sideline queue, looking only at

@@ -85,7 +85,9 @@ impl<T: Transport> Transport for DelayTransport<T> {
                 .map(|(visible, _)| *visible)
                 .unwrap_or(now + Duration::from_micros(200));
             let wake = next.min(deadline);
-            let pause = wake.saturating_duration_since(now).min(Duration::from_micros(500));
+            let pause = wake
+                .saturating_duration_since(now)
+                .min(Duration::from_micros(500));
             std::thread::sleep(pause.max(Duration::from_micros(10)));
         }
     }

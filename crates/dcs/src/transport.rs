@@ -186,10 +186,10 @@ mod tests {
             count += 1;
             let v = e.handler.0;
             if e.src == 0 {
-                assert!(last_a.map_or(true, |p| v > p), "fifo from rank 0 violated");
+                assert!(last_a.is_none_or(|p| v > p), "fifo from rank 0 violated");
                 last_a = Some(v);
             } else {
-                assert!(last_b.map_or(true, |p| v > p), "fifo from rank 1 violated");
+                assert!(last_b.is_none_or(|p| v > p), "fifo from rank 1 violated");
                 last_b = Some(v);
             }
         }
@@ -228,6 +228,9 @@ mod tests {
         for _ in 0..4 {
             seen_src.push(c.try_recv().unwrap().src);
         }
-        assert!(seen_src.contains(&0) && seen_src.contains(&1), "{seen_src:?}");
+        assert!(
+            seen_src.contains(&0) && seen_src.contains(&1),
+            "{seen_src:?}"
+        );
     }
 }

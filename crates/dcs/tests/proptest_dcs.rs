@@ -122,10 +122,7 @@ fn app_traffic_interleaved_with_collectives() {
                 for round in 0u32..5 {
                     for dst in 0..n {
                         if dst != rank {
-                            let payload = WireWriter::new()
-                                .u32(round)
-                                .u64(rank as u64)
-                                .finish();
+                            let payload = WireWriter::new().u32(round).u64(rank as u64).finish();
                             comm.am_send(dst, HandlerId(7), Tag::App, payload);
                         }
                     }

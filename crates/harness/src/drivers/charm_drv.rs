@@ -98,7 +98,10 @@ mod tests {
         // percent of the no-LB baseline (messaging overheads differ).
         let ratio = charm.makespan.as_secs_f64() / base.makespan.as_secs_f64();
         assert!((0.95..=1.05).contains(&ratio), "ratio {ratio}");
-        assert_eq!(charm.total_of(Category::Synchronization), prema_sim::SimTime::ZERO);
+        assert_eq!(
+            charm.total_of(Category::Synchronization),
+            prema_sim::SimTime::ZERO
+        );
     }
 
     #[test]

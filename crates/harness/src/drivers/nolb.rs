@@ -57,14 +57,20 @@ mod tests {
         let measured = report.makespan.as_secs_f64();
         // Scheduling/callback overheads add a sliver on top.
         assert!(measured >= analytic, "{measured} < {analytic}");
-        assert!(measured < analytic * 1.001, "{measured} too far above {analytic}");
+        assert!(
+            measured < analytic * 1.001,
+            "{measured} too far above {analytic}"
+        );
     }
 
     #[test]
     fn heavy_procs_never_idle_light_procs_finish_early() {
         let spec = BenchSpec::test_scale(3);
         let report = run(&spec);
-        assert_eq!(report.breakdowns[0][Category::Idle], prema_sim::SimTime::ZERO);
+        assert_eq!(
+            report.breakdowns[0][Category::Idle],
+            prema_sim::SimTime::ZERO
+        );
         assert!(report.finish[0] > report.finish[7]);
         // 2× weights: heavy block takes twice the light block.
         let ratio = report.finish[0].as_secs_f64() / report.finish[7].as_secs_f64();

@@ -98,7 +98,9 @@ enum Phase {
     /// Told to sync; loads sent; waiting for ASSIGN.
     Barrier,
     /// ASSIGN received; waiting for `expect` incoming unit messages.
-    Migrate { expect: usize },
+    Migrate {
+        expect: usize,
+    },
 }
 
 /// Root-only bookkeeping.
@@ -234,12 +236,16 @@ impl ParMetisProc {
         };
         let root = self.root.as_mut().expect("UNDER at non-root");
         if root.syncing {
-            if dbg { eprintln!("[{:.2}] skip: syncing", now.as_secs_f64()); }
+            if dbg {
+                eprintln!("[{:.2}] skip: syncing", now.as_secs_f64());
+            }
             deny(self, ctx);
             return;
         }
         if now.saturating_sub(root.last_sync_end) < self.cfg.cooldown {
-            if dbg { eprintln!("[{:.2}] skip: cooldown", now.as_secs_f64()); }
+            if dbg {
+                eprintln!("[{:.2}] skip: cooldown", now.as_secs_f64());
+            }
             deny(self, ctx);
             return;
         }
@@ -253,7 +259,9 @@ impl ParMetisProc {
         // effective partitioning and units are mandated to remain).
         let remaining = root.total_initial_mflop - root.executed_mflop_reported;
         if remaining <= root.total_initial_mflop * 0.01 {
-            if dbg { eprintln!("[{:.2}] skip: done", now.as_secs_f64()); }
+            if dbg {
+                eprintln!("[{:.2}] skip: done", now.as_secs_f64());
+            }
             deny(self, ctx);
             return;
         }
@@ -264,11 +272,18 @@ impl ParMetisProc {
             .filter(|&&e| root.initial_per_proc - e > meaningful)
             .count();
         if (sources as f64) < self.cfg.min_source_coverage * n as f64 {
-            if dbg { eprintln!("[{:.2}] skip: too few sources ({sources})", now.as_secs_f64()); }
+            if dbg {
+                eprintln!(
+                    "[{:.2}] skip: too few sources ({sources})",
+                    now.as_secs_f64()
+                );
+            }
             deny(self, ctx);
             return;
         }
-        if dbg { eprintln!("[{:.2}] SYNC start", now.as_secs_f64()); }
+        if dbg {
+            eprintln!("[{:.2}] SYNC start", now.as_secs_f64());
+        }
         root.syncing = true;
         root.epoch += 1;
         let epoch = root.epoch;
@@ -290,8 +305,7 @@ impl ParMetisProc {
     fn enter_barrier(&mut self, ctx: &mut Ctx) {
         // Describe the remaining units to the root; the units themselves
         // stay put until migration orders arrive.
-        let mine: Vec<(usize, WorkUnit)> =
-            self.queue.iter().map(|u| (ctx.pid(), *u)).collect();
+        let mine: Vec<(usize, WorkUnit)> = self.queue.iter().map(|u| (ctx.pid(), *u)).collect();
         let size = CTRL_BYTES + 16 * mine.len();
         ctx.consume(Category::Synchronization, SimTime::from_micros(200));
         if ctx.pid() == 0 {
@@ -387,7 +401,12 @@ impl ParMetisProc {
             if dst == me {
                 self.apply_assign(ctx, assign);
             } else {
-                ctx.send(dst, K_ASSIGN, CTRL_BYTES + 16 * assign.orders.len(), Box::new(assign));
+                ctx.send(
+                    dst,
+                    K_ASSIGN,
+                    CTRL_BYTES + 16 * assign.orders.len(),
+                    Box::new(assign),
+                );
             }
         }
     }

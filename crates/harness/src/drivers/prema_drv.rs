@@ -134,8 +134,7 @@ impl PremaProc {
     }
 
     fn lb_evaluate(&mut self, ctx: &mut Ctx) {
-        if self.outstanding || self.attempt >= self.cfg.max_attempts || self.units_left.get() == 0
-        {
+        if self.outstanding || self.attempt >= self.cfg.max_attempts || self.units_left.get() == 0 {
             return;
         }
         let underloaded = if self.cfg.implicit {

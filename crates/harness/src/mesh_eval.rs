@@ -691,7 +691,12 @@ impl StopRepartMesh {
             if dst == me {
                 self.apply_assign(ctx, assign);
             } else {
-                ctx.send(dst, K_ASSIGN, CTRL_BYTES + 12 * assign.orders.len(), Box::new(assign));
+                ctx.send(
+                    dst,
+                    K_ASSIGN,
+                    CTRL_BYTES + 12 * assign.orders.len(),
+                    Box::new(assign),
+                );
             }
         }
     }

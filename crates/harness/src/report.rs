@@ -81,7 +81,12 @@ pub struct FigureReport {
 impl FigureReport {
     /// Look up a panel.
     pub fn get(&self, c: Config) -> &SimReport {
-        &self.panels.iter().find(|(k, _)| *k == c).expect("missing panel").1
+        &self
+            .panels
+            .iter()
+            .find(|(k, _)| *k == c)
+            .expect("missing panel")
+            .1
     }
 
     /// Render the whole figure as text tables plus a summary comparison.

@@ -62,12 +62,18 @@ pub fn shape_criteria(fig3: &FigureReport, fig4: &FigureReport) -> Vec<(String, 
     // Fig 3: implicit ≈ 30% over NoLB, and ahead of ParMETIS.
     let save_nolb = 1.0 - m(fig3, Config::PremaImplicit) / m(fig3, Config::NoLb);
     out.push((
-        format!("fig3: implicit saves ≥20% over NoLB (paper: 30%; got {:.1}%)", save_nolb * 100.0),
+        format!(
+            "fig3: implicit saves ≥20% over NoLB (paper: 30%; got {:.1}%)",
+            save_nolb * 100.0
+        ),
         save_nolb >= 0.20,
     ));
     let save_pm = 1.0 - m(fig3, Config::PremaImplicit) / m(fig3, Config::ParMetis);
     out.push((
-        format!("fig3: implicit beats ParMETIS (paper: 7.3%; got {:.1}%)", save_pm * 100.0),
+        format!(
+            "fig3: implicit beats ParMETIS (paper: 7.3%; got {:.1}%)",
+            save_pm * 100.0
+        ),
         save_pm > 0.0,
     ));
     // Fig 3: implicit beats explicit and Charm-no-sync. (The paper reports
@@ -93,7 +99,10 @@ pub fn shape_criteria(fig3: &FigureReport, fig4: &FigureReport) -> Vec<(String, 
     // Fig 4: ParMETIS degrades — its advantage over NoLB shrinks to <15%.
     let pm_save4 = 1.0 - m(fig4, Config::ParMetis) / m(fig4, Config::NoLb);
     out.push((
-        format!("fig4: ParMETIS gains little over NoLB (got {:.1}%)", pm_save4 * 100.0),
+        format!(
+            "fig4: ParMETIS gains little over NoLB (got {:.1}%)",
+            pm_save4 * 100.0
+        ),
         pm_save4 < 0.15,
     ));
     // Fig 4: ParMETIS pays a much larger sync bill than in fig 3.
@@ -111,7 +120,10 @@ pub fn shape_criteria(fig3: &FigureReport, fig4: &FigureReport) -> Vec<(String, 
     for (r, name) in [(fig3, "fig3"), (fig4, "fig4")] {
         let o = r.get(Config::PremaImplicit).overhead_fraction();
         out.push((
-            format!("{name}: implicit overhead < 0.5% (paper: ~0.03%; got {:.4}%)", o * 100.0),
+            format!(
+                "{name}: implicit overhead < 0.5% (paper: ~0.03%; got {:.4}%)",
+                o * 100.0
+            ),
             o < 0.005,
         ));
     }

@@ -29,4 +29,6 @@ pub use policy::{
     diffusion_neighborhood, pair_partner, Diffusion, Gradient, LbPolicy, LoadSnapshot, Multilist,
     WorkStealing,
 };
-pub use scheduler::{Execution, HandlerCtx, SchedStats, Scheduler, WorkHandler, NODE_HANDLER_LIMIT};
+pub use scheduler::{
+    Execution, HandlerCtx, SchedStats, Scheduler, WorkHandler, NODE_HANDLER_LIMIT,
+};

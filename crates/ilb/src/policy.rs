@@ -167,7 +167,7 @@ impl LbPolicy for WorkStealing {
         let best = known
             .iter()
             .filter(|(&r, s)| r != me && s.units > 0)
-            .max_by(|a, b| a.1.weight.partial_cmp(&b.1.weight).unwrap());
+            .max_by(|a, b| a.1.weight.total_cmp(&b.1.weight));
         if let Some((&r, _)) = best {
             return Some(r);
         }
@@ -313,7 +313,7 @@ impl LbPolicy for Multilist {
             .max_by(|a, b| {
                 a.1.units
                     .cmp(&b.1.units)
-                    .then(a.1.weight.partial_cmp(&b.1.weight).unwrap())
+                    .then(a.1.weight.total_cmp(&b.1.weight))
             });
         if let Some((&r, _)) = best {
             return Some(r);
@@ -394,7 +394,7 @@ impl LbPolicy for Gradient {
             .min_by(|(&ra, sa), (&rb, sb)| {
                 ring_dist(me, ra)
                     .cmp(&ring_dist(me, rb))
-                    .then(sb.weight.partial_cmp(&sa.weight).unwrap())
+                    .then(sb.weight.total_cmp(&sa.weight))
             })
             .map(|(&r, _)| r);
         best.or_else(|| {
@@ -500,7 +500,11 @@ mod tests {
     fn stealing_grant_keeps_cushion() {
         let p = WorkStealing::new(2.0, 1);
         assert_eq!(p.grant_units(&snap(1, 10.0), &snap(0, 0.0)), 0);
-        assert_eq!(p.grant_units(&snap(10, 1.0), &snap(0, 0.0)), 0, "below keep");
+        assert_eq!(
+            p.grant_units(&snap(10, 1.0), &snap(0, 0.0)),
+            0,
+            "below keep"
+        );
         assert_eq!(p.grant_units(&snap(10, 100.0), &snap(0, 0.0)), 5);
     }
 
@@ -606,8 +610,16 @@ mod gradient_tests {
     #[test]
     fn gradient_grant_respects_thresholds() {
         let g = Gradient::new(1.0, 4.0);
-        assert_eq!(g.grant_units(&snap(10, 3.0), &snap(0, 0.0)), 0, "below high-water");
+        assert_eq!(
+            g.grant_units(&snap(10, 3.0), &snap(0, 0.0)),
+            0,
+            "below high-water"
+        );
         assert_eq!(g.grant_units(&snap(10, 10.0), &snap(0, 0.0)), 5);
-        assert_eq!(g.grant_units(&snap(10, 10.0), &snap(20, 20.0)), 0, "richer requester");
+        assert_eq!(
+            g.grant_units(&snap(10, 10.0), &snap(20, 20.0)),
+            0,
+            "richer requester"
+        );
     }
 }

@@ -82,7 +82,10 @@ impl HandlerCtx {
 
     /// Send a rank-targeted application message.
     pub fn node_message(&mut self, dst: Rank, handler: u32, payload: Bytes) {
-        assert!(handler < NODE_HANDLER_LIMIT, "handler id collides with runtime");
+        assert!(
+            handler < NODE_HANDLER_LIMIT,
+            "handler id collides with runtime"
+        );
         self.outgoing.push(Outgoing::Node {
             dst,
             handler,
@@ -227,6 +230,8 @@ impl<O: Migratable> Scheduler<O> {
         if self.lb_enabled {
             self.lb_evaluate();
         }
+        #[cfg(feature = "check-invariants")]
+        self.verify_invariants();
         n
     }
 
@@ -243,6 +248,8 @@ impl<O: Migratable> Scheduler<O> {
         if self.lb_enabled {
             self.lb_evaluate();
         }
+        #[cfg(feature = "check-invariants")]
+        self.verify_invariants();
         n
     }
 
@@ -251,7 +258,10 @@ impl<O: Migratable> Scheduler<O> {
     /// handler (possibly without holding any lock on this scheduler) and then
     /// calls [`Scheduler::finish`].
     pub fn begin(&mut self) -> Option<Execution<O>> {
-        assert!(self.executing.is_none(), "begin() while a unit is executing");
+        assert!(
+            self.executing.is_none(),
+            "begin() while a unit is executing"
+        );
         loop {
             let item = self.node.pop_work()?;
             let Some(obj) = self.node.take_object(item.ptr) else {
@@ -285,7 +295,11 @@ impl<O: Migratable> Scheduler<O> {
     pub fn finish(&mut self, exec: Execution<O>) {
         let Execution { item, obj, ctx, .. } = exec;
         let obj = obj.expect("execution finished twice");
-        assert_eq!(self.executing, Some(item.ptr), "finish() does not match begin()");
+        assert_eq!(
+            self.executing,
+            Some(item.ptr),
+            "finish() does not match begin()"
+        );
         self.node.put_object(item.ptr, obj);
         self.executing = None;
         self.stats.executed += 1;
@@ -293,6 +307,31 @@ impl<O: Migratable> Scheduler<O> {
         if self.lb_enabled {
             self.lb_evaluate();
         }
+        #[cfg(feature = "check-invariants")]
+        self.verify_invariants();
+    }
+
+    /// Assert the scheduler's work-conservation invariant: every work unit
+    /// the MOL has delivered to this scheduler either finished executing or
+    /// is the single unit currently detached for execution — migration in
+    /// either direction must never lose or duplicate one. Also re-checks the
+    /// MOL-level queue conservation. Called internally after every
+    /// poll/finish; public so tests can check at their own boundaries.
+    /// Panics on violation.
+    #[cfg(feature = "check-invariants")]
+    pub fn verify_invariants(&self) {
+        self.node.verify_conservation();
+        let delivered = self.node.stats().delivered;
+        let in_flight = self.executing.is_some() as u64;
+        assert_eq!(
+            delivered,
+            self.stats.executed + in_flight,
+            "scheduler conservation oracle: MOL delivered {} work units but \
+             {} executed + {} in flight",
+            delivered,
+            self.stats.executed,
+            in_flight
+        );
     }
 
     /// Convenience: begin + run + finish in one call (single-threaded /

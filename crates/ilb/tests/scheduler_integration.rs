@@ -183,7 +183,10 @@ fn node_messages_dispatch_to_registered_handlers() {
     let seen2 = seen.clone();
     scheds[1].on_node_message(9, move |_ctx, src, payload| {
         assert_eq!(src, 0);
-        seen2.store(u64::from_le_bytes(payload[..8].try_into().unwrap()), Ordering::SeqCst);
+        seen2.store(
+            u64::from_le_bytes(payload[..8].try_into().unwrap()),
+            Ordering::SeqCst,
+        );
     });
     scheds[0].node_mut().node_message(
         1,
@@ -201,7 +204,9 @@ fn executing_object_is_never_granted() {
     // object, per §4.2.
     let mut scheds = machine(2, |r| Box::new(WorkStealing::new(10.0, r as u64)));
     let ptr = scheds[0].node_mut().register(Counter { value: 0 });
-    scheds[0].node_mut().message(ptr, H_ADD, Bytes::copy_from_slice(&1i64.to_le_bytes()));
+    scheds[0]
+        .node_mut()
+        .message(ptr, H_ADD, Bytes::copy_from_slice(&1i64.to_le_bytes()));
     scheds[0].poll();
     let exec = scheds[0].begin().unwrap();
     // Rank 1 is idle: its poll sends a steal request to rank 0.

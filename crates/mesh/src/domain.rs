@@ -17,7 +17,11 @@ pub fn decompose_unit_cube(nx: usize, ny: usize, nz: usize, finest: f64) -> Vec<
     for iz in 0..nz {
         for iy in 0..ny {
             for ix in 0..nx {
-                let lo = Point3::new(ix as f64 / nx as f64, iy as f64 / ny as f64, iz as f64 / nz as f64);
+                let lo = Point3::new(
+                    ix as f64 / nx as f64,
+                    iy as f64 / ny as f64,
+                    iz as f64 / nz as f64,
+                );
                 let hi = Point3::new(
                     (ix + 1) as f64 / nx as f64,
                     (iy + 1) as f64 / ny as f64,

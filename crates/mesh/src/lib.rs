@@ -34,7 +34,7 @@ pub mod subdomain;
 pub use domain::{cubic_decomposition, decompose_unit_cube};
 pub use front::{Face, Front};
 pub use geom::Point3;
-pub use sizing::{CrackFront, Graded, Sizing, Uniform};
 pub use quality::QualityStats;
+pub use sizing::{CrackFront, Graded, Sizing, Uniform};
 pub use smooth::{laplacian_smooth, SmoothStats};
 pub use subdomain::{MeshStats, Subdomain};

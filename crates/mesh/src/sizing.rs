@@ -76,7 +76,13 @@ impl CrackFront {
     }
 
     /// The field for a given refinement round.
-    pub fn at_round(background: f64, refined: f64, radius: f64, round: usize, rounds: usize) -> Self {
+    pub fn at_round(
+        background: f64,
+        refined: f64,
+        radius: f64,
+        round: usize,
+        rounds: usize,
+    ) -> Self {
         CrackFront {
             background,
             refined,
@@ -111,7 +117,10 @@ mod tests {
 
     #[test]
     fn graded_interpolates() {
-        let s = Graded { at_zero: 1.0, at_one: 0.1 };
+        let s = Graded {
+            at_zero: 1.0,
+            at_one: 0.1,
+        };
         assert!((s.size_at(Point3::new(0.0, 0.0, 0.0)) - 1.0).abs() < 1e-12);
         assert!((s.size_at(Point3::new(1.0, 0.0, 0.0)) - 0.1).abs() < 1e-12);
         assert!((s.size_at(Point3::new(0.5, 0.0, 0.0)) - 0.55).abs() < 1e-12);

@@ -66,7 +66,9 @@ pub fn laplacian_smooth(sub: &mut Subdomain, lambda: f64, sweeps: usize) -> Smoo
             if on_boundary(vp, sub) || neighbors[v as usize].is_empty() {
                 continue;
             }
-            let Some(tets) = incident.get(&v) else { continue };
+            let Some(tets) = incident.get(&v) else {
+                continue;
+            };
             // Neighbor centroid.
             let mut c = Point3::default();
             for &u in &neighbors[v as usize] {
@@ -83,7 +85,13 @@ pub fn laplacian_smooth(sub: &mut Subdomain, lambda: f64, sweeps: usize) -> Smoo
                 tets.iter()
                     .map(|&ti| {
                         let t = sub.tets[ti];
-                        let pos = |idx: u32| if idx == v { apex } else { sub.vertices[idx as usize] };
+                        let pos = |idx: u32| {
+                            if idx == v {
+                                apex
+                            } else {
+                                sub.vertices[idx as usize]
+                            }
+                        };
                         if tet_volume(pos(t[0]), pos(t[1]), pos(t[2]), pos(t[3])) <= 1e-14 {
                             f64::MAX
                         } else {
@@ -149,7 +157,10 @@ mod tests {
             before.max,
             after.max
         );
-        assert_eq!(after.count + after.degenerate, before.count + before.degenerate);
+        assert_eq!(
+            after.count + after.degenerate,
+            before.count + before.degenerate
+        );
     }
 
     #[test]
@@ -161,9 +172,12 @@ mod tests {
             .copied()
             .enumerate()
             .filter(|(_, p)| {
-                p.x.abs() < 1e-9 || (p.x - 1.0).abs() < 1e-9
-                    || p.y.abs() < 1e-9 || (p.y - 1.0).abs() < 1e-9
-                    || p.z.abs() < 1e-9 || (p.z - 1.0).abs() < 1e-9
+                p.x.abs() < 1e-9
+                    || (p.x - 1.0).abs() < 1e-9
+                    || p.y.abs() < 1e-9
+                    || (p.y - 1.0).abs() < 1e-9
+                    || p.z.abs() < 1e-9
+                    || (p.z - 1.0).abs() < 1e-9
             })
             .collect();
         assert!(!boundary.is_empty());

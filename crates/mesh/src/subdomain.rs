@@ -313,9 +313,7 @@ impl Subdomain {
         // generations and the mesh over-refines.
         let ideal_raw = centroid + n * (h * 0.8);
         let pitch = 0.5 * h;
-        let q = |lo: f64, hi: f64, v: f64| {
-            (((v - lo) / pitch).round() * pitch + lo).clamp(lo, hi)
-        };
+        let q = |lo: f64, hi: f64, v: f64| (((v - lo) / pitch).round() * pitch + lo).clamp(lo, hi);
         let ideal = Point3::new(
             q(self.lo.x, self.hi.x, ideal_raw.x),
             q(self.lo.y, self.hi.y, ideal_raw.y),
@@ -418,7 +416,10 @@ impl Subdomain {
     pub fn validate(&self) {
         for t in &self.tets {
             for &v in t {
-                assert!((v as usize) < self.vertices.len(), "tet vertex out of range");
+                assert!(
+                    (v as usize) < self.vertices.len(),
+                    "tet vertex out of range"
+                );
             }
             let vol = tet_volume(
                 self.vertices[t[0] as usize],
@@ -431,7 +432,12 @@ impl Subdomain {
         // Manifold-ish: every face appears in at most two tets.
         let mut count: HashMap<[u32; 3], u32> = HashMap::new();
         for t in &self.tets {
-            for f in [[t[0], t[1], t[2]], [t[0], t[1], t[3]], [t[0], t[2], t[3]], [t[1], t[2], t[3]]] {
+            for f in [
+                [t[0], t[1], t[2]],
+                [t[0], t[1], t[3]],
+                [t[0], t[2], t[3]],
+                [t[1], t[2], t[3]],
+            ] {
                 let mut k = f;
                 k.sort_unstable();
                 *count.entry(k).or_insert(0) += 1;
@@ -499,8 +505,16 @@ impl Migratable for Subdomain {
             v
         };
         let id = rd_u64(buf, &mut off);
-        let lo = Point3::new(rd_f64(buf, &mut off), rd_f64(buf, &mut off), rd_f64(buf, &mut off));
-        let hi = Point3::new(rd_f64(buf, &mut off), rd_f64(buf, &mut off), rd_f64(buf, &mut off));
+        let lo = Point3::new(
+            rd_f64(buf, &mut off),
+            rd_f64(buf, &mut off),
+            rd_f64(buf, &mut off),
+        );
+        let hi = Point3::new(
+            rd_f64(buf, &mut off),
+            rd_f64(buf, &mut off),
+            rd_f64(buf, &mut off),
+        );
         let cell = rd_f64(buf, &mut off);
         let nv = rd_u64(buf, &mut off) as usize;
         let mut vertices = Vec::with_capacity(nv);

@@ -162,7 +162,11 @@ mod tests {
         let levels = coarsen_to(&g, 32, 3);
         assert!(!levels.is_empty());
         let coarsest = &levels.last().unwrap().graph;
-        assert!(coarsest.nv() <= 64, "coarsening stalled at {}", coarsest.nv());
+        assert!(
+            coarsest.nv() <= 64,
+            "coarsening stalled at {}",
+            coarsest.nv()
+        );
         assert!((coarsest.total_vwgt() - g.total_vwgt()).abs() < 1e-9);
     }
 

@@ -99,7 +99,8 @@ impl Graph {
 
     /// A 1-D path graph of `n` unit-weight vertices (handy in tests).
     pub fn path(n: usize) -> Graph {
-        let edges: Vec<(usize, usize, f64)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1, 1.0)).collect();
+        let edges: Vec<(usize, usize, f64)> =
+            (0..n.saturating_sub(1)).map(|i| (i, i + 1, 1.0)).collect();
         Self::from_edges(n, &edges, vec![1.0; n])
     }
 

@@ -80,13 +80,7 @@ pub fn kway_refine(
 /// The best admissible move for `v`: `(cut gain, destination part)`.
 /// Admissible = destination stays within the weight limit, and either the
 /// cut strictly improves, or it stays equal while balance strictly improves.
-fn best_move(
-    g: &Graph,
-    part: &[u32],
-    v: usize,
-    w: &[f64],
-    limit: f64,
-) -> Option<(f64, u32)> {
+fn best_move(g: &Graph, part: &[u32], v: usize, w: &[f64], limit: f64) -> Option<(f64, u32)> {
     let from = part[v] as usize;
     // Connectivity of v to each adjacent part.
     let mut conn: HashMap<u32, f64> = HashMap::new();
@@ -134,7 +128,10 @@ mod tests {
             let stats = kway_refine(&g, &mut part, k, 1.05, 8);
             let after = edge_cut(&g, &part);
             assert!(after <= before + 1e-9, "k={k}: {before} → {after}");
-            assert!((before - after - stats.gain).abs() < 1e-6, "gain accounting off");
+            assert!(
+                (before - after - stats.gain).abs() < 1e-6,
+                "gain accounting off"
+            );
         }
     }
 

@@ -91,12 +91,8 @@ mod tests {
 
     #[test]
     fn vmove_uses_vsize() {
-        let g = Graph::from_edges_with_sizes(
-            3,
-            &[(0, 1, 1.0)],
-            vec![1.0; 3],
-            vec![10.0, 20.0, 30.0],
-        );
+        let g =
+            Graph::from_edges_with_sizes(3, &[(0, 1, 1.0)], vec![1.0; 3], vec![10.0, 20.0, 30.0]);
         assert_eq!(vmove(&g, &[0, 0, 0], &[0, 1, 1]), 50.0);
         assert_eq!(vmove(&g, &[0, 1, 1], &[0, 1, 1]), 0.0);
     }

@@ -26,7 +26,7 @@ pub struct PartitionConfig {
 impl Default for PartitionConfig {
     fn default() -> Self {
         PartitionConfig {
-            seed: 1,
+            seed: 6,
             ubfactor: 1.05,
             coarsen_to: 64,
             fm_passes: 4,
@@ -88,7 +88,15 @@ fn recurse(
     }
     let s2 = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(k as u64);
     recurse(g, &left, first_part, k_left, cfg, s2, out);
-    recurse(g, &right, first_part + k_left as u32, k - k_left, cfg, s2 ^ 0xABCD, out);
+    recurse(
+        g,
+        &right,
+        first_part + k_left as u32,
+        k - k_left,
+        cfg,
+        s2 ^ 0xABCD,
+        out,
+    );
 }
 
 /// Extract the subgraph induced by `verts`; edges to outside vertices are
@@ -304,7 +312,11 @@ mod tests {
         let g = Graph::grid(16, 16);
         let cfg = PartitionConfig::default();
         let part = partition_kway(&g, 2, &cfg);
-        assert!(imbalance(&g, &part, 2) <= 1.10, "imbalance {}", imbalance(&g, &part, 2));
+        assert!(
+            imbalance(&g, &part, 2) <= 1.10,
+            "imbalance {}",
+            imbalance(&g, &part, 2)
+        );
         // Optimal cut of a 16×16 grid bisection is 16; accept some slack.
         let cut = edge_cut(&g, &part);
         assert!(cut <= 28.0, "cut {cut} too high");

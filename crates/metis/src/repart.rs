@@ -65,7 +65,11 @@ pub fn remap_labels(g: &Graph, old: &[u32], new: &[u32], k: usize) -> Vec<u32> {
             cells.push((w, n, o));
         }
     }
-    cells.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then((a.1, a.2).cmp(&(b.1, b.2))));
+    cells.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap()
+            .then((a.1, a.2).cmp(&(b.1, b.2)))
+    });
     let mut label_of_new = vec![usize::MAX; k];
     let mut old_taken = vec![false; k];
     for (_, n, o) in cells {
@@ -81,7 +85,9 @@ pub fn remap_labels(g: &Graph, old: &[u32], new: &[u32], k: usize) -> Vec<u32> {
             *l = free.pop().expect("label bookkeeping broken");
         }
     }
-    new.iter().map(|&p| label_of_new[p as usize] as u32).collect()
+    new.iter()
+        .map(|&p| label_of_new[p as usize] as u32)
+        .collect()
 }
 
 /// Diffusive repartitioning: repeatedly move the best boundary vertex (by
@@ -105,7 +111,9 @@ pub fn diffusive_repart(g: &Graph, old: &[u32], k: usize, ubfactor: f64) -> Vec<
             break;
         }
         // Most overloaded part.
-        let from = (0..k).max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap()).unwrap();
+        let from = (0..k)
+            .max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap())
+            .unwrap();
         // Best boundary vertex of `from` to move to an underloaded neighbor
         // part: maximize (cut gain, -weight distortion).
         let mut best: Option<(f64, usize, usize)> = None; // (score, v, to)
@@ -230,7 +238,9 @@ mod tests {
             }
         }
         // Old partition: vertical halves (balanced before the spike).
-        let part: Vec<u32> = (0..w * h).map(|v| if v % w < w / 2 { 0 } else { 1 }).collect();
+        let part: Vec<u32> = (0..w * h)
+            .map(|v| if v % w < w / 2 { 0 } else { 1 })
+            .collect();
         (g, part)
     }
 
@@ -292,7 +302,11 @@ mod tests {
         let g = Graph::grid(8, 8);
         let old: Vec<u32> = (0..64).map(|v| if v % 8 < 4 { 0 } else { 1 }).collect();
         let new = diffusive_repart(&g, &old, 2, 1.05);
-        assert_eq!(vmove(&g, &old, &new), 0.0, "balanced input should be a no-op");
+        assert_eq!(
+            vmove(&g, &old, &new),
+            0.0,
+            "balanced input should be a no-op"
+        );
     }
 
     #[test]

@@ -8,7 +8,10 @@ use proptest::prelude::*;
 
 /// Random connected-ish graph: a path backbone plus random chords.
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (4usize..40, proptest::collection::vec((0usize..40, 0usize..40, 0.1f64..5.0), 0..60))
+    (
+        4usize..40,
+        proptest::collection::vec((0usize..40, 0usize..40, 0.1f64..5.0), 0..60),
+    )
         .prop_map(|(nv, chords)| {
             let mut edges: Vec<(usize, usize, f64)> =
                 (0..nv - 1).map(|i| (i, i + 1, 1.0)).collect();

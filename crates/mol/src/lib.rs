@@ -24,6 +24,8 @@
 
 pub mod migrate;
 pub mod node;
+#[cfg(feature = "check-invariants")]
+pub(crate) mod oracle;
 pub mod proto;
 pub mod ptr;
 

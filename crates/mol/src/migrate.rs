@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn empty_payload_roundtrip() {
-        let b = Blob { id: 0, data: vec![] };
+        let b = Blob {
+            id: 0,
+            data: vec![],
+        };
         assert_eq!(Blob::unpack(&pack_to_vec(&b)), b);
     }
 }

@@ -169,6 +169,10 @@ pub struct MolNode<O: Migratable> {
     /// Messages parked at the home rank until the object's location is known.
     limbo: HashMap<MobilePtr, Vec<MolEnvelope>>,
     stats: MolStats,
+    /// Shadow state asserting ordering/conservation invariants (see
+    /// [`crate::oracle`]).
+    #[cfg(feature = "check-invariants")]
+    oracle: crate::oracle::NodeOracle,
 }
 
 impl<O: Migratable> MolNode<O> {
@@ -192,6 +196,8 @@ impl<O: Migratable> MolNode<O> {
             ready: VecDeque::new(),
             limbo: HashMap::new(),
             stats: MolStats::default(),
+            #[cfg(feature = "check-invariants")]
+            oracle: crate::oracle::NodeOracle::default(),
         }
     }
 
@@ -281,7 +287,11 @@ impl<O: Migratable> MolNode<O> {
     ///
     /// The body must not migrate `ptr` itself — [`MolNode::migrate`] will
     /// return `false` for a detached object.
-    pub fn with_object<R>(&mut self, ptr: MobilePtr, f: impl FnOnce(&mut Self, &mut O) -> R) -> Option<R> {
+    pub fn with_object<R>(
+        &mut self,
+        ptr: MobilePtr,
+        f: impl FnOnce(&mut Self, &mut O) -> R,
+    ) -> Option<R> {
         let mut obj = self.take_object(ptr)?;
         let r = f(self, &mut obj);
         self.put_object(ptr, obj);
@@ -378,15 +388,25 @@ impl<O: Migratable> MolNode<O> {
             Equal => {
                 *exp += 1;
                 let sender = env.sender;
+                let target = env.target;
                 self.ready.push_back(env);
+                #[cfg(feature = "check-invariants")]
+                self.oracle.on_accept();
                 // Drain any now-in-order buffered messages from this sender.
-                let target = self.ready.back().unwrap().target;
-                let entry = self.objects.get_mut(&target).unwrap();
+                let entry = self
+                    .objects
+                    .get_mut(&target)
+                    .expect("object entry present: resolved at accept_local entry");
                 if let Some(buf) = entry.ooo.get_mut(&sender) {
-                    let exp = entry.expected.get_mut(&sender).unwrap();
+                    let exp = entry
+                        .expected
+                        .get_mut(&sender)
+                        .expect("expected counter for sender inserted above via or_insert");
                     while let Some(next) = buf.remove(exp) {
                         *exp += 1;
                         self.ready.push_back(next);
+                        #[cfg(feature = "check-invariants")]
+                        self.oracle.on_accept();
                     }
                     if buf.is_empty() {
                         entry.ooo.remove(&sender);
@@ -395,7 +415,11 @@ impl<O: Migratable> MolNode<O> {
             }
             Greater => {
                 self.stats.reordered += 1;
-                entry.ooo.entry(env.sender).or_default().insert(env.seq, env);
+                entry
+                    .ooo
+                    .entry(env.sender)
+                    .or_default()
+                    .insert(env.seq, env);
             }
             Less => {
                 // Duplicate (cannot happen with a reliable transport); drop.
@@ -418,7 +442,10 @@ impl<O: Migratable> MolNode<O> {
         if self.objects.get(&ptr).is_none_or(|e| e.obj.is_none()) {
             return false;
         }
-        let entry = self.objects.remove(&ptr).unwrap();
+        let entry = self
+            .objects
+            .remove(&ptr)
+            .expect("presence checked just above with no intervening mutation");
         // Pull this object's accepted-but-unexecuted messages out of the
         // ready queue, preserving their order.
         let mut pending = Vec::new();
@@ -435,11 +462,18 @@ impl<O: Migratable> MolNode<O> {
             .into_values()
             .flat_map(|m| m.into_values())
             .collect();
+        #[cfg(feature = "check-invariants")]
+        self.oracle.on_migrate_out(ptr, pending.len());
         let epoch = entry.epoch + 1;
         let packet = MigratePacket {
             ptr,
             epoch,
-            object: Bytes::from(pack_to_vec(entry.obj.as_ref().expect("checked above"))),
+            object: Bytes::from(pack_to_vec(
+                entry
+                    .obj
+                    .as_ref()
+                    .expect("obj is Some: is_none_or guard above"),
+            )),
             expected: entry.expected.into_iter().collect(),
             pending,
             buffered,
@@ -447,13 +481,34 @@ impl<O: Migratable> MolNode<O> {
         self.forwards.insert(ptr, (dst, epoch));
         self.location.insert(ptr, (dst, epoch));
         self.stats.migrations_out += 1;
-        self.comm.am_send(dst, H_MOL_MIGRATE, Tag::System, packet.encode());
+        self.comm
+            .am_send(dst, H_MOL_MIGRATE, Tag::System, packet.encode());
+        #[cfg(feature = "check-invariants")]
+        self.verify_conservation();
         true
     }
 
     fn install(&mut self, from: Rank, packet: MigratePacket) -> MolEvent {
         let ptr = packet.ptr;
         let obj = O::unpack(&packet.object);
+        #[cfg(feature = "check-invariants")]
+        {
+            let prior_epoch = self
+                .forwards
+                .get(&ptr)
+                .map(|&(_, e)| e)
+                .into_iter()
+                .chain(self.location.get(&ptr).map(|&(_, e)| e))
+                .chain(self.objects.get(&ptr).map(|e| e.epoch))
+                .max();
+            self.oracle.on_install(
+                ptr,
+                packet.epoch,
+                prior_epoch,
+                &packet.expected,
+                &packet.pending,
+            );
+        }
         // If this object once lived here and left, the stale forward pointer
         // must die: it is local again.
         self.forwards.remove(&ptr);
@@ -471,6 +526,8 @@ impl<O: Migratable> MolNode<O> {
         for env in packet.pending {
             self.ready.push_back(env);
         }
+        // (Conservation: these re-queued messages were counted by the
+        // oracle's on_install as `installed`, not `accepted`.)
         for env in packet.buffered {
             self.accept_local(env);
         }
@@ -484,12 +541,14 @@ impl<O: Migratable> MolNode<O> {
             for dst in 0..self.nprocs() {
                 if dst != self.rank() {
                     self.stats.locupd_sent += 1;
-                    self.comm.am_send(dst, H_MOL_LOCUPD, Tag::System, upd.encode());
+                    self.comm
+                        .am_send(dst, H_MOL_LOCUPD, Tag::System, upd.encode());
                 }
             }
         } else if self.cfg.update_home_on_install && ptr.home != self.rank() {
             self.stats.locupd_sent += 1;
-            self.comm.am_send(ptr.home, H_MOL_LOCUPD, Tag::System, upd.encode());
+            self.comm
+                .am_send(ptr.home, H_MOL_LOCUPD, Tag::System, upd.encode());
         }
         // Any messages parked here (we may be the home) can now be routed.
         if let Some(msgs) = self.limbo.remove(&ptr) {
@@ -519,6 +578,8 @@ impl<O: Migratable> MolNode<O> {
             self.handle_wire(env, &mut events);
         }
         self.drain_ready(&mut events);
+        #[cfg(feature = "check-invariants")]
+        self.verify_conservation();
         events
     }
 
@@ -538,6 +599,8 @@ impl<O: Migratable> MolNode<O> {
                 self.comm.sideline(env);
             }
         }
+        #[cfg(feature = "check-invariants")]
+        self.verify_conservation();
         events
     }
 
@@ -579,6 +642,8 @@ impl<O: Migratable> MolNode<O> {
             Some(next) => {
                 menv.hops += 1;
                 self.stats.forwarded += 1;
+                #[cfg(feature = "check-invariants")]
+                self.oracle.on_forward(self.rank(), next, menv.hops);
                 // Lazily teach the original sender where the object went so
                 // its next message takes the short path.
                 if let Some(&(owner, epoch)) = self.forwards.get(&ptr).or(self.location.get(&ptr)) {
@@ -586,7 +651,8 @@ impl<O: Migratable> MolNode<O> {
                     {
                         let upd = LocUpdate { ptr, owner, epoch };
                         self.stats.locupd_sent += 1;
-                        self.comm.am_send(sender, H_MOL_LOCUPD, Tag::System, upd.encode());
+                        self.comm
+                            .am_send(sender, H_MOL_LOCUPD, Tag::System, upd.encode());
                     }
                 }
                 let wire = menv.encode();
@@ -621,6 +687,8 @@ impl<O: Migratable> MolNode<O> {
     fn drain_ready(&mut self, events: &mut Vec<MolEvent>) {
         while let Some(env) = self.ready.pop_front() {
             self.stats.delivered += 1;
+            #[cfg(feature = "check-invariants")]
+            self.oracle.on_deliver(env.sender, env.target, env.seq);
             events.push(MolEvent::Object {
                 ptr: env.target,
                 sender: env.sender,
@@ -633,6 +701,16 @@ impl<O: Migratable> MolNode<O> {
     /// Number of in-order messages queued for local execution.
     pub fn ready_len(&self) -> usize {
         self.ready.len()
+    }
+
+    /// Assert the work-conservation invariant: every message accepted on (or
+    /// installed into) this node has either been delivered, shipped out with
+    /// a migration, or is still in the ready queue. Called internally after
+    /// every poll/pump/migrate; public so schedulers and tests can check at
+    /// their own boundaries too. Panics on violation.
+    #[cfg(feature = "check-invariants")]
+    pub fn verify_conservation(&self) {
+        self.oracle.verify(self.ready.len());
     }
 
     /// Sum of the weight hints of all queued work (the load estimate PREMA's
@@ -650,6 +728,8 @@ impl<O: Migratable> MolNode<O> {
         while let Some(env) = self.comm.try_recv() {
             self.handle_wire(env, &mut events);
         }
+        #[cfg(feature = "check-invariants")]
+        self.verify_conservation();
         events
     }
 
@@ -658,6 +738,8 @@ impl<O: Migratable> MolNode<O> {
     pub fn pop_work(&mut self) -> Option<WorkItem> {
         let env = self.ready.pop_front()?;
         self.stats.delivered += 1;
+        #[cfg(feature = "check-invariants")]
+        self.oracle.on_deliver(env.sender, env.target, env.seq);
         Some(WorkItem {
             ptr: env.target,
             sender: env.sender,
@@ -679,7 +761,7 @@ impl<O: Migratable> MolNode<O> {
         }
         let mut out: Vec<(MobilePtr, usize, f64)> =
             acc.into_iter().map(|(p, (n, w))| (p, n, w)).collect();
-        out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
         out
     }
 }

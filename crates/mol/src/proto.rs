@@ -205,7 +205,10 @@ pub struct NodeMsg {
 impl NodeMsg {
     /// Encode for the wire.
     pub fn encode(&self) -> Bytes {
-        WireWriter::new().u32(self.handler).bytes(&self.payload).finish()
+        WireWriter::new()
+            .u32(self.handler)
+            .bytes(&self.payload)
+            .finish()
     }
 
     /// Decode from the wire.

@@ -38,9 +38,11 @@ impl MobilePtr {
 
     /// Decode from the wire format.
     pub fn from_bytes(b: [u8; 16]) -> Self {
+        let (home, index) = b.split_at(8);
         MobilePtr {
-            home: u64::from_le_bytes(b[..8].try_into().unwrap()) as usize,
-            index: u64::from_le_bytes(b[8..].try_into().unwrap()),
+            home: u64::from_le_bytes(home.try_into().expect("split_at(8) of a 16-byte array"))
+                as usize,
+            index: u64::from_le_bytes(index.try_into().expect("split_at(8) of a 16-byte array")),
         }
     }
 }
@@ -100,9 +102,15 @@ mod tests {
 
     #[test]
     fn wire_roundtrip() {
-        let p = MobilePtr { home: 77, index: u64::MAX - 3 };
+        let p = MobilePtr {
+            home: 77,
+            index: u64::MAX - 3,
+        };
         assert_eq!(MobilePtr::from_bytes(p.to_bytes()), p);
-        assert_eq!(MobilePtr::from_bytes(MobilePtr::NULL.to_bytes()), MobilePtr::NULL);
+        assert_eq!(
+            MobilePtr::from_bytes(MobilePtr::NULL.to_bytes()),
+            MobilePtr::NULL
+        );
     }
 
     #[test]

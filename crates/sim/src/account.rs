@@ -109,7 +109,9 @@ impl TimeBreakdown {
 
     /// Iterate `(category, accumulated time)` pairs in legend order.
     pub fn iter(&self) -> impl Iterator<Item = (Category, SimTime)> + '_ {
-        Category::ALL.iter().map(move |&c| (c, self.spans[c as usize]))
+        Category::ALL
+            .iter()
+            .map(move |&c| (c, self.spans[c as usize]))
     }
 }
 

@@ -65,10 +65,12 @@ impl SimMessage {
     /// Downcast the payload to a concrete type, panicking with a useful
     /// message on driver bugs.
     pub fn take<T: 'static>(self) -> T {
-        *self
-            .data
-            .downcast::<T>()
-            .unwrap_or_else(|_| panic!("SimMessage kind {} carried unexpected payload type", self.kind))
+        *self.data.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "SimMessage kind {} carried unexpected payload type",
+                self.kind
+            )
+        })
     }
 }
 
@@ -160,7 +162,12 @@ impl Core {
     fn push(&mut self, time: SimTime, proc: ProcId, kind: EvKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Ev { time, seq, proc, kind }));
+        self.heap.push(Reverse(Ev {
+            time,
+            seq,
+            proc,
+            kind,
+        }));
     }
 }
 
@@ -210,12 +217,19 @@ impl<'a> Ctx<'a> {
     /// overhead ([`Category::Messaging`]); the message arrives at `dst` after
     /// the network transit time, respecting per-(src,dst) FIFO order.
     pub fn send(&mut self, dst: ProcId, kind: u32, wire_size: usize, data: Box<dyn Any>) {
-        assert!(dst < self.core.cfg.procs, "send to nonexistent processor {dst}");
+        assert!(
+            dst < self.core.cfg.procs,
+            "send to nonexistent processor {dst}"
+        );
         let send_cpu = self.core.cfg.send_cpu;
         self.consume(Category::Messaging, send_cpu);
         let now = self.now();
         let mut arrival = now + self.core.cfg.net.transit(wire_size);
-        let fifo = self.core.fifo.entry((self.pid, dst)).or_insert(SimTime::ZERO);
+        let fifo = self
+            .core
+            .fifo
+            .entry((self.pid, dst))
+            .or_insert(SimTime::ZERO);
         if arrival <= *fifo {
             arrival = *fifo + SimTime(1);
         }
@@ -269,7 +283,11 @@ impl<'a> Ctx<'a> {
 
     /// Count of queued inbox messages satisfying `pred`.
     pub fn count_msgs(&self, pred: impl Fn(&SimMessage) -> bool) -> usize {
-        self.core.metas[self.pid].inbox.iter().filter(|m| pred(m)).count()
+        self.core.metas[self.pid]
+            .inbox
+            .iter()
+            .filter(|m| pred(m))
+            .count()
     }
 
     /// Schedule `on_timer(token)` to run after `dur` of *busy* time has
@@ -517,7 +535,12 @@ mod tests {
     #[test]
     fn compute_time_matches_cost_model() {
         let cfg = MachineConfig::small(3);
-        let report = Engine::build(cfg, |p| Box::new(Cruncher { mflop: 100.0 * (p + 1) as f64 })).run();
+        let report = Engine::build(cfg, |p| {
+            Box::new(Cruncher {
+                mflop: 100.0 * (p + 1) as f64,
+            })
+        })
+        .run();
         for p in 0..3 {
             let expect = cfg.work_time(100.0 * (p + 1) as f64);
             assert_eq!(report.breakdowns[p][Category::Computation], expect);

@@ -112,7 +112,10 @@ mod tests {
         let t = m.work_time(500.0);
         assert!((t.as_secs_f64() - 1.5015).abs() < 1e-3, "{t:?}");
         // A 250 Mflop "light" unit is exactly half.
-        assert_eq!(m.work_time(250.0).as_nanos() * 2, t.as_nanos() + t.as_nanos() % 2);
+        assert_eq!(
+            m.work_time(250.0).as_nanos() * 2,
+            t.as_nanos() + t.as_nanos() % 2
+        );
     }
 
     #[test]

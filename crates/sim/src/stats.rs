@@ -174,7 +174,10 @@ mod tests {
                 b
             })
             .collect();
-        let finish: Vec<SimTime> = compute_secs.iter().map(|&c| SimTime::from_secs(c)).collect();
+        let finish: Vec<SimTime> = compute_secs
+            .iter()
+            .map(|&c| SimTime::from_secs(c))
+            .collect();
         let makespan = finish.iter().copied().fold(SimTime::ZERO, SimTime::max);
         SimReport {
             breakdowns,

@@ -1,0 +1,497 @@
+//! The PREMA lint rules. Each lint is a pure function over [`SourceFile`]s
+//! (plus explicit configuration), so fixtures in the tests below exercise
+//! exactly the code `cargo xtask lint` runs.
+
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lint finding.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub path: String,
+    pub line: usize,
+    pub lint: &'static str,
+    pub message: String,
+}
+
+impl Violation {
+    fn new(path: &str, line: usize, lint: &'static str, message: String) -> Self {
+        Violation {
+            path: path.to_string(),
+            line,
+            lint,
+            message,
+        }
+    }
+}
+
+/// Parsed allowlist: workspace-relative path -> justification.
+///
+/// File format: one `path: justification` per line; `#` starts a comment.
+/// A justification is mandatory — an allowlist entry without a reason is
+/// itself a violation (reported against the allowlist file).
+pub struct Allowlist {
+    pub file: String,
+    pub entries: BTreeMap<String, String>,
+    pub parse_errors: Vec<Violation>,
+}
+
+impl Allowlist {
+    pub fn parse(file: &str, text: &str) -> Allowlist {
+        let mut entries = BTreeMap::new();
+        let mut parse_errors = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            match line.split_once(':') {
+                Some((path, why)) if !why.trim().is_empty() => {
+                    entries.insert(path.trim().to_string(), why.trim().to_string());
+                }
+                _ => parse_errors.push(Violation::new(
+                    file,
+                    i + 1,
+                    "allowlist",
+                    format!("entry must be `path: justification`, got `{line}`"),
+                )),
+            }
+        }
+        Allowlist {
+            file: file.to_string(),
+            entries,
+            parse_errors,
+        }
+    }
+
+    fn allows(&self, path: &str) -> bool {
+        self.entries.contains_key(path)
+    }
+
+    /// Entries that never matched a finding: stale allowances are violations
+    /// too, so the allowlist can only shrink.
+    pub fn unused(&self, used: &BTreeSet<String>) -> Vec<Violation> {
+        self.entries
+            .keys()
+            .filter(|p| !used.contains(*p))
+            .map(|p| {
+                Violation::new(
+                    &self.file,
+                    0,
+                    "allowlist",
+                    format!("stale entry `{p}`: no finding at that path any more"),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Forbid `Ordering::Relaxed` outside the allowlist.
+///
+/// Rationale: the vendored loom explorer verifies schedules under sequential
+/// consistency only, so every relaxed access is unverified by tooling and
+/// must carry a written justification.
+pub fn lint_relaxed_ordering(
+    file: &SourceFile,
+    allow: &Allowlist,
+    used: &mut BTreeSet<String>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (ln, stripped, _orig) in file.all_lines() {
+        if !stripped.contains("Ordering::Relaxed") {
+            continue;
+        }
+        if allow.allows(&file.path) {
+            used.insert(file.path.clone());
+            continue;
+        }
+        out.push(Violation::new(
+            &file.path,
+            ln,
+            "relaxed-ordering",
+            "Ordering::Relaxed outside the audited allowlist; use \
+             Acquire/Release (or SeqCst) or add an allowlist entry with a \
+             justification"
+                .to_string(),
+        ));
+    }
+    out
+}
+
+/// Forbid blocking calls — `std::thread::sleep` and bare `.recv()` — in
+/// non-test runtime code of the message-driven crates. Handlers run on the
+/// polling thread; a blocked handler stalls every object on the node.
+pub fn lint_blocking_calls(
+    file: &SourceFile,
+    allow: &Allowlist,
+    used: &mut BTreeSet<String>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (ln, stripped, _orig) in file.non_test_lines() {
+        let sleep = stripped.contains("thread::sleep(");
+        // `.recv()` blocks forever; `.recv_timeout(..)` / `.try_recv()` are
+        // the sanctioned forms.
+        let recv = stripped.contains(".recv()");
+        if !sleep && !recv {
+            continue;
+        }
+        if allow.allows(&file.path) {
+            used.insert(file.path.clone());
+            continue;
+        }
+        let what = if sleep { "thread::sleep" } else { ".recv()" };
+        out.push(Violation::new(
+            &file.path,
+            ln,
+            "blocking-call",
+            format!(
+                "{what} in message-driven runtime code blocks the polling \
+                 thread; use recv_timeout/try_recv or move the wait off the \
+                 handler path (or allowlist with a justification)"
+            ),
+        ));
+    }
+    out
+}
+
+/// Minimum words for an `.expect("...")` message to count as stating an
+/// invariant rather than restating the operation.
+const EXPECT_MIN_WORDS: usize = 3;
+
+/// Forbid `.unwrap()` and short `.expect(..)` messages in non-test code.
+pub fn lint_unwrap(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (ln, stripped, orig) in file.non_test_lines() {
+        if stripped.contains(".unwrap()") {
+            out.push(Violation::new(
+                &file.path,
+                ln,
+                "unwrap",
+                "`.unwrap()` in non-test code; propagate the error or use \
+                 `.expect(\"<invariant that makes this infallible>\")`"
+                    .to_string(),
+            ));
+        }
+        // Judge `.expect(` messages. Occurrences are located in the stripped
+        // line (so comments/strings cannot fake one) but the message text
+        // lives in the original line; byte offsets may differ between the
+        // two (multi-byte chars blank to single spaces), so only proceed
+        // when the occurrence counts agree and walk the original.
+        let in_stripped = stripped.matches(".expect(").count();
+        if in_stripped > 0 && orig.matches(".expect(").count() == in_stripped {
+            let mut from = 0usize;
+            while let Some(pos) = orig[from..].find(".expect(") {
+                from += pos + ".expect(".len();
+                if let Some(msg) = expect_message(&orig[from..]) {
+                    let words = msg.split_whitespace().count();
+                    if words < EXPECT_MIN_WORDS {
+                        out.push(Violation::new(
+                            &file.path,
+                            ln,
+                            "unwrap",
+                            format!(
+                                "`.expect(\"{msg}\")` message is not an \
+                                 invariant (needs >= {EXPECT_MIN_WORDS} words \
+                                 saying why this cannot fail)"
+                            ),
+                        ));
+                    }
+                }
+                // Non-literal argument (format!, variable, multi-line
+                // literal): cannot judge the message textually; let it pass.
+            }
+        }
+    }
+    out
+}
+
+/// Extract a string literal starting at (or right after whitespace at) the
+/// head of `rest`, handling escaped quotes. Returns `None` when the
+/// argument is not a same-line string literal.
+fn expect_message(rest: &str) -> Option<String> {
+    let rest = rest.trim_start();
+    let inner = rest.strip_prefix('"')?;
+    let mut msg = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                if let Some(e) = chars.next() {
+                    msg.push(e);
+                }
+            }
+            '"' => return Some(msg),
+            _ => msg.push(c),
+        }
+    }
+    None
+}
+
+/// Every `const NAME: HandlerId` must be referenced by name somewhere other
+/// than its declaration — a handler id that is never registered or
+/// dispatched is dead protocol surface (or worse, a typo split across
+/// declaration and registration).
+pub fn lint_handler_ids(files: &[SourceFile]) -> Vec<Violation> {
+    // name -> (path, line) of declaration
+    let mut decls: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for f in files {
+        for (ln, stripped, _orig) in f.all_lines() {
+            if let Some(name) = handler_decl_name(stripped) {
+                decls.insert(name, (f.path.clone(), ln));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    'decl: for (name, (path, line)) in &decls {
+        for f in files {
+            for (ln, stripped, _orig) in f.all_lines() {
+                if (&f.path, ln) == (path, *line) {
+                    continue; // the declaration itself
+                }
+                if mentions_ident(stripped, name) {
+                    continue 'decl;
+                }
+            }
+        }
+        out.push(Violation::new(
+            path,
+            *line,
+            "handler-id",
+            format!(
+                "HandlerId constant `{name}` is declared but never referenced \
+                 (no registration or dispatch site)"
+            ),
+        ));
+    }
+    out
+}
+
+/// `[pub] const NAME: HandlerId` on one line -> NAME.
+fn handler_decl_name(stripped: &str) -> Option<String> {
+    let t = stripped.trim_start();
+    let t = t.strip_prefix("pub ").unwrap_or(t);
+    let t = t.strip_prefix("const ")?;
+    let (name, rest) = t.split_once(':')?;
+    if rest.trim_start().starts_with("HandlerId") {
+        let name = name.trim();
+        if !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Some(name.to_string());
+        }
+    }
+    None
+}
+
+/// Whole-identifier match (so `H_MOL_MSG` does not count as a reference to
+/// `H_MOL`).
+fn mentions_ident(line: &str, ident: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(ident) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        let end = at + ident.len();
+        let after_ok = end >= line.len()
+            || !line[end..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + ident.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, src)
+    }
+
+    fn empty_allow() -> Allowlist {
+        Allowlist::parse("allow.txt", "")
+    }
+
+    // ---- relaxed-ordering ----
+
+    #[test]
+    fn relaxed_outside_allowlist_fires() {
+        let f = file(
+            "crates/core/src/runtime.rs",
+            "fn f(s: &AtomicBool) { s.store(true, Ordering::Relaxed); }\n",
+        );
+        let mut used = BTreeSet::new();
+        let v = lint_relaxed_ordering(&f, &empty_allow(), &mut used);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "relaxed-ordering");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn relaxed_in_allowlisted_file_passes_and_is_marked_used() {
+        let allow = Allowlist::parse(
+            "allow.txt",
+            "crates/core/src/stats.rs: monotone counter, read only for reporting\n",
+        );
+        let f = file(
+            "crates/core/src/stats.rs",
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n",
+        );
+        let mut used = BTreeSet::new();
+        assert!(lint_relaxed_ordering(&f, &allow, &mut used).is_empty());
+        assert!(used.contains("crates/core/src/stats.rs"));
+        assert!(allow.unused(&used).is_empty());
+    }
+
+    #[test]
+    fn relaxed_in_comment_or_string_is_ignored() {
+        let f = file(
+            "crates/core/src/doc.rs",
+            "// Ordering::Relaxed is forbidden\nconst S: &str = \"Ordering::Relaxed\";\n",
+        );
+        let mut used = BTreeSet::new();
+        assert!(lint_relaxed_ordering(&f, &empty_allow(), &mut used).is_empty());
+    }
+
+    #[test]
+    fn stale_allowlist_entry_is_reported() {
+        let allow = Allowlist::parse("allow.txt", "crates/core/src/gone.rs: was needed once\n");
+        let used = BTreeSet::new();
+        let v = allow.unused(&used);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn allowlist_entry_without_justification_is_an_error() {
+        let allow = Allowlist::parse("allow.txt", "crates/core/src/runtime.rs\n");
+        assert_eq!(allow.parse_errors.len(), 1);
+    }
+
+    // ---- blocking calls ----
+
+    #[test]
+    fn sleep_in_handler_code_fires() {
+        let f = file(
+            "crates/mol/src/node.rs",
+            "fn on_message() { std::thread::sleep(d); }\n",
+        );
+        let mut used = BTreeSet::new();
+        let v = lint_blocking_calls(&f, &empty_allow(), &mut used);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "blocking-call");
+    }
+
+    #[test]
+    fn bare_recv_fires_but_recv_timeout_passes() {
+        let f = file(
+            "crates/dcs/src/comm.rs",
+            "fn a(rx: &Receiver<u8>) { let _ = rx.recv(); }\nfn b(rx: &Receiver<u8>) { let _ = rx.recv_timeout(t); let _ = rx.try_recv(); }\n",
+        );
+        let mut used = BTreeSet::new();
+        let v = lint_blocking_calls(&f, &empty_allow(), &mut used);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn sleep_in_cfg_test_block_passes() {
+        let f = file(
+            "crates/dcs/src/delay.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { std::thread::sleep(d); }\n}\n",
+        );
+        let mut used = BTreeSet::new();
+        assert!(lint_blocking_calls(&f, &empty_allow(), &mut used).is_empty());
+    }
+
+    // ---- unwrap/expect ----
+
+    #[test]
+    fn unwrap_fires_but_unwrap_or_variants_pass() {
+        let f = file(
+            "crates/ilb/src/scheduler.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g(x: Option<u8>) -> u8 { x.unwrap_or(0) }\nfn h(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }\nfn i(x: Option<u8>) -> u8 { x.unwrap_or_default() }\n",
+        );
+        let v = lint_unwrap(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn short_expect_fires_invariant_expect_passes() {
+        let f = file(
+            "crates/mol/src/node.rs",
+            "fn f(x: Option<u8>) { x.expect(\"failed\"); }\nfn g(x: Option<u8>) { x.expect(\"directory entry exists: inserted on accept\"); }\n",
+        );
+        let v = lint_unwrap(&f);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].message.contains("invariant"));
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_passes() {
+        let f = file(
+            "crates/dcs/src/transport.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t(x: Option<u8>) { x.unwrap(); }\n}\n",
+        );
+        assert!(lint_unwrap(&f).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_comment_passes() {
+        let f = file(
+            "crates/core/src/runtime.rs",
+            "// do not .unwrap() here\nfn f() {}\n",
+        );
+        assert!(lint_unwrap(&f).is_empty());
+    }
+
+    // ---- handler ids ----
+
+    #[test]
+    fn unregistered_handler_id_fires() {
+        let decl = file(
+            "crates/mol/src/proto.rs",
+            "pub const H_MOL_ORPHAN: HandlerId = HandlerId(SYSTEM_BASE + 40);\n",
+        );
+        let other = file("crates/mol/src/node.rs", "fn f() {}\n");
+        let v = lint_handler_ids(&[decl, other]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "handler-id");
+        assert!(v[0].message.contains("H_MOL_ORPHAN"));
+    }
+
+    #[test]
+    fn registered_handler_id_passes() {
+        let decl = file(
+            "crates/mol/src/proto.rs",
+            "pub const H_MOL_MSG: HandlerId = HandlerId(SYSTEM_BASE + 16);\n",
+        );
+        let reg = file(
+            "crates/mol/src/node.rs",
+            "fn wire(r: &mut Registry) { r.register(H_MOL_MSG, on_msg); }\n",
+        );
+        assert!(lint_handler_ids(&[decl, reg]).is_empty());
+    }
+
+    #[test]
+    fn prefix_name_is_not_a_reference() {
+        let decl = file(
+            "crates/mol/src/proto.rs",
+            "pub const H_MOL: HandlerId = HandlerId(SYSTEM_BASE + 30);\n",
+        );
+        let near_miss = file(
+            "crates/mol/src/node.rs",
+            "fn wire(r: &mut Registry) { r.register(H_MOL_MSG, on_msg); }\n",
+        );
+        let v = lint_handler_ids(&[decl, near_miss]);
+        assert_eq!(v.len(), 1, "H_MOL_MSG must not count as a use of H_MOL");
+    }
+}

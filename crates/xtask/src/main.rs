@@ -1,0 +1,183 @@
+//! `cargo xtask lint` — the PREMA static lint pass.
+//!
+//! Pure std, no dependencies: it must build and run offline in seconds.
+//! Rules (see `lints.rs` for rationale and fixtures):
+//!
+//! * `relaxed-ordering` — no `Ordering::Relaxed` outside
+//!   `allow/relaxed-ordering.txt` (workspace `crates/*/src`).
+//! * `blocking-call`    — no `thread::sleep` / bare `.recv()` in non-test
+//!   code of the message-driven crates (`core`, `dcs`, `mol`, `ilb`)
+//!   outside `allow/blocking-calls.txt`.
+//! * `unwrap`           — no `.unwrap()` and no non-invariant `.expect()`
+//!   messages in non-test code of those crates.
+//! * `handler-id`       — every `const NAME: HandlerId` is referenced by a
+//!   registration or dispatch site somewhere in the workspace.
+
+mod lints;
+mod source;
+
+use lints::{Allowlist, Violation};
+use source::SourceFile;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose non-test code must be free of blocking calls and unwraps.
+const MESSAGE_DRIVEN_CRATES: &[&str] = &["core", "dcs", "mol", "ilb"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask `{other}`\n");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask lint");
+}
+
+/// Workspace root, derived from this crate's location (`crates/xtask`).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let allow_dir = root.join("crates/xtask/allow");
+    let relaxed_allow = load_allowlist(&allow_dir.join("relaxed-ordering.txt"));
+    let blocking_allow = load_allowlist(&allow_dir.join("blocking-calls.txt"));
+
+    // Everything under crates/*/src, plus tests/ and examples/ for the
+    // handler-id cross-reference (a registration in an integration test or
+    // example is a real dispatch site).
+    let mut src_files: Vec<SourceFile> = Vec::new();
+    let mut all_files: Vec<SourceFile> = Vec::new();
+    for path in rust_files(&root.join("crates"))
+        .into_iter()
+        .chain(rust_files(&root.join("examples")))
+    {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask: cannot read {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let f = SourceFile::parse(&rel, &text);
+        if rel.contains("/src/") {
+            src_files.push(f);
+        } else {
+            all_files.push(f);
+        }
+    }
+
+    let mut violations: Vec<Violation> = Vec::new();
+    violations.extend(relaxed_allow.parse_errors.iter().map(clone_violation));
+    violations.extend(blocking_allow.parse_errors.iter().map(clone_violation));
+
+    let mut relaxed_used = BTreeSet::new();
+    let mut blocking_used = BTreeSet::new();
+    for f in &src_files {
+        violations.extend(lints::lint_relaxed_ordering(
+            f,
+            &relaxed_allow,
+            &mut relaxed_used,
+        ));
+        let crate_name = f
+            .path
+            .strip_prefix("crates/")
+            .and_then(|p| p.split('/').next());
+        if crate_name.is_some_and(|c| MESSAGE_DRIVEN_CRATES.contains(&c)) {
+            violations.extend(lints::lint_blocking_calls(
+                f,
+                &blocking_allow,
+                &mut blocking_used,
+            ));
+            violations.extend(lints::lint_unwrap(f));
+        }
+    }
+    violations.extend(relaxed_allow.unused(&relaxed_used));
+    violations.extend(blocking_allow.unused(&blocking_used));
+
+    // handler-id sees every file (src + tests + examples).
+    let mut everything = src_files;
+    everything.extend(all_files);
+    violations.extend(lints::lint_handler_ids(&everything));
+
+    violations.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    for v in &violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.lint, v.message);
+    }
+    if violations.is_empty() {
+        println!(
+            "xtask lint: OK ({} files, 4 lints, 0 violations)",
+            everything.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn clone_violation(v: &Violation) -> Violation {
+    Violation {
+        path: v.path.clone(),
+        line: v.line,
+        lint: v.lint,
+        message: v.message.clone(),
+    }
+}
+
+fn load_allowlist(path: &Path) -> Allowlist {
+    let rel = path
+        .strip_prefix(workspace_root())
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    Allowlist::parse(&rel, &text)
+}
+
+/// All `.rs` files under `dir`, skipping build output.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries = match std::fs::read_dir(&d) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(p);
+                }
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}

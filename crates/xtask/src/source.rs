@@ -1,0 +1,336 @@
+//! A deliberately simple model of a Rust source file for line/token lints.
+//!
+//! No parser: we strip comments and string/char literals (preserving line
+//! structure so reported line numbers match the file), and mark the line
+//! spans of `#[cfg(test)]`-gated items and `#[test]` functions so lints can
+//! skip test code. This is a lint pass, not a compiler — the goal is zero
+//! false positives on idiomatic code, not full fidelity.
+
+/// A lint-ready view of one source file.
+pub struct SourceFile {
+    /// Path as reported in diagnostics (workspace-relative).
+    pub path: String,
+    /// Original lines, 0-indexed.
+    pub lines: Vec<String>,
+    /// Same lines with comments and string/char literal *contents* blanked.
+    pub stripped: Vec<String>,
+    /// `true` for lines inside `#[cfg(test)]` items or `#[test]` functions.
+    pub is_test: Vec<bool>,
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let stripped_text = strip(text);
+        let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        let stripped: Vec<String> = stripped_text.lines().map(|l| l.to_string()).collect();
+        let is_test = mark_test_lines(&stripped);
+        SourceFile {
+            path: path.to_string(),
+            lines,
+            stripped,
+            is_test,
+        }
+    }
+
+    /// Iterate (1-based line number, stripped line, original line) over
+    /// non-test lines.
+    pub fn non_test_lines(&self) -> impl Iterator<Item = (usize, &str, &str)> {
+        self.stripped
+            .iter()
+            .zip(&self.lines)
+            .enumerate()
+            .filter(move |(i, _)| !self.is_test.get(*i).copied().unwrap_or(false))
+            .map(|(i, (s, o))| (i + 1, s.as_str(), o.as_str()))
+    }
+
+    /// Iterate (1-based line number, stripped line, original line) over all
+    /// lines.
+    pub fn all_lines(&self) -> impl Iterator<Item = (usize, &str, &str)> {
+        self.stripped
+            .iter()
+            .zip(&self.lines)
+            .enumerate()
+            .map(|(i, (s, o))| (i + 1, s.as_str(), o.as_str()))
+    }
+}
+
+/// Replace comment bodies and string/char literal contents with spaces,
+/// keeping newlines so line/column positions survive.
+fn strip(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let b: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push('"');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string r"..." or r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        out.pop();
+                        out.push('"');
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime: 'x' / '\n' are literals;
+                    // 'a (no closing quote nearby) is a lifetime.
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => b.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        st = St::Char;
+                        out.push('\'');
+                    } else {
+                        out.push('\'');
+                    }
+                }
+                _ => out.push(c),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                } else if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    st = St::Code;
+                    out.push('"');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    // Closing only if followed by `hashes` #s.
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if b.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        st = St::Code;
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                    out.push(' ');
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '\'' => {
+                    st = St::Code;
+                    out.push('\'');
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Mark lines belonging to `#[cfg(test)]` items and `#[test]` functions.
+///
+/// Strategy: when a `#[cfg(test)]` or `#[test]`/`#[bench]` attribute line is
+/// seen, everything from the attribute to the close of the next brace block
+/// is test code. Works on stripped source so braces in strings/comments
+/// don't confuse the depth count.
+fn mark_test_lines(stripped: &[String]) -> Vec<bool> {
+    let mut is_test = vec![false; stripped.len()];
+    let mut i = 0;
+    while i < stripped.len() {
+        let t = stripped[i].trim();
+        let is_attr = t.starts_with("#[cfg(test)]")
+            || t.starts_with("#[cfg(all(test")
+            || t.starts_with("#[cfg(any(test")
+            || t.starts_with("#[test]")
+            || t.starts_with("#[bench]");
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        // Mark from the attribute through the end of the item's brace block.
+        let mut depth = 0i32;
+        let mut seen_open = false;
+        let mut j = i;
+        while j < stripped.len() {
+            is_test[j] = true;
+            for c in stripped[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    // An attribute can gate a brace-less item (`use`, const);
+                    // a `;` at depth 0 before any `{` ends it.
+                    ';' if !seen_open && depth == 0 => {
+                        seen_open = true; // terminate outer loop below
+                        depth = 0;
+                    }
+                    _ => {}
+                }
+            }
+            if seen_open && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    is_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = 1; // unwrap() in comment\nlet s = \".unwrap()\";\n/* .unwrap() */ let y = 2;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.stripped[0].contains("unwrap"));
+        assert!(!f.stripped[1].contains("unwrap"));
+        assert!(!f.stripped[2].contains("unwrap"));
+        assert!(f.stripped[2].contains("let y = 2;"));
+        // Original text retained for message extraction.
+        assert!(f.lines[1].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn strips_raw_strings_and_char_literals() {
+        let src = "let r = r#\"sleep(\"#; let c = '\\n'; let lt: &'static str = \"x\";\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.stripped[0].contains("sleep"));
+        assert!(f.stripped[0].contains("&'static str"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ code();\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.stripped[0].contains("still"));
+        assert!(f.stripped[0].contains("code();"));
+    }
+
+    #[test]
+    fn marks_cfg_test_mod() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn prod2() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(
+            f.is_test,
+            vec![false, true, true, true, true, false],
+            "test-mod span"
+        );
+    }
+
+    #[test]
+    fn marks_test_fn_outside_mod() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    b.unwrap();\n}\nfn c() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.is_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_confuse_spans() {
+        let src = "#[cfg(test)]\nmod tests {\n    const S: &str = \"}\";\n    fn t() {}\n}\nfn prod() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.is_test[5], "prod fn wrongly marked as test");
+        assert!(f.is_test[2] && f.is_test[4]);
+    }
+}

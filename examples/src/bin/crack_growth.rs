@@ -23,13 +23,11 @@ fn main() {
     let nsubs = GRID * GRID * GRID;
     let total_tasks = (nsubs as u64) * (ROUNDS as u64);
 
-    let results = launch::<Subdomain, (usize, u64, u64, u64), _>(
-        PremaConfig::implicit(RANKS),
-        move |rt| {
+    let results =
+        launch::<Subdomain, (usize, u64, u64, u64), _>(PremaConfig::implicit(RANKS), move |rt| {
             rt.on_message(H_REFINE, |ctx, sub, item| {
                 let round = u32::from_le_bytes(item.payload[..4].try_into().unwrap());
-                let sizing =
-                    CrackFront::at_round(0.45, 0.12, 0.5, round as usize, ROUNDS as usize);
+                let sizing = CrackFront::at_round(0.45, 0.12, 0.5, round as usize, ROUNDS as usize);
                 sub.reseed();
                 let stats = sub.mesh_all(&sizing);
                 std::hint::black_box(stats.tets_created);
@@ -83,8 +81,7 @@ fn main() {
                 (tets, node.local_count() as u64)
             });
             (rt.rank(), executed, tets, objs)
-        },
-    );
+        });
 
     println!("crack growth over {ROUNDS} rounds, {nsubs} subdomains, {RANKS} ranks:");
     println!("rank  refinements  final-subdomains  lifetime-tets(local objs)");

@@ -100,7 +100,9 @@ fn run_machine(n: usize, mk_policy: impl Fn(usize) -> Box<dyn LbPolicy>) -> Vec<
     // Everything starts on rank 0.
     let total = 60u64;
     for i in 0..total {
-        let ptr = scheds[0].node_mut().register(Block(2_000 + (i % 5) * 3_000));
+        let ptr = scheds[0]
+            .node_mut()
+            .register(Block(2_000 + (i % 5) * 3_000));
         scheds[0].node_mut().message(ptr, H_SPIN, Bytes::new());
     }
 
@@ -148,5 +150,7 @@ fn main() {
             "{name}: policy failed to spread work ({result:?})"
         );
     }
-    println!("\nboth policies spread the rank-0 pile across the machine — same framework, two policies.");
+    println!(
+        "\nboth policies spread the rank-0 pile across the machine — same framework, two policies."
+    );
 }

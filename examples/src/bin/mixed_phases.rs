@@ -29,9 +29,8 @@ fn main() {
     let nsubs = GRID * GRID * GRID;
     let total_tasks = (nsubs as u64) * (ROUNDS as u64);
 
-    let results = launch::<Subdomain, (usize, u64, usize, f64), _>(
-        PremaConfig::implicit(RANKS),
-        move |rt| {
+    let results =
+        launch::<Subdomain, (usize, u64, usize, f64), _>(PremaConfig::implicit(RANKS), move |rt| {
             rt.on_message(H_REFINE, |ctx, sub, item| {
                 let round = u32::from_le_bytes(item.payload[..4].try_into().unwrap());
                 let sizing = CrackFront::at_round(0.45, 0.12, 0.5, round as usize, ROUNDS as usize);
@@ -117,14 +116,16 @@ fn main() {
             });
             let _ = residual;
             (rt.rank(), refined, local_subs, acceptable)
-        },
-    );
+        });
 
     println!("mixed-phase run: {ROUNDS} adaptive rounds, then {SOLVER_ITERS} solver sweeps");
     println!("rank  refinements  solver-subdomains  mesh-quality(acceptable)");
     let mut total = 0;
     for (rank, refined, subs, quality) in results {
-        println!("{rank:>4}  {refined:>11}  {subs:>17}  {:>22.1}%", quality * 100.0);
+        println!(
+            "{rank:>4}  {refined:>11}  {subs:>17}  {:>22.1}%",
+            quality * 100.0
+        );
         total += refined;
     }
     assert_eq!(total, total_tasks);

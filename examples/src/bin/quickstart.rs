@@ -91,7 +91,10 @@ fn main() {
         println!("{rank:>4}  {executed:>14}  {migrated_in:>16}");
         total += executed;
     }
-    println!("total kicks: {total} (expected {})", BUCKETS as u64 * KICKS_PER_BUCKET);
+    println!(
+        "total kicks: {total} (expected {})",
+        BUCKETS as u64 * KICKS_PER_BUCKET
+    );
     assert_eq!(total, BUCKETS as u64 * KICKS_PER_BUCKET);
     println!("work spread across ranks without a single explicit migration call — that's PREMA.");
 }

@@ -104,7 +104,10 @@ fn main() {
         (rt.rank(), executed)
     });
 
-    println!("tree of {total_nodes} nodes walked across {} ranks:", results.len());
+    println!(
+        "tree of {total_nodes} nodes walked across {} ranks:",
+        results.len()
+    );
     let mut sum = 0;
     for (rank, executed) in results {
         println!("  rank {rank}: {executed} nodes");

@@ -1,0 +1,370 @@
+//! Unbounded MPMC channels and a homogeneous `Select`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Chan<T> {
+    queue: Mutex<VecDeque<T>>,
+    cv: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        queue: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// The channel is empty and all senders dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv`] and [`SelectedOperation::recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.senders.fetch_add(1, Ordering::Relaxed);
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake blocked receivers so they can observe
+            // the disconnect.
+            self.chan.cv.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message (never blocks). Fails only if every receiver has
+    /// been dropped.
+    pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+        if self.chan.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(t));
+        }
+        let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+        q.push_back(t);
+        drop(q);
+        self.chan.cv.notify_one();
+        Ok(())
+    }
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.receivers.fetch_add(1, Ordering::Relaxed);
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+        match q.pop_front() {
+            Some(t) => Ok(t),
+            None => {
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    Err(TryRecvError::Disconnected)
+                } else {
+                    Err(TryRecvError::Empty)
+                }
+            }
+        }
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(t) = q.pop_front() {
+                return Ok(t);
+            }
+            if self.chan.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            q = self.chan.cv.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Blocking receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(t) = q.pop_front() {
+                return Ok(t);
+            }
+            if self.chan.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = self
+                .chan
+                .cv
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            q = guard;
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.chan
+            .queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Error returned by [`Select::select_timeout`] when the deadline passes.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct SelectTimeoutError;
+
+/// Waits on several receivers of the same element type at once.
+///
+/// The real crossbeam `Select` is heterogeneous; this stand-in supports the
+/// homogeneous case, which is how the workspace uses it (one inbox per peer
+/// rank, all carrying the same envelope type). The wait strategy polls the
+/// registered receivers with a micro-sleep backoff — adequate for the short
+/// timeouts the runtime's polling loops use.
+pub struct Select<'a, T> {
+    rxs: Vec<&'a Receiver<T>>,
+}
+
+impl<'a, T> Default for Select<'a, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, T> Select<'a, T> {
+    /// Empty selector.
+    pub fn new() -> Self {
+        Select { rxs: Vec::new() }
+    }
+
+    /// Register a receive operation; returns its index.
+    pub fn recv(&mut self, rx: &'a Receiver<T>) -> usize {
+        self.rxs.push(rx);
+        self.rxs.len() - 1
+    }
+
+    /// Wait until any registered receiver has a message, or the timeout
+    /// elapses.
+    pub fn select_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<SelectedOperation<T>, SelectTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut pause = Duration::from_micros(10);
+        loop {
+            for (index, rx) in self.rxs.iter().enumerate() {
+                if let Ok(value) = rx.try_recv() {
+                    return Ok(SelectedOperation { index, value });
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(SelectTimeoutError);
+            }
+            std::thread::sleep(pause.min(deadline.saturating_duration_since(Instant::now())));
+            pause = (pause * 2).min(Duration::from_millis(1));
+        }
+    }
+}
+
+/// A completed receive operation produced by [`Select::select_timeout`].
+///
+/// Unlike real crossbeam (which returns a token you redeem against the
+/// receiver), the message is already dequeued; [`SelectedOperation::recv`]
+/// hands it over.
+pub struct SelectedOperation<T> {
+    index: usize,
+    value: T,
+}
+
+impl<T> SelectedOperation<T> {
+    /// Index of the receiver that fired (registration order).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Complete the operation, returning the received message. The receiver
+    /// argument exists for crossbeam API parity.
+    #[allow(clippy::result_unit_err)]
+    pub fn recv(self, _rx: &Receiver<T>) -> Result<T, RecvError> {
+        Ok(self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.try_recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx2, rx2) = unbounded::<u32>();
+        drop(rx2);
+        assert!(tx2.send(5).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(42u32).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)), Ok(42));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u32>();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(25)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn select_over_multiple_receivers() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx_a.send(7).unwrap();
+        let mut sel = Select::new();
+        sel.recv(&rx_b);
+        sel.recv(&rx_a);
+        let op = sel.select_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(op.index(), 1);
+        assert_eq!(op.recv(&rx_a), Ok(7));
+    }
+
+    #[test]
+    fn select_timeout_elapses() {
+        let (_tx, rx) = unbounded::<u32>();
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        let start = Instant::now();
+        assert!(sel.select_timeout(Duration::from_millis(20)).is_err());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn concurrent_senders_all_arrive() {
+        let (tx, rx) = unbounded::<u32>();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        tx.send(t * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut n = 0;
+        while rx.try_recv().is_ok() {
+            n += 1;
+        }
+        assert_eq!(n, 1000);
+    }
+}

@@ -1,0 +1,6 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/bytes` for the
+//! rationale). Provides `crossbeam::channel` with unbounded MPMC channels
+//! and a `Select` restricted to receivers of one element type — which is the
+//! only way this workspace uses it (waiting on a rank's N inboxes).
+
+pub mod channel;

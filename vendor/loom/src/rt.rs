@@ -1,0 +1,404 @@
+//! The schedule explorer and token scheduler.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Why a thread cannot currently run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum BlockOn {
+    /// Waiting for the mutex with this resource id to be released.
+    Mutex(usize),
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+/// One scheduling decision: how many threads were runnable, which was chosen.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    enabled: usize,
+    chosen: usize, // index into the enabled set, not a thread id
+}
+
+struct SchedState {
+    statuses: Vec<Status>,
+    active: usize,
+    script: Vec<usize>,
+    trace: Vec<Decision>,
+    /// Thread ids chosen at each decision, for failure reports.
+    trace_tids: Vec<usize>,
+    abort: bool,
+    failure: Option<String>,
+    next_resource: usize,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Token scheduler for one exploration run.
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    max_branches: usize,
+}
+
+/// Sentinel panic payload used to unwind loom threads after an abort
+/// (deadlock or failure elsewhere); not itself a model failure.
+pub(crate) struct LoomAbort;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler and loom-thread id of the calling thread, if it is running
+/// under [`model`].
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Scheduler {
+    fn new(script: Vec<usize>, max_branches: usize) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                statuses: Vec::new(),
+                active: 0,
+                script,
+                trace: Vec::new(),
+                trace_tids: Vec::new(),
+                abort: false,
+                failure: None,
+                next_resource: 0,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            max_branches,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Fresh id for a mutex or other blockable resource.
+    pub(crate) fn new_resource(&self) -> usize {
+        let mut st = self.lock();
+        st.next_resource += 1;
+        st.next_resource - 1
+    }
+
+    fn runnable(st: &SchedState) -> Vec<usize> {
+        st.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Pick the next thread to hold the token, recording a decision when
+    /// more than one is runnable. Panics the model on nondeterminism.
+    fn pick(&self, st: &mut SchedState) -> usize {
+        let enabled = Self::runnable(st);
+        assert!(!enabled.is_empty(), "pick() with no runnable thread");
+        if enabled.len() == 1 {
+            return enabled[0];
+        }
+        let d = st.trace.len();
+        if d >= self.max_branches {
+            st.abort = true;
+            st.failure = Some(format!(
+                "model exceeded {} scheduling decisions in one execution; \
+                 bound the model or raise LOOM_MAX_BRANCHES",
+                self.max_branches
+            ));
+            self.cv.notify_all();
+            panic::panic_any(LoomAbort);
+        }
+        let chosen = st.script.get(d).copied().unwrap_or(0);
+        assert!(
+            chosen < enabled.len(),
+            "loom: model is nondeterministic (replay found {} enabled threads, \
+             script expected > {})",
+            enabled.len(),
+            chosen
+        );
+        st.trace.push(Decision {
+            enabled: enabled.len(),
+            chosen,
+        });
+        let tid = enabled[chosen];
+        st.trace_tids.push(tid);
+        tid
+    }
+
+    fn wait_for_token(&self, mut st: MutexGuard<'_, SchedState>, me: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                panic::panic_any(LoomAbort);
+            }
+            if st.active == me && st.statuses[me] == Status::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// A plain scheduling point: every interleaving choice happens here.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            panic::panic_any(LoomAbort);
+        }
+        let next = self.pick(&mut st);
+        st.active = next;
+        self.cv.notify_all();
+        self.wait_for_token(st, me);
+    }
+
+    /// Block the calling thread on `why` and hand the token to someone else.
+    /// Returns when a [`Scheduler::wake`] made the caller runnable *and* the
+    /// scheduler chose it again. Detects deadlock.
+    pub(crate) fn block(&self, me: usize, why: BlockOn) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            panic::panic_any(LoomAbort);
+        }
+        st.statuses[me] = Status::Blocked(why);
+        let enabled = Self::runnable(&st);
+        if enabled.is_empty() {
+            let blocked: Vec<String> = st
+                .statuses
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Status::Blocked(b) => Some(format!("thread {i} on {b:?}")),
+                    _ => None,
+                })
+                .collect();
+            st.abort = true;
+            st.failure = Some(format!("deadlock: [{}]", blocked.join(", ")));
+            self.cv.notify_all();
+            drop(st);
+            panic::panic_any(LoomAbort);
+        }
+        let next = self.pick(&mut st);
+        st.active = next;
+        self.cv.notify_all();
+        self.wait_for_token(st, me);
+    }
+
+    /// Make every thread blocked on `why` runnable again (they still must be
+    /// chosen at a later decision before running).
+    pub(crate) fn wake(&self, why: BlockOn) {
+        let mut st = self.lock();
+        for s in st.statuses.iter_mut() {
+            if *s == Status::Blocked(why) {
+                *s = Status::Runnable;
+            }
+        }
+        // No token transfer here; the caller still holds it.
+    }
+
+    /// Register a new loom thread; returns its id. Caller must subsequently
+    /// schedule a yield point so the child can actually be chosen.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.statuses.push(Status::Runnable);
+        st.statuses.len() - 1
+    }
+
+    pub(crate) fn add_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.lock().os_handles.push(h);
+    }
+
+    pub(crate) fn is_finished(&self, tid: usize) -> bool {
+        self.lock().statuses[tid] == Status::Finished
+    }
+
+    /// Record a model failure (first wins) — assertion panics in loom
+    /// threads land here.
+    pub(crate) fn record_failure(&self, msg: String) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Called by a loom thread's wrapper as its last act.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut st = self.lock();
+        st.statuses[me] = Status::Finished;
+        // Wake joiners.
+        for s in st.statuses.iter_mut() {
+            if *s == Status::Blocked(BlockOn::Join(me)) {
+                *s = Status::Runnable;
+            }
+        }
+        if st.statuses.iter().all(|s| *s == Status::Finished) {
+            self.cv.notify_all(); // the explorer is waiting on this
+            return;
+        }
+        let enabled = Self::runnable(&st);
+        if enabled.is_empty() {
+            if !st.abort {
+                let blocked: Vec<String> = st
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| match s {
+                        Status::Blocked(b) => Some(format!("thread {i} on {b:?}")),
+                        _ => None,
+                    })
+                    .collect();
+                st.abort = true;
+                st.failure = Some(format!(
+                    "deadlock after thread {me} finished: [{}]",
+                    blocked.join(", ")
+                ));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let next = self.pick(&mut st);
+        st.active = next;
+        self.cv.notify_all();
+    }
+}
+
+/// Install (once) a panic hook that silences the [`LoomAbort`] sentinel.
+fn install_quiet_abort_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<LoomAbort>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Run the wrapped body as loom thread `tid` of `sched`: set the TLS
+/// scheduler, wait for the first token grant, catch panics, finish.
+pub(crate) fn run_as_loom_thread(
+    sched: Arc<Scheduler>,
+    tid: usize,
+    body: impl FnOnce() + std::panic::UnwindSafe,
+) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((sched.clone(), tid)));
+    {
+        let st = sched.lock();
+        sched.wait_for_token(st, tid);
+    }
+    let result = panic::catch_unwind(body);
+    if let Err(payload) = result {
+        if !payload.is::<LoomAbort>() {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "loom thread panicked".to_string());
+            sched.record_failure(format!("thread {tid} panicked: {msg}"));
+        }
+    }
+    sched.finish_thread(tid);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Explore every schedule of `f`'s loom threads. Panics — with the failing
+/// schedule — if any interleaving panics or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_abort_hook();
+    let f = Arc::new(f);
+    let max_branches = env_usize("LOOM_MAX_BRANCHES", 50_000);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 500_000);
+
+    let mut script: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "loom: exceeded {max_iterations} schedules without exhausting the \
+             state space; shrink the model or raise LOOM_MAX_ITERATIONS"
+        );
+        let sched = Arc::new(Scheduler::new(script.clone(), max_branches));
+        let tid0 = sched.register_thread();
+        debug_assert_eq!(tid0, 0);
+        {
+            // Grant the initial token to thread 0.
+            let mut st = sched.lock();
+            st.active = 0;
+        }
+        let body = f.clone();
+        let s2 = sched.clone();
+        let h0 = std::thread::spawn(move || {
+            run_as_loom_thread(s2, 0, AssertUnwindSafe(move || body()));
+        });
+        // Wait for every loom thread to finish.
+        {
+            let mut st = sched.lock();
+            while !st.statuses.iter().all(|s| *s == Status::Finished) {
+                st = sched.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        h0.join().ok();
+        let handles = std::mem::take(&mut sched.lock().os_handles);
+        for h in handles {
+            h.join().ok();
+        }
+
+        let st = sched.lock();
+        if let Some(failure) = &st.failure {
+            let schedule: Vec<String> = st
+                .trace
+                .iter()
+                .zip(&st.trace_tids)
+                .map(|(d, tid)| format!("{tid}({}/{})", d.chosen, d.enabled))
+                .collect();
+            panic!(
+                "loom model failed after {iterations} schedule(s): {failure}\n  \
+                 failing schedule [thread(choice/enabled), ...]: [{}]",
+                schedule.join(", ")
+            );
+        }
+
+        // Advance DFS: bump the deepest non-exhausted decision.
+        let trace = st.trace.clone();
+        drop(st);
+        let mut next_script: Option<Vec<usize>> = None;
+        for i in (0..trace.len()).rev() {
+            if trace[i].chosen + 1 < trace[i].enabled {
+                let mut s: Vec<usize> = trace[..i].iter().map(|d| d.chosen).collect();
+                s.push(trace[i].chosen + 1);
+                next_script = Some(s);
+                break;
+            }
+        }
+        match next_script {
+            Some(s) => script = s,
+            None => break, // exhausted: every schedule explored
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Instrumented synchronization primitives. Outside [`crate::model`] they
+//! degrade to direct std operations, so code compiled with `--cfg loom` can
+//! still run its non-model unit tests.
+
+pub use std::sync::Arc;
+
+use crate::rt::{current, BlockOn};
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering as StdOrdering;
+
+/// Scheduling point before every instrumented synchronization access.
+fn yield_point() {
+    if let Some((sched, me)) = current() {
+        sched.yield_point(me);
+    }
+}
+
+/// Instrumented mutex with a parking_lot-style non-poisoning API
+/// (`lock()` returns the guard directly).
+pub struct Mutex<T> {
+    id: UnsafeCell<Option<usize>>,
+    locked: std::sync::atomic::AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(data: T) -> Self {
+        Mutex {
+            id: UnsafeCell::new(None),
+            locked: std::sync::atomic::AtomicBool::new(false),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Lazily-assigned scheduler resource id (mutexes are created before the
+    /// model may be running, e.g. in statics).
+    fn resource_id(&self) -> usize {
+        // Safe: only called while holding the scheduler token, so loom
+        // threads never race here; outside the model it is unused.
+        unsafe {
+            let slot = &mut *self.id.get();
+            if let Some(id) = *slot {
+                return id;
+            }
+            let id = match current() {
+                Some((sched, _)) => sched.new_resource(),
+                None => usize::MAX,
+            };
+            *slot = Some(id);
+            id
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match current() {
+            Some((sched, me)) => {
+                loop {
+                    sched.yield_point(me);
+                    if self
+                        .locked
+                        .compare_exchange(false, true, StdOrdering::SeqCst, StdOrdering::SeqCst)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    let id = self.resource_id();
+                    sched.block(me, BlockOn::Mutex(id));
+                }
+                MutexGuard { lock: self }
+            }
+            None => {
+                while self
+                    .locked
+                    .compare_exchange(false, true, StdOrdering::SeqCst, StdOrdering::SeqCst)
+                    .is_err()
+                {
+                    std::thread::yield_now();
+                }
+                MutexGuard { lock: self }
+            }
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        yield_point();
+        if self
+            .locked
+            .compare_exchange(false, true, StdOrdering::SeqCst, StdOrdering::SeqCst)
+            .is_ok()
+        {
+            Some(MutexGuard { lock: self })
+        } else {
+            None
+        }
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, StdOrdering::SeqCst);
+        if let Some((sched, me)) = current() {
+            let id = self.lock.resource_id();
+            sched.wake(BlockOn::Mutex(id));
+            // yield_point can panic (abort sentinel); never from a Drop that
+            // may itself run during unwinding — that would be a double panic.
+            if !std::thread::panicking() {
+                sched.yield_point(me);
+            }
+        }
+    }
+}
+
+/// Instrumented atomics: each access is a scheduling point. `Ordering` is
+/// accepted for API parity but exploration is sequentially consistent (see
+/// crate docs).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! atomic_type {
+        ($name:ident, $std:ty, $prim:ty) => {
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$prim>::default())
+                }
+            }
+
+            impl $name {
+                pub const fn new(v: $prim) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                pub fn load(&self, _o: Ordering) -> $prim {
+                    super::yield_point();
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                pub fn store(&self, v: $prim, _o: Ordering) {
+                    super::yield_point();
+                    self.inner.store(v, Ordering::SeqCst)
+                }
+
+                pub fn swap(&self, v: $prim, _o: Ordering) -> $prim {
+                    super::yield_point();
+                    self.inner.swap(v, Ordering::SeqCst)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    cur: $prim,
+                    new: $prim,
+                    _s: Ordering,
+                    _f: Ordering,
+                ) -> Result<$prim, $prim> {
+                    super::yield_point();
+                    self.inner
+                        .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic_type!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    atomic_type!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    atomic_type!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+    impl AtomicUsize {
+        pub fn fetch_add(&self, v: usize, _o: Ordering) -> usize {
+            super::yield_point();
+            self.inner.fetch_add(v, Ordering::SeqCst)
+        }
+    }
+
+    impl AtomicU64 {
+        pub fn fetch_add(&self, v: u64, _o: Ordering) -> u64 {
+            super::yield_point();
+            self.inner.fetch_add(v, Ordering::SeqCst)
+        }
+    }
+
+    impl AtomicBool {
+        pub fn fetch_or(&self, v: bool, _o: Ordering) -> bool {
+            super::yield_point();
+            self.inner.fetch_or(v, Ordering::SeqCst)
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Instrumented thread spawn/join. Outside [`crate::model`] these fall back
+//! to plain `std::thread`.
+
+use crate::rt::{current, run_as_loom_thread, BlockOn};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned loom thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Loom {
+        tid: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// Spawn a thread participating in the current model (or a real thread if no
+/// model is running).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        Some((sched, me)) => {
+            let tid = sched.register_thread();
+            let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+            let slot = result.clone();
+            let s2 = sched.clone();
+            let os = std::thread::spawn(move || {
+                run_as_loom_thread(
+                    s2,
+                    tid,
+                    AssertUnwindSafe(move || {
+                        // Run the body; success is recorded for join(). A
+                        // panic unwinds past this closure and is recorded as
+                        // a model failure by run_as_loom_thread.
+                        let v = f();
+                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(Ok(v));
+                    }),
+                );
+            });
+            sched.add_os_handle(os);
+            // Give the scheduler a chance to switch to the child right away.
+            sched.yield_point(me);
+            JoinHandle {
+                inner: Inner::Loom { tid, result },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Os(std::thread::spawn(f)),
+        },
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result. A loom thread
+    /// that panicked reports `Err` (and the model records the failure).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Loom { tid, result } => {
+                let (sched, me) =
+                    current().expect("loom JoinHandle joined outside the owning model");
+                while !sched.is_finished(tid) {
+                    sched.block(me, BlockOn::Join(tid));
+                }
+                let taken = result.lock().unwrap_or_else(|p| p.into_inner()).take();
+                match taken {
+                    Some(r) => r,
+                    // Body never stored a value: it panicked before finishing.
+                    None => Err(Box::new("loom thread panicked")),
+                }
+            }
+            Inner::Os(h) => h.join(),
+        }
+    }
+}
+
+/// A pure scheduling point.
+pub fn yield_now() {
+    if let Some((sched, me)) = current() {
+        sched.yield_point(me);
+    } else {
+        std::thread::yield_now();
+    }
+}

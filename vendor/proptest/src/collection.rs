@@ -1,0 +1,82 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+use std::ops::Range;
+
+/// A length range for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Minimum length, inclusive.
+    pub min: usize,
+    /// Maximum length, exclusive.
+    pub max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.inner().gen_range(self.size.min..self.size.max);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Generate vectors whose elements come from `elem` and whose length comes
+/// from `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn lengths_respect_size_range() {
+        let mut rng = TestRng::for_case("veclen", 0);
+        let s = vec(any::<u8>(), 2..7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()), "{}", v.len());
+        }
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let mut rng = TestRng::for_case("vecnest", 0);
+        let s = vec(vec(0u32..5, 0..3), 1..4);
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 4);
+        for inner in v {
+            assert!(inner.len() < 3);
+            assert!(inner.iter().all(|&x| x < 5));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/bytes` for the
+//! rationale). Implements the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * [`strategy::Strategy`] with `prop_map` / `prop_filter`, range and tuple
+//!   strategies, `any::<T>()`, `Just`, [`prop_oneof!`],
+//! * [`collection::vec`],
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest, deliberately accepted: cases are generated
+//! from a deterministic per-test seed (derived from the test's module path
+//! and name, overridable via `PROPTEST_RNG_SEED`), and failing inputs are
+//! reported but **not shrunk**. Each failure message includes the case index
+//! and every generated input, which the deterministic seeding makes exactly
+//! reproducible.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `fn name(input in strategy, ...) { body }`
+/// expands to a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let __pt_cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __pt_test = concat!(module_path!(), "::", stringify!($name));
+            for __pt_case in 0..__pt_cfg.cases {
+                let mut __pt_rng =
+                    $crate::test_runner::TestRng::for_case(__pt_test, __pt_case);
+                let mut __pt_inputs = ::std::string::String::new();
+                $(
+                    let __pt_v =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);
+                    __pt_inputs.push_str(
+                        &format!("\n    {} = {:?}", stringify!($pat), &__pt_v));
+                    let $pat = __pt_v;
+                )+
+                let __pt_result: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__pt_msg) = __pt_result {
+                    panic!(
+                        "proptest {} failed at case {} of {}:\n  {}\n  inputs:{}",
+                        __pt_test, __pt_case, __pt_cfg.cases, __pt_msg, __pt_inputs
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a proptest body; on failure the current case's
+/// inputs are reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {}\n    left: {:?}\n   right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                a
+            ));
+        }
+    }};
+}
+
+/// Choose uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Union::arm($arm) ),+
+        ])
+    };
+}
