@@ -69,3 +69,8 @@ pub use prema_mol as mol;
 // The types applications touch constantly.
 pub use prema_ilb::{HandlerCtx, LoadSnapshot};
 pub use prema_mol::{Migratable, MobilePtr, WorkItem};
+
+// The runtime-internal map flavor, for embedders extending the runtime.
+// (Defined in `prema_dcs` — the bottom layer — so every crate above can share
+// it; re-exported here so `prema::fxmap` is the one name to remember.)
+pub use prema_dcs::fxmap;

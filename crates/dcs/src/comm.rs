@@ -114,9 +114,19 @@ impl Communicator {
 
     /// Put a message back for a later receive (front of the queue is the
     /// oldest sidelined message). Does not double-count it in the stats.
+    ///
+    /// Only envelopes obtained from this communicator's receive methods may
+    /// be sidelined: each one was counted on receipt, and that count is
+    /// backed out here (it is re-counted when re-received). Sidelining a
+    /// never-received envelope is a caller bug — debug builds assert;
+    /// release builds saturate rather than wrapping the counter to 2⁶⁴.
     pub fn sideline(&self, env: Envelope) {
         let mut s = self.stats.get();
-        s.msgs_recvd -= 1; // it will be counted again when re-received
+        debug_assert!(
+            s.msgs_recvd > 0,
+            "sideline of an envelope that was never counted as received"
+        );
+        s.msgs_recvd = s.msgs_recvd.saturating_sub(1);
         self.stats.set(s);
         self.sidelined.borrow_mut().push_back(env);
     }
@@ -181,6 +191,62 @@ mod tests {
         assert!(b.try_recv().is_none());
         // Net received count: 3 unique messages (sideline un-counts).
         assert_eq!(b.stats().msgs_recvd, 3);
+    }
+
+    /// The collective wait loop depends on `recv_timeout_transport` /
+    /// `try_recv_transport` *never* handing back sidelined messages (it
+    /// would re-receive what it just sidelined and livelock), while plain
+    /// `recv_timeout` must drain the sideline first. Regression test for
+    /// that contract across a transport swap.
+    #[test]
+    fn transport_receives_bypass_the_sideline_queue() {
+        let (a, b) = pair();
+        a.am_send(1, HandlerId(1), Tag::App, Bytes::new());
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        b.sideline(env);
+        // Transport-only receives must not see the sidelined message, even
+        // though it is the only one queued anywhere.
+        assert!(b.try_recv_transport().is_none());
+        assert!(b
+            .recv_timeout_transport(Duration::from_millis(20))
+            .is_none());
+        // Fresh wire traffic is returned ahead of the sidelined envelope.
+        a.am_send(1, HandlerId(2), Tag::App, Bytes::new());
+        assert_eq!(
+            b.recv_timeout_transport(Duration::from_secs(1))
+                .unwrap()
+                .handler,
+            HandlerId(2)
+        );
+        // The plain receive finally drains the sideline, oldest first.
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap().handler,
+            HandlerId(1)
+        );
+        assert!(b.try_recv().is_none());
+        assert_eq!(b.stats().msgs_recvd, 2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "never counted as received")]
+    fn sideline_of_uncounted_envelope_asserts_in_debug() {
+        let (a, b) = pair();
+        a.am_send(1, HandlerId(1), Tag::App, Bytes::new());
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        b.sideline(env.clone()); // legitimate: counted once, backed out once
+        b.sideline(env); // bug: the count was already backed out
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn sideline_of_uncounted_envelope_saturates_in_release() {
+        let (a, b) = pair();
+        a.am_send(1, HandlerId(1), Tag::App, Bytes::new());
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        b.sideline(env.clone());
+        b.sideline(env); // must saturate at 0, not wrap to u64::MAX
+        assert_eq!(b.stats().msgs_recvd, 0);
     }
 
     #[test]

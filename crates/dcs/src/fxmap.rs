@@ -1,0 +1,144 @@
+//! Fx-hashed maps for runtime-internal keys.
+//!
+//! The MOL probes a directory keyed by 16-byte mobile pointers on every
+//! message; `std`'s default SipHash is DoS-resistant but pays ~an order of
+//! magnitude more per probe than needed for keys the runtime itself
+//! constructs (mobile pointers, ranks, handler ids — never
+//! attacker-controlled). This module is a pure-std implementation of the
+//! `FxHasher` used by rustc and Firefox (a multiply-rotate word hash), with
+//! `HashMap`/`HashSet` aliases; the whole workspace's runtime-internal maps
+//! go through these aliases so the hasher choice lives in one place.
+//!
+//! Not for untrusted keys: Fx is trivially collidable by an adversary who
+//! controls key bytes. Application-facing tables keyed by external input
+//! should stay on `std`'s default hasher.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc FxHasher (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc/Firefox Fx word hasher: `hash = (hash.rotl(5) ^ word) * SEED`
+/// per input word. Fast and well-distributed for short, trusted keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fold 8 bytes at a time; a short tail is zero-padded into one last
+        // word. Length is not mixed in — fine for the fixed-width keys the
+        // runtime uses (and `Hash` impls for variable-width types delimit
+        // their fields themselves).
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..tail.len()].copy_from_slice(tail);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (stateless, so maps hash
+/// deterministically across runs — handy for reproducible experiments).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]; for runtime-internal, trusted keys only.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`]; for runtime-internal, trusted keys only.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash_of(&(3usize, 77u64)), hash_of(&(3usize, 77u64)));
+        assert_eq!(hash_of(&"prema"), hash_of(&"prema"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let a = hash_of(&(0usize, 1u64));
+        let b = hash_of(&(0usize, 2u64));
+        let c = hash_of(&(1usize, 1u64));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn byte_stream_tail_handling() {
+        // Same prefix, differing only in a sub-word tail, must differ.
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(5, "five");
+        m.insert(6, "six");
+        assert_eq!(m.get(&5), Some(&"five"));
+        assert_eq!(m.len(), 2);
+
+        let mut s: FxHashSet<(usize, u64)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+    }
+}

@@ -9,8 +9,10 @@
 //! Layering (bottom-up):
 //!
 //! * [`transport`] — the wire. [`transport::LocalFabric`] connects N ranks
-//!   (one OS thread each) through per-pair FIFO channels: a real concurrent
-//!   message-passing machine inside one process.
+//!   (one OS thread each) through one shared MPSC inbox per rank: a real
+//!   concurrent message-passing machine inside one process, with O(1)
+//!   receive cost and structural per-pair FIFO (each producer's sends
+//!   enqueue atomically in order).
 //! * [`envelope`] — messages: handler id + [`envelope::Tag`] (application vs
 //!   system) + payload bytes.
 //! * [`comm`] — the per-rank endpoint: sends, polling receives, a sideline
@@ -23,6 +25,8 @@
 //!   messages.
 //! * [`delay`] — a latency-injecting transport decorator for tests that need
 //!   wide-area message races.
+//! * [`fxmap`] — Fx-hashed map aliases for runtime-internal keys (fast,
+//!   deterministic, not DoS-resistant).
 
 #![warn(missing_docs)]
 
@@ -30,6 +34,7 @@ pub mod collective;
 pub mod comm;
 pub mod delay;
 pub mod envelope;
+pub mod fxmap;
 pub mod handler;
 pub mod transport;
 pub mod wire;
@@ -38,6 +43,7 @@ pub use collective::Collectives;
 pub use comm::{CommStats, Communicator};
 pub use delay::DelayTransport;
 pub use envelope::{Envelope, HandlerId, Rank, Tag};
+pub use fxmap::{FxHashMap, FxHashSet};
 pub use handler::{Handler, HandlerTable};
 pub use transport::{LocalEndpoint, LocalFabric, Transport};
 pub use wire::{WireReader, WireWriter};

@@ -3,11 +3,32 @@
 //! The paper's PREMA sat on LAM/MPI. Here the wire is abstracted behind
 //! [`Transport`]; the provided [`LocalFabric`] connects N ranks (one OS thread
 //! each) through crossbeam channels, giving a real concurrent message-passing
-//! machine inside one process. The per-pair FIFO guarantee of MPI is inherited
-//! from channel FIFO order (each sender→receiver path is a single channel).
+//! machine inside one process.
+//!
+//! # The single-queue fast path
+//!
+//! Each rank owns **one** shared MPSC inbox; every peer holds a clone of its
+//! sender. This makes the two operations the runtime performs constantly —
+//! the preemptive polling thread's empty poll and the blocking
+//! `recv_timeout` — O(1) in machine size: `try_recv` is a single channel
+//! probe (no scan over per-peer inboxes) and `recv_timeout` is a single
+//! condvar wait (no `Select` built per call). An earlier design used an n×n
+//! channel mesh, which paid an O(n) scan per *empty* poll — overhead that
+//! grew with machine size on exactly the path §4.2's implicit mode needs to
+//! be negligible (the inbox-scan baseline survives in
+//! `crates/bench/benches/fastpath.rs` so the win stays measured).
+//!
+//! The per-pair FIFO guarantee of MPI — which the MOL's sequence-numbered
+//! delivery ordering builds on — is preserved *structurally*: the channel is
+//! multi-producer with each `send` enqueueing atomically, so the messages of
+//! any one producer appear in the queue in their send order. Interleaving
+//! *between* producers is arbitrary (it always was, even with per-pair
+//! channels), which is all the MOL assumes. A multi-sender proptest
+//! (`shared_queue_preserves_per_pair_fifo` in `tests/proptest_dcs.rs`) pins
+//! the guarantee under randomized thread interleavings.
 
 use crate::envelope::{Envelope, Rank};
-use crossbeam::channel::{unbounded, Receiver, Select, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::time::Duration;
 
 /// A node's connection to the machine.
@@ -28,13 +49,12 @@ pub trait Transport: Send {
 /// One endpoint of a [`LocalFabric`].
 pub struct LocalEndpoint {
     rank: Rank,
-    /// `peers[d]` delivers to rank `d` (including self, for uniformity).
+    /// `peers[d]` delivers into rank `d`'s shared inbox (including self, for
+    /// uniformity).
     peers: Vec<Sender<Envelope>>,
-    /// One receiver per possible sender, so per-pair FIFO holds even under
-    /// concurrent senders.
-    inboxes: Vec<Receiver<Envelope>>,
-    /// Round-robin cursor over inboxes for fairness.
-    cursor: std::cell::Cell<usize>,
+    /// This rank's single shared inbox: every peer sends into it, so receive
+    /// cost is independent of machine size.
+    inbox: Receiver<Envelope>,
 }
 
 impl Transport for LocalEndpoint {
@@ -55,37 +75,19 @@ impl Transport for LocalEndpoint {
     }
 
     fn try_recv(&self) -> Option<Envelope> {
-        let n = self.inboxes.len();
-        let start = self.cursor.get();
-        for i in 0..n {
-            let idx = (start + i) % n;
-            if let Ok(env) = self.inboxes[idx].try_recv() {
-                self.cursor.set((idx + 1) % n);
-                return Some(env);
-            }
-        }
-        None
+        // O(1): one probe of the shared inbox, regardless of machine size.
+        self.inbox.try_recv().ok()
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
-        if let Some(env) = self.try_recv() {
-            return Some(env);
-        }
-        let mut sel = Select::new();
-        for rx in &self.inboxes {
-            sel.recv(rx);
-        }
-        match sel.select_timeout(timeout) {
-            Ok(op) => {
-                let idx = op.index();
-                op.recv(&self.inboxes[idx]).ok()
-            }
-            Err(_) => None,
-        }
+        // O(1): a single blocking receive — no selector construction, no
+        // scan. A sender's enqueue wakes this directly via the channel's
+        // condvar.
+        self.inbox.recv_timeout(timeout).ok()
     }
 }
 
-/// Builds the all-to-all channel mesh for `n` ranks.
+/// Builds the shared-inbox fabric for `n` ranks.
 pub struct LocalFabric;
 
 impl LocalFabric {
@@ -95,38 +97,27 @@ impl LocalFabric {
     #[allow(clippy::new_ret_no_self)]
     pub fn new(n: usize) -> Vec<LocalEndpoint> {
         assert!(n > 0, "fabric needs at least one rank");
-        // txs[src][dst] / rxs[dst][src]; one channel per ordered (src → dst)
-        // pair so FIFO per pair is structural.
-        let mut txs: Vec<Vec<Sender<Envelope>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
-        let mut rxs: Vec<Vec<Receiver<Envelope>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
-        let mut grid: Vec<Vec<(Sender<Envelope>, Receiver<Envelope>)>> = (0..n)
-            .map(|_| (0..n).map(|_| unbounded()).collect())
-            .collect();
-        #[allow(clippy::needless_range_loop)] // indices pair txs[src] with rxs[dst]
-        for src in 0..n {
-            for dst in 0..n {
-                let (tx, rx) = grid[src].remove(0);
-                txs[src].push(tx);
-                rxs[dst].push(rx);
-            }
-        }
-        drop(grid);
-        txs.into_iter()
-            .zip(rxs)
+        // One channel per rank. Each endpoint gets a clone of every sender
+        // (its address table) and its own receiver: n channels total instead
+        // of the previous n² mesh, and no quadratic vector shuffling at
+        // construction.
+        let (txs, rxs): (Vec<Sender<Envelope>>, Vec<Receiver<Envelope>>) =
+            (0..n).map(|_| unbounded()).unzip();
+        rxs.into_iter()
             .enumerate()
-            .map(|(rank, (peers, inboxes))| LocalEndpoint {
+            .map(|(rank, inbox)| LocalEndpoint {
                 rank,
-                peers,
-                inboxes,
-                cursor: std::cell::Cell::new(0),
+                peers: txs.clone(),
+                inbox,
             })
             .collect()
     }
 }
 
-// Receivers/Senders are Send; Cell<usize> keeps LocalEndpoint !Sync, which is
-// correct: an endpoint belongs to exactly one thread. (Sharing between the
-// worker and the polling thread happens above this layer, under a lock.)
+// Senders/Receivers are Send, so endpoints can be moved to their rank's
+// thread. (The shared MPMC inbox would even tolerate concurrent receivers,
+// but the runtime never does that: sharing between the worker and the
+// polling thread happens above this layer, under a lock.)
 #[allow(unused)]
 fn _assert_endpoint_send(e: LocalEndpoint) -> impl Send {
     e
@@ -213,7 +204,7 @@ mod tests {
     }
 
     #[test]
-    fn try_recv_is_fair_across_senders() {
+    fn arrival_order_preserved_across_senders() {
         let mut eps = LocalFabric::new(3);
         let c = eps.pop().unwrap();
         let b = eps.pop().unwrap();
@@ -222,8 +213,9 @@ mod tests {
             a.send(env(0, 2, i));
             b.send(env(1, 2, 100 + i));
         }
-        // Round-robin cursor should interleave sources rather than draining
-        // one sender entirely first.
+        // The shared inbox preserves global arrival order, so no sender can
+        // be starved behind another's backlog: both sources show up
+        // immediately.
         let mut seen_src = Vec::new();
         for _ in 0..4 {
             seen_src.push(c.try_recv().unwrap().src);
@@ -232,5 +224,21 @@ mod tests {
             seen_src.contains(&0) && seen_src.contains(&1),
             "{seen_src:?}"
         );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_concurrent_send() {
+        let mut eps = LocalFabric::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            a.send(env(0, 1, 9));
+        });
+        // The blocking receive must be woken by the send, well before the
+        // generous timeout.
+        let got = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.handler, HandlerId(9));
+        h.join().unwrap();
     }
 }

@@ -1,7 +1,9 @@
 //! Property-based tests for the DCS substrate: wire codec, transport FIFO,
 //! and collectives across arbitrary machine sizes and payloads.
 
-use prema_dcs::{Collectives, Communicator, HandlerId, LocalFabric, Tag, WireReader, WireWriter};
+use prema_dcs::{
+    Collectives, Communicator, HandlerId, LocalFabric, Tag, Transport, WireReader, WireWriter,
+};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug, PartialEq)]
@@ -68,6 +70,67 @@ proptest! {
             prop_assert_eq!(env.payload.len(), *size);
         }
         prop_assert!(b.try_recv().is_none());
+    }
+}
+
+proptest! {
+    // Thread spawning per case is comparatively expensive; fewer, fatter
+    // cases give better interleaving coverage per second.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The single shared inbox replaced per-pair channels, so per-pair FIFO
+    /// is no longer geometric — it rests on each producer's sends enqueueing
+    /// atomically in order. Pin that under randomized multi-sender
+    /// interleavings: every sender's messages must reach the receiver in
+    /// send order (sequence numbers strictly increasing per sender), none
+    /// lost, none duplicated. Interleavings vary via per-sender message
+    /// counts and yield patterns drawn by proptest.
+    #[test]
+    fn shared_queue_preserves_per_pair_fifo(
+        counts in proptest::collection::vec(1usize..120, 3..6),
+        yield_mask in any::<u64>(),
+    ) {
+        let senders = counts.len();
+        let mut eps = LocalFabric::new(senders + 1);
+        let rx = eps.pop().expect("fabric returns one endpoint per rank");
+        let dst = senders; // the receiver's rank (last one built)
+        let handles: Vec<_> = eps
+            .into_iter()
+            .zip(&counts)
+            .map(|(ep, &count)| {
+                std::thread::spawn(move || {
+                    for seq in 0..count {
+                        ep.send(prema_dcs::Envelope {
+                            src: ep.rank(),
+                            dst,
+                            handler: HandlerId(seq as u32),
+                            tag: Tag::App,
+                            payload: bytes::Bytes::new(),
+                        });
+                        // Perturb the interleaving differently per case.
+                        if (yield_mask >> (seq % 64)) & 1 == 1 {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("sender thread panicked");
+        }
+        let total: usize = counts.iter().sum();
+        let mut next_seq = vec![0u32; senders];
+        for _ in 0..total {
+            let env = rx.try_recv().expect("message lost in shared queue");
+            let src = env.src;
+            // Any mismatch here is a per-pair FIFO violation for `src`.
+            prop_assert_eq!(env.handler, HandlerId(next_seq[src]));
+            next_seq[src] += 1;
+        }
+        prop_assert!(rx.try_recv().is_none(), "duplicate or phantom message");
+        for (&got, &want) in next_seq.iter().zip(&counts) {
+            prop_assert_eq!(got as usize, want);
+        }
     }
 }
 

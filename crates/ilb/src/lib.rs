@@ -26,8 +26,8 @@ pub mod policy;
 pub mod scheduler;
 
 pub use policy::{
-    diffusion_neighborhood, pair_partner, Diffusion, Gradient, LbPolicy, LoadSnapshot, Multilist,
-    WorkStealing,
+    diffusion_neighborhood, pair_partner, Diffusion, Gradient, LbPolicy, LoadMap, LoadSnapshot,
+    Multilist, WorkStealing,
 };
 pub use scheduler::{
     Execution, HandlerCtx, SchedStats, Scheduler, WorkHandler, NODE_HANDLER_LIMIT,

@@ -12,11 +12,10 @@
 //! objects drive both the real threaded runtime and the discrete-event
 //! evaluation harness.
 
-use prema_dcs::Rank;
+use prema_dcs::{FxHashMap, Rank};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// A processor's load at a point in time, as the balancer sees it.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -26,6 +25,11 @@ pub struct LoadSnapshot {
     /// Sum of the units' weight hints (may be inaccurate — the paper's §2).
     pub weight: f64,
 }
+
+/// The balancer's view of the machine: latest load report per rank. Fx-hashed
+/// (ranks are runtime-internal keys) — the scheduler consults and updates this
+/// map on every poll.
+pub type LoadMap = FxHashMap<Rank, LoadSnapshot>;
 
 /// A load-balancing policy: decides when this processor is underloaded, whom
 /// to ask for work, and how much work to surrender to a requester.
@@ -47,7 +51,7 @@ pub trait LbPolicy: Send {
         &mut self,
         me: Rank,
         nprocs: usize,
-        known: &HashMap<Rank, LoadSnapshot>,
+        known: &LoadMap,
         attempt: u32,
     ) -> Option<Rank>;
 
@@ -57,12 +61,7 @@ pub trait LbPolicy: Send {
     /// Sender-initiated flows: given local load and neighbor reports, how
     /// much *weight* to push to each neighbor right now. Only diffusive
     /// policies implement this; the default pushes nothing.
-    fn flows(
-        &self,
-        _me: Rank,
-        _local: &LoadSnapshot,
-        _known: &HashMap<Rank, LoadSnapshot>,
-    ) -> Vec<(Rank, f64)> {
+    fn flows(&self, _me: Rank, _local: &LoadSnapshot, _known: &LoadMap) -> Vec<(Rank, f64)> {
         Vec::new()
     }
 }
@@ -151,7 +150,7 @@ impl LbPolicy for WorkStealing {
         &mut self,
         me: Rank,
         nprocs: usize,
-        known: &HashMap<Rank, LoadSnapshot>,
+        known: &LoadMap,
         attempt: u32,
     ) -> Option<Rank> {
         if nprocs <= 1 {
@@ -223,7 +222,7 @@ impl LbPolicy for Diffusion {
         &mut self,
         _me: Rank,
         _nprocs: usize,
-        _known: &HashMap<Rank, LoadSnapshot>,
+        _known: &LoadMap,
         _attempt: u32,
     ) -> Option<Rank> {
         None
@@ -239,12 +238,7 @@ impl LbPolicy for Diffusion {
         }
     }
 
-    fn flows(
-        &self,
-        me: Rank,
-        local: &LoadSnapshot,
-        known: &HashMap<Rank, LoadSnapshot>,
-    ) -> Vec<(Rank, f64)> {
+    fn flows(&self, me: Rank, local: &LoadSnapshot, known: &LoadMap) -> Vec<(Rank, f64)> {
         let nbrs: Vec<Rank> = known.keys().copied().filter(|&r| r != me).collect();
         let deg = nbrs.len();
         if deg == 0 {
@@ -301,7 +295,7 @@ impl LbPolicy for Multilist {
         &mut self,
         me: Rank,
         nprocs: usize,
-        known: &HashMap<Rank, LoadSnapshot>,
+        known: &LoadMap,
         _attempt: u32,
     ) -> Option<Rank> {
         if nprocs <= 1 {
@@ -376,7 +370,7 @@ impl LbPolicy for Gradient {
         &mut self,
         me: Rank,
         nprocs: usize,
-        known: &HashMap<Rank, LoadSnapshot>,
+        known: &LoadMap,
         attempt: u32,
     ) -> Option<Rank> {
         if nprocs <= 1 {
@@ -472,7 +466,7 @@ mod tests {
     #[test]
     fn stealing_first_victim_is_partner() {
         let mut p = WorkStealing::new(2.0, 1);
-        let known = HashMap::new();
+        let known = LoadMap::default();
         assert_eq!(p.choose_victim(4, 8, &known, 0), Some(5));
         assert_eq!(p.choose_victim(5, 8, &known, 0), Some(4));
     }
@@ -480,7 +474,7 @@ mod tests {
     #[test]
     fn stealing_retries_prefer_heaviest_known() {
         let mut p = WorkStealing::new(2.0, 1);
-        let mut known = HashMap::new();
+        let mut known = LoadMap::default();
         known.insert(2, snap(10, 50.0));
         known.insert(3, snap(4, 4.0));
         assert_eq!(p.choose_victim(0, 8, &known, 1), Some(2));
@@ -490,7 +484,7 @@ mod tests {
     fn stealing_never_chooses_self() {
         let mut p = WorkStealing::new(2.0, 7);
         for attempt in 1..20 {
-            let v = p.choose_victim(3, 8, &HashMap::new(), attempt).unwrap();
+            let v = p.choose_victim(3, 8, &LoadMap::default(), attempt).unwrap();
             assert_ne!(v, 3);
             assert!(v < 8);
         }
@@ -511,7 +505,7 @@ mod tests {
     #[test]
     fn diffusion_flows_downhill_only() {
         let d = Diffusion::new(0.5);
-        let mut known = HashMap::new();
+        let mut known = LoadMap::default();
         known.insert(1, snap(2, 2.0));
         known.insert(2, snap(20, 20.0));
         let flows = d.flows(0, &snap(10, 10.0), &known);
@@ -525,7 +519,7 @@ mod tests {
     #[test]
     fn diffusion_respects_threshold() {
         let d = Diffusion::new(5.0);
-        let mut known = HashMap::new();
+        let mut known = LoadMap::default();
         known.insert(1, snap(2, 6.0));
         assert!(d.flows(0, &snap(3, 10.0), &known).is_empty());
     }
@@ -535,7 +529,7 @@ mod tests {
         // Total outflow never exceeds local weight (Cybenko condition):
         // with deg neighbors, each flow ≤ diff/(deg+1) ≤ w/(deg+1).
         let d = Diffusion::new(0.0);
-        let mut known = HashMap::new();
+        let mut known = LoadMap::default();
         for r in 1..=4usize {
             known.insert(r, snap(0, 0.0));
         }
@@ -548,7 +542,7 @@ mod tests {
     #[test]
     fn multilist_picks_longest_known_list() {
         let mut p = Multilist::new(1, 3);
-        let mut known = HashMap::new();
+        let mut known = LoadMap::default();
         known.insert(1, snap(3, 3.0));
         known.insert(2, snap(9, 9.0));
         known.insert(3, snap(6, 6.0));
@@ -565,7 +559,7 @@ mod tests {
     #[test]
     fn single_processor_policies_are_inert() {
         let mut ws = WorkStealing::new(1.0, 1);
-        assert!(ws.choose_victim(0, 1, &HashMap::new(), 0).is_none());
+        assert!(ws.choose_victim(0, 1, &LoadMap::default(), 0).is_none());
         assert!(ws.neighborhood(0, 1).is_empty());
         let ml = Multilist::new(1, 1);
         assert!(ml.neighborhood(0, 1).is_empty());
@@ -583,7 +577,7 @@ mod gradient_tests {
     #[test]
     fn gradient_picks_nearest_overloaded() {
         let mut g = Gradient::new(1.0, 4.0);
-        let mut known = HashMap::new();
+        let mut known = LoadMap::default();
         known.insert(2, snap(10, 10.0)); // distance 2
         known.insert(7, snap(50, 50.0)); // distance 1 on an 8-ring
         known.insert(4, snap(2, 2.0)); // not overloaded
@@ -593,7 +587,7 @@ mod gradient_tests {
     #[test]
     fn gradient_ties_break_by_weight() {
         let mut g = Gradient::new(1.0, 4.0);
-        let mut known = HashMap::new();
+        let mut known = LoadMap::default();
         known.insert(1, snap(10, 10.0)); // distance 1
         known.insert(7, snap(50, 50.0)); // distance 1, heavier
         assert_eq!(g.choose_victim(0, 8, &known, 0), Some(7));
@@ -602,7 +596,7 @@ mod gradient_tests {
     #[test]
     fn gradient_ring_fallback_widens() {
         let mut g = Gradient::new(1.0, 4.0);
-        let known = HashMap::new();
+        let known = LoadMap::default();
         assert_eq!(g.choose_victim(0, 8, &known, 0), Some(1));
         assert_eq!(g.choose_victim(0, 8, &known, 3), Some(4));
     }

@@ -10,11 +10,10 @@
 //! facade composes it with OS threads and, in implicit mode, a preemptive
 //! polling thread that calls [`Scheduler::poll_system`] concurrently.
 
-use crate::policy::{LbPolicy, LoadSnapshot};
+use crate::policy::{LbPolicy, LoadMap, LoadSnapshot};
 use bytes::Bytes;
-use prema_dcs::{Rank, Tag, WireReader, WireWriter};
+use prema_dcs::{FxHashMap, Rank, Tag, WireReader, WireWriter};
 use prema_mol::{Migratable, MobilePtr, MolEvent, MolNode, WorkItem};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Runtime-internal node-message handler ids (top of the u32 space).
@@ -115,10 +114,10 @@ pub type NodeHandler = Arc<dyn Fn(&mut HandlerCtx, Rank, Bytes) + Send + Sync>;
 /// The per-rank PREMA scheduler.
 pub struct Scheduler<O: Migratable> {
     node: MolNode<O>,
-    handlers: HashMap<u32, WorkHandler<O>>,
-    node_handlers: HashMap<u32, NodeHandler>,
+    handlers: FxHashMap<u32, WorkHandler<O>>,
+    node_handlers: FxHashMap<u32, NodeHandler>,
     policy: Box<dyn LbPolicy>,
-    known: HashMap<Rank, LoadSnapshot>,
+    known: LoadMap,
     /// Victim of the outstanding work request, if any.
     outstanding: Option<Rank>,
     /// Consecutive refusals in the current begging round.
@@ -137,10 +136,10 @@ impl<O: Migratable> Scheduler<O> {
     pub fn new(node: MolNode<O>, policy: Box<dyn LbPolicy>) -> Self {
         Scheduler {
             node,
-            handlers: HashMap::new(),
-            node_handlers: HashMap::new(),
+            handlers: FxHashMap::default(),
+            node_handlers: FxHashMap::default(),
             policy,
-            known: HashMap::new(),
+            known: LoadMap::default(),
             outstanding: None,
             attempt: 0,
             executing: None,

@@ -13,6 +13,13 @@
 //!    make delivery order identical to send order regardless of the path
 //!    each message took. Lazy location updates collapse forwarding chains.
 //!
+//! Everything a rank knows about one mobile pointer — residency, the cached
+//! location, the forward pointer, the outgoing sequence counter, parked
+//! messages — lives in a single [`DirEntry`] inside one Fx-hashed directory,
+//! so the per-message fast paths (send, receive, forward) pay **one** map
+//! probe instead of one per concern. This is the MOL half of the O(1)
+//! message fast path; the transport half is `prema_dcs::transport`.
+//!
 //! The node is deliberately *mechanism only*: [`MolNode::poll`] returns
 //! [`MolEvent`]s and the layer above (the ILB scheduler / the `prema` facade)
 //! decides when to execute them. That split is what lets PREMA process
@@ -27,8 +34,8 @@ use crate::proto::{
 };
 use crate::ptr::{MobilePtr, PtrAllocator};
 use bytes::Bytes;
-use prema_dcs::{Communicator, Envelope, Rank, Tag};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use prema_dcs::{Communicator, Envelope, FxHashMap, Rank, Tag};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Location-update strategy knobs (the forwarding-vs-updates tradeoff).
 ///
@@ -112,6 +119,8 @@ pub enum MolEvent {
     },
 }
 
+/// Residency state of a *local* object: the object itself plus the in-flight
+/// ordering state that travels with it on migration.
 struct Entry<O> {
     /// The object itself; `None` while detached for execution
     /// ([`MolNode::take_object`]). A detached object still receives and
@@ -121,9 +130,62 @@ struct Entry<O> {
     /// Migration epoch: number of times this object has moved.
     epoch: u64,
     /// Next expected sequence number per original sender.
-    expected: HashMap<Rank, u64>,
+    expected: FxHashMap<Rank, u64>,
     /// Out-of-order buffer per original sender.
-    ooo: HashMap<Rank, BTreeMap<u64, MolEnvelope>>,
+    ooo: FxHashMap<Rank, BTreeMap<u64, MolEnvelope>>,
+}
+
+/// Everything this rank knows about one mobile pointer, unified so the
+/// per-message paths pay a single directory probe. An earlier design kept
+/// four parallel maps (`objects`, `location`, `forwards`, `seq_out`) and
+/// probed each per message.
+struct DirEntry<O> {
+    /// `Some` iff the object is resident on this rank.
+    entry: Option<Entry<O>>,
+    /// Best-known location of the (remote) object, with the epoch of the
+    /// information.
+    location: Option<(Rank, u64)>,
+    /// Forward pointer left behind when the object migrated away from here.
+    forward: Option<(Rank, u64)>,
+    /// Outgoing sequence counter for messages this rank sends to the object.
+    /// Survives migrations — the counter is per (sender rank, object), not
+    /// per residency.
+    seq_out: u64,
+    /// Messages parked at the home rank until the object's location is known.
+    limbo: Vec<MolEnvelope>,
+}
+
+// Manual impl: `derive(Default)` would needlessly require `O: Default`.
+impl<O> Default for DirEntry<O> {
+    fn default() -> Self {
+        DirEntry {
+            entry: None,
+            location: None,
+            forward: None,
+            seq_out: 0,
+            limbo: Vec::new(),
+        }
+    }
+}
+
+impl<O> DirEntry<O> {
+    /// Where this rank would currently route a message for `ptr`: the forward
+    /// pointer if we once owned it, else the freshest cached location, else
+    /// its home. `None` means "here is the home and we know nothing" (limbo).
+    fn guess(&self, ptr: MobilePtr, me: Rank) -> Option<Rank> {
+        match (self.forward, self.location) {
+            (Some((fr, fe)), Some((lr, le))) => Some(if fe >= le { fr } else { lr }),
+            (Some((fr, _)), None) => Some(fr),
+            (None, Some((lr, _))) => Some(lr),
+            (None, None) => {
+                if ptr.home == me {
+                    None
+                } else {
+                    Some(ptr.home)
+                }
+            }
+        }
+    }
 }
 
 /// The per-rank MOL runtime. Generic over the application's mobile object
@@ -157,17 +219,14 @@ pub struct MolNode<O: Migratable> {
     comm: Communicator,
     cfg: MolConfig,
     alloc: PtrAllocator,
-    objects: HashMap<MobilePtr, Entry<O>>,
-    /// Best-known location of remote objects, with the epoch of the info.
-    location: HashMap<MobilePtr, (Rank, u64)>,
-    /// Forward pointers for objects that were local and migrated away.
-    forwards: HashMap<MobilePtr, (Rank, u64)>,
-    /// Outgoing sequence counters per target object.
-    seq_out: HashMap<MobilePtr, u64>,
+    /// The unified per-pointer directory (see [`DirEntry`]).
+    directory: FxHashMap<MobilePtr, DirEntry<O>>,
+    /// Number of directory entries with a resident object (kept so
+    /// [`MolNode::local_count`] — called per scheduling decision — does not
+    /// scan the directory).
+    resident: usize,
     /// In-order messages awaiting execution.
     ready: VecDeque<MolEnvelope>,
-    /// Messages parked at the home rank until the object's location is known.
-    limbo: HashMap<MobilePtr, Vec<MolEnvelope>>,
     stats: MolStats,
     /// Shadow state asserting ordering/conservation invariants (see
     /// [`crate::oracle`]).
@@ -189,12 +248,9 @@ impl<O: Migratable> MolNode<O> {
             comm,
             cfg,
             alloc: PtrAllocator::new(rank),
-            objects: HashMap::new(),
-            location: HashMap::new(),
-            forwards: HashMap::new(),
-            seq_out: HashMap::new(),
+            directory: FxHashMap::default(),
+            resident: 0,
             ready: VecDeque::new(),
-            limbo: HashMap::new(),
             stats: MolStats::default(),
             #[cfg(feature = "check-invariants")]
             oracle: crate::oracle::NodeOracle::default(),
@@ -226,41 +282,50 @@ impl<O: Migratable> MolNode<O> {
     /// Register a new mobile object, returning its global name.
     pub fn register(&mut self, obj: O) -> MobilePtr {
         let ptr = self.alloc.alloc();
-        self.objects.insert(
-            ptr,
-            Entry {
-                obj: Some(obj),
-                epoch: 0,
-                expected: HashMap::new(),
-                ooo: HashMap::new(),
-            },
-        );
+        let d = self.directory.entry(ptr).or_default();
+        d.entry = Some(Entry {
+            obj: Some(obj),
+            epoch: 0,
+            expected: FxHashMap::default(),
+            ooo: FxHashMap::default(),
+        });
+        self.resident += 1;
         ptr
     }
 
     /// Whether `ptr` currently lives on this rank.
     pub fn is_local(&self, ptr: MobilePtr) -> bool {
-        self.objects.contains_key(&ptr)
+        self.directory.get(&ptr).is_some_and(|d| d.entry.is_some())
     }
 
     /// Number of local objects.
     pub fn local_count(&self) -> usize {
-        self.objects.len()
+        self.resident
     }
 
     /// The names of all local objects (unspecified order).
     pub fn local_ptrs(&self) -> Vec<MobilePtr> {
-        self.objects.keys().copied().collect()
+        self.directory
+            .iter()
+            .filter(|(_, d)| d.entry.is_some())
+            .map(|(p, _)| *p)
+            .collect()
     }
 
     /// Borrow a local object (`None` if remote or currently detached).
     pub fn get(&self, ptr: MobilePtr) -> Option<&O> {
-        self.objects.get(&ptr).and_then(|e| e.obj.as_ref())
+        self.directory
+            .get(&ptr)
+            .and_then(|d| d.entry.as_ref())
+            .and_then(|e| e.obj.as_ref())
     }
 
     /// Mutably borrow a local object (`None` if remote or detached).
     pub fn get_mut(&mut self, ptr: MobilePtr) -> Option<&mut O> {
-        self.objects.get_mut(&ptr).and_then(|e| e.obj.as_mut())
+        self.directory
+            .get_mut(&ptr)
+            .and_then(|d| d.entry.as_mut())
+            .and_then(|e| e.obj.as_mut())
     }
 
     /// Detach a local object for execution. While detached the object keeps
@@ -268,14 +333,18 @@ impl<O: Migratable> MolNode<O> {
     /// move it — PREMA never migrates an executing work unit (§4.2). Pair
     /// with [`MolNode::put_object`].
     pub fn take_object(&mut self, ptr: MobilePtr) -> Option<O> {
-        self.objects.get_mut(&ptr).and_then(|e| e.obj.take())
+        self.directory
+            .get_mut(&ptr)
+            .and_then(|d| d.entry.as_mut())
+            .and_then(|e| e.obj.take())
     }
 
     /// Re-attach an object detached by [`MolNode::take_object`].
     pub fn put_object(&mut self, ptr: MobilePtr, obj: O) {
         let entry = self
-            .objects
+            .directory
             .get_mut(&ptr)
+            .and_then(|d| d.entry.as_mut())
             .expect("put_object for an object that is not resident");
         assert!(entry.obj.is_none(), "put_object over a present object");
         entry.obj = Some(obj);
@@ -309,17 +378,18 @@ impl<O: Migratable> MolNode<O> {
 
     /// [`MolNode::message`] with an explicit computational-weight hint for
     /// the load balancer (the paper's programmer-supplied hints, §2).
+    ///
+    /// One directory probe covers the sequence-number bump *and* the routing
+    /// decision (local accept / remote send / limbo).
     pub fn message_with_hint(&mut self, ptr: MobilePtr, handler: u32, hint: f64, payload: Bytes) {
         assert!(!ptr.is_null(), "message to NULL mobile pointer");
-        let seq = {
-            let c = self.seq_out.entry(ptr).or_insert(0);
-            let s = *c;
-            *c += 1;
-            s
-        };
+        let me = self.comm.rank();
+        let d = self.directory.entry(ptr).or_default();
+        let seq = d.seq_out;
+        d.seq_out += 1;
         let env = MolEnvelope {
             target: ptr,
-            sender: self.rank(),
+            sender: me,
             seq,
             handler,
             hops: 0,
@@ -327,7 +397,16 @@ impl<O: Migratable> MolNode<O> {
             payload,
         };
         self.stats.sent += 1;
-        self.route(env);
+        if d.entry.is_some() {
+            self.accept_local(env);
+        } else if let Some(dst) = d.guess(ptr, me) {
+            let wire = env.encode();
+            self.comm.am_send(dst, H_MOL_MSG, Tag::App, wire);
+        } else {
+            // We are the home rank and have never seen the object: park the
+            // message until a location update or installation.
+            d.limbo.push(env);
+        }
     }
 
     /// Send a rank-targeted message (bypasses object routing). System-tagged
@@ -337,50 +416,28 @@ impl<O: Migratable> MolNode<O> {
         self.comm.am_send(dst, H_NODE_MSG, tag, body);
     }
 
+    /// Route a (re-)considered envelope: accept locally, send toward the best
+    /// guess, or park in limbo. Used when limbo messages are unlocked; the
+    /// send path inlines the same logic next to its sequence bump.
     fn route(&mut self, env: MolEnvelope) {
         let ptr = env.target;
-        if self.objects.contains_key(&ptr) {
+        let me = self.comm.rank();
+        let d = self.directory.entry(ptr).or_default();
+        if d.entry.is_some() {
             self.accept_local(env);
-            return;
-        }
-        let dst = self.best_guess(ptr);
-        match dst {
-            Some(d) => {
-                let wire = env.encode();
-                self.comm.am_send(d, H_MOL_MSG, Tag::App, wire);
-            }
-            None => {
-                // We are the home rank and have never seen the object: park
-                // the message until a location update or installation.
-                self.limbo.entry(ptr).or_default().push(env);
-            }
-        }
-    }
-
-    /// Where we would currently route a message for `ptr`: a forward pointer
-    /// if we once owned it, else the freshest cached location, else its home.
-    /// `None` means "here is the home and we know nothing" (limbo).
-    fn best_guess(&self, ptr: MobilePtr) -> Option<Rank> {
-        let fwd = self.forwards.get(&ptr);
-        let loc = self.location.get(&ptr);
-        match (fwd, loc) {
-            (Some(&(fr, fe)), Some(&(lr, le))) => Some(if fe >= le { fr } else { lr }),
-            (Some(&(fr, _)), None) => Some(fr),
-            (None, Some(&(lr, _))) => Some(lr),
-            (None, None) => {
-                if ptr.home == self.rank() {
-                    None
-                } else {
-                    Some(ptr.home)
-                }
-            }
+        } else if let Some(dst) = d.guess(ptr, me) {
+            let wire = env.encode();
+            self.comm.am_send(dst, H_MOL_MSG, Tag::App, wire);
+        } else {
+            d.limbo.push(env);
         }
     }
 
     fn accept_local(&mut self, env: MolEnvelope) {
         let entry = self
-            .objects
+            .directory
             .get_mut(&env.target)
+            .and_then(|d| d.entry.as_mut())
             .expect("accept_local on non-local object");
         let exp = entry.expected.entry(env.sender).or_insert(0);
         use std::cmp::Ordering::*;
@@ -388,20 +445,11 @@ impl<O: Migratable> MolNode<O> {
             Equal => {
                 *exp += 1;
                 let sender = env.sender;
-                let target = env.target;
                 self.ready.push_back(env);
                 #[cfg(feature = "check-invariants")]
                 self.oracle.on_accept();
                 // Drain any now-in-order buffered messages from this sender.
-                let entry = self
-                    .objects
-                    .get_mut(&target)
-                    .expect("object entry present: resolved at accept_local entry");
                 if let Some(buf) = entry.ooo.get_mut(&sender) {
-                    let exp = entry
-                        .expected
-                        .get_mut(&sender)
-                        .expect("expected counter for sender inserted above via or_insert");
                     while let Some(next) = buf.remove(exp) {
                         *exp += 1;
                         self.ready.push_back(next);
@@ -431,32 +479,40 @@ impl<O: Migratable> MolNode<O> {
     // ---- migration ------------------------------------------------------
 
     /// Uninstall a local object and ship it to `dst`. In-flight ordering
-    /// state and queued messages travel with it; this rank keeps a forward
-    /// pointer so stale sends still find the object.
+    /// state and queued messages travel with it (moved, not copied); this
+    /// rank keeps a forward pointer so stale sends still find the object.
     ///
     /// Returns `false` if `ptr` is not local (e.g. it already migrated) or is
     /// currently detached for execution — an executing work unit must finish
     /// before it can move (§4.2).
     pub fn migrate(&mut self, ptr: MobilePtr, dst: Rank) -> bool {
-        assert_ne!(dst, self.rank(), "migrate to self");
-        if self.objects.get(&ptr).is_none_or(|e| e.obj.is_none()) {
+        assert_ne!(dst, self.comm.rank(), "migrate to self");
+        let Some(d) = self.directory.get_mut(&ptr) else {
+            return false;
+        };
+        if d.entry.as_ref().is_none_or(|e| e.obj.is_none()) {
             return false;
         }
-        let entry = self
-            .objects
-            .remove(&ptr)
+        let entry = d
+            .entry
+            .take()
             .expect("presence checked just above with no intervening mutation");
+        self.resident -= 1;
         // Pull this object's accepted-but-unexecuted messages out of the
-        // ready queue, preserving their order.
+        // ready queue, preserving their order: rotate the queue once in
+        // place, moving (not cloning) matching envelopes out.
         let mut pending = Vec::new();
-        self.ready.retain_mut(|e| {
+        for _ in 0..self.ready.len() {
+            let e = self
+                .ready
+                .pop_front()
+                .expect("queue length fixed before the rotation");
             if e.target == ptr {
-                pending.push(e.clone());
-                false
+                pending.push(e);
             } else {
-                true
+                self.ready.push_back(e);
             }
-        });
+        }
         let buffered: Vec<MolEnvelope> = entry
             .ooo
             .into_values()
@@ -478,8 +534,8 @@ impl<O: Migratable> MolNode<O> {
             pending,
             buffered,
         };
-        self.forwards.insert(ptr, (dst, epoch));
-        self.location.insert(ptr, (dst, epoch));
+        d.forward = Some((dst, epoch));
+        d.location = Some((dst, epoch));
         self.stats.migrations_out += 1;
         self.comm
             .am_send(dst, H_MOL_MIGRATE, Tag::System, packet.encode());
@@ -493,14 +549,14 @@ impl<O: Migratable> MolNode<O> {
         let obj = O::unpack(&packet.object);
         #[cfg(feature = "check-invariants")]
         {
-            let prior_epoch = self
-                .forwards
-                .get(&ptr)
-                .map(|&(_, e)| e)
-                .into_iter()
-                .chain(self.location.get(&ptr).map(|&(_, e)| e))
-                .chain(self.objects.get(&ptr).map(|e| e.epoch))
-                .max();
+            let prior_epoch = self.directory.get(&ptr).and_then(|d| {
+                d.forward
+                    .map(|(_, e)| e)
+                    .into_iter()
+                    .chain(d.location.map(|(_, e)| e))
+                    .chain(d.entry.as_ref().map(|e| e.epoch))
+                    .max()
+            });
             self.oracle.on_install(
                 ptr,
                 packet.epoch,
@@ -509,19 +565,25 @@ impl<O: Migratable> MolNode<O> {
                 &packet.pending,
             );
         }
+        let d = self.directory.entry(ptr).or_default();
         // If this object once lived here and left, the stale forward pointer
         // must die: it is local again.
-        self.forwards.remove(&ptr);
-        self.location.remove(&ptr);
-        self.objects.insert(
-            ptr,
-            Entry {
+        d.forward = None;
+        d.location = None;
+        if d.entry
+            .replace(Entry {
                 obj: Some(obj),
                 epoch: packet.epoch,
                 expected: packet.expected.into_iter().collect(),
-                ooo: HashMap::new(),
-            },
-        );
+                ooo: FxHashMap::default(),
+            })
+            .is_none()
+        {
+            self.resident += 1;
+        }
+        // Any messages parked here (we may be the home) can be routed once
+        // installation finishes below.
+        let parked = std::mem::take(&mut d.limbo);
         self.stats.migrations_in += 1;
         for env in packet.pending {
             self.ready.push_back(env);
@@ -550,11 +612,8 @@ impl<O: Migratable> MolNode<O> {
             self.comm
                 .am_send(ptr.home, H_MOL_LOCUPD, Tag::System, upd.encode());
         }
-        // Any messages parked here (we may be the home) can now be routed.
-        if let Some(msgs) = self.limbo.remove(&ptr) {
-            for env in msgs {
-                self.route(env);
-            }
+        for env in parked {
+            self.route(env);
         }
         MolEvent::Installed { ptr, from }
     }
@@ -608,7 +667,7 @@ impl<O: Migratable> MolNode<O> {
         match env.handler {
             h if h == H_MOL_MSG => {
                 let menv = MolEnvelope::decode(env.payload);
-                if self.objects.contains_key(&menv.target) {
+                if self.is_local(menv.target) {
                     self.accept_local(menv);
                 } else {
                     self.forward(menv);
@@ -638,17 +697,18 @@ impl<O: Migratable> MolNode<O> {
     fn forward(&mut self, mut menv: MolEnvelope) {
         let ptr = menv.target;
         let sender = menv.sender;
-        match self.best_guess(ptr) {
+        let me = self.comm.rank();
+        let d = self.directory.entry(ptr).or_default();
+        match d.guess(ptr, me) {
             Some(next) => {
                 menv.hops += 1;
                 self.stats.forwarded += 1;
                 #[cfg(feature = "check-invariants")]
-                self.oracle.on_forward(self.rank(), next, menv.hops);
+                self.oracle.on_forward(me, next, menv.hops);
                 // Lazily teach the original sender where the object went so
                 // its next message takes the short path.
-                if let Some(&(owner, epoch)) = self.forwards.get(&ptr).or(self.location.get(&ptr)) {
-                    if self.cfg.update_sender_on_forward && sender != self.rank() && sender != owner
-                    {
+                if let Some((owner, epoch)) = d.forward.or(d.location) {
+                    if self.cfg.update_sender_on_forward && sender != me && sender != owner {
                         let upd = LocUpdate { ptr, owner, epoch };
                         self.stats.locupd_sent += 1;
                         self.comm
@@ -658,29 +718,26 @@ impl<O: Migratable> MolNode<O> {
                 let wire = menv.encode();
                 self.comm.am_send(next, H_MOL_MSG, Tag::App, wire);
             }
-            None => {
-                self.limbo.entry(ptr).or_default().push(menv);
-            }
+            None => d.limbo.push(menv),
         }
     }
 
     fn learn_location(&mut self, upd: LocUpdate) {
-        if self.objects.contains_key(&upd.ptr) {
+        let d = self.directory.entry(upd.ptr).or_default();
+        if d.entry.is_some() {
             return; // it's here; any cached location is stale by definition
         }
-        let fresher = |cur: Option<&(Rank, u64)>| cur.is_none_or(|&(_, e)| upd.epoch > e);
-        if fresher(self.location.get(&upd.ptr)) {
-            self.location.insert(upd.ptr, (upd.owner, upd.epoch));
+        if d.location.is_none_or(|(_, e)| upd.epoch > e) {
+            d.location = Some((upd.owner, upd.epoch));
         }
-        if let Some(&(_, fe)) = self.forwards.get(&upd.ptr) {
+        if let Some((_, fe)) = d.forward {
             if upd.epoch > fe {
-                self.forwards.insert(upd.ptr, (upd.owner, upd.epoch));
+                d.forward = Some((upd.owner, upd.epoch));
             }
         }
-        if let Some(msgs) = self.limbo.remove(&upd.ptr) {
-            for env in msgs {
-                self.route(env);
-            }
+        let parked = std::mem::take(&mut d.limbo);
+        for env in parked {
+            self.route(env);
         }
     }
 
@@ -753,7 +810,7 @@ impl<O: Migratable> MolNode<O> {
     /// weight hints)`, heaviest first. The load balancer uses this to decide
     /// which mobile objects to hand over when granting a work request.
     pub fn ready_summary(&self) -> Vec<(MobilePtr, usize, f64)> {
-        let mut acc: HashMap<MobilePtr, (usize, f64)> = HashMap::new();
+        let mut acc: FxHashMap<MobilePtr, (usize, f64)> = FxHashMap::default();
         for e in &self.ready {
             let slot = acc.entry(e.target).or_insert((0, 0.0));
             slot.0 += 1;

@@ -227,6 +227,76 @@ fn expect_message(rest: &str) -> Option<String> {
     None
 }
 
+/// Runtime crates whose `check-invariants` oracles must stay OFF in bench
+/// builds: the benches measure the fast path, and a benchmark silently
+/// compiled with oracle bookkeeping would publish numbers for a build nobody
+/// ships (see DESIGN.md on the bench oracle policy).
+const ORACLE_CRATES: &[&str] = &["prema", "prema-mol", "prema-ilb"];
+
+/// Check the bench crate's manifest: every oracle-bearing dependency must
+/// resolve to `default-features = false` (stated inline, or inherited from a
+/// workspace dependency table that states it), and the manifest must not
+/// re-enable `check-invariants` through a feature list.
+pub fn lint_bench_manifest(
+    bench_path: &str,
+    bench_toml: &str,
+    workspace_toml: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for dep in ORACLE_CRATES {
+        let Some((line_no, entry)) = dep_entry(bench_toml, dep) else {
+            continue; // not a dependency at all: nothing to police
+        };
+        let inline_off = entry.contains("default-features = false");
+        let inherited_off = entry.contains("workspace = true")
+            && dep_entry(workspace_toml, dep)
+                .is_some_and(|(_, ws)| ws.contains("default-features = false"));
+        if !(inline_off || inherited_off) {
+            out.push(Violation::new(
+                bench_path,
+                line_no,
+                "bench-invariants",
+                format!(
+                    "bench dependency `{dep}` pulls in default features \
+                     (including `check-invariants` oracles); add \
+                     `default-features = false` so benches measure the real \
+                     fast path"
+                ),
+            ));
+        }
+    }
+    for (i, line) in bench_toml.lines().enumerate() {
+        let code = line.split('#').next().unwrap_or("");
+        if code.contains("check-invariants") {
+            out.push(Violation::new(
+                bench_path,
+                i + 1,
+                "bench-invariants",
+                "bench manifest must not enable `check-invariants`: published \
+                 numbers must describe the oracle-free build"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Find dependency `dep`'s entry in a manifest: the 1-based line number and
+/// the entry text (`dep = { ... }` inline tables and `dep.workspace = true`
+/// dotted keys both live on one line in this workspace's manifests).
+fn dep_entry(toml: &str, dep: &str) -> Option<(usize, String)> {
+    for (i, line) in toml.lines().enumerate() {
+        let code = line.split('#').next().unwrap_or("").trim();
+        let after = code
+            .strip_prefix(dep)
+            .and_then(|r| r.trim_start().strip_prefix(['=', '.']).map(|_| ()));
+        if after.is_some() {
+            return Some((i + 1, code.to_string()));
+        }
+    }
+    None
+}
+
 /// Every `const NAME: HandlerId` must be referenced by name somewhere other
 /// than its declaration — a handler id that is never registered or
 /// dispatched is dead protocol surface (or worse, a typo split across
@@ -493,5 +563,56 @@ mod tests {
         );
         let v = lint_handler_ids(&[decl, near_miss]);
         assert_eq!(v.len(), 1, "H_MOL_MSG must not count as a use of H_MOL");
+    }
+
+    // ---- bench manifest ----
+
+    const WS_TOML: &str = "[workspace.dependencies]\n\
+        prema = { path = \"crates/core\" }\n\
+        prema-mol = { path = \"crates/mol\", default-features = false }\n\
+        prema-ilb = { path = \"crates/ilb\", default-features = false }\n";
+
+    #[test]
+    fn bench_inline_default_features_off_passes() {
+        let bench = "[dev-dependencies]\n\
+            prema = { workspace = true, default-features = false }\n\
+            prema-mol.workspace = true\n\
+            prema-ilb.workspace = true\n";
+        assert!(lint_bench_manifest("crates/bench/Cargo.toml", bench, WS_TOML).is_empty());
+    }
+
+    #[test]
+    fn bench_default_featured_prema_fires() {
+        // `prema` is default-featured in the workspace table, so plain
+        // inheritance drags `check-invariants` into the bench build.
+        let bench = "[dev-dependencies]\nprema.workspace = true\n";
+        let v = lint_bench_manifest("crates/bench/Cargo.toml", bench, WS_TOML);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "bench-invariants");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("`prema`"));
+    }
+
+    #[test]
+    fn bench_explicit_check_invariants_fires() {
+        let bench = "[dev-dependencies]\n\
+            prema = { workspace = true, default-features = false, features = [\"check-invariants\"] }\n";
+        let v = lint_bench_manifest("crates/bench/Cargo.toml", bench, WS_TOML);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("oracle-free"));
+    }
+
+    #[test]
+    fn bench_check_invariants_in_comment_passes() {
+        let bench = "[dev-dependencies]\n\
+            # keep check-invariants out of benches\n\
+            prema = { workspace = true, default-features = false }\n";
+        assert!(lint_bench_manifest("crates/bench/Cargo.toml", bench, WS_TOML).is_empty());
+    }
+
+    #[test]
+    fn bench_without_oracle_deps_passes() {
+        let bench = "[dev-dependencies]\nbytes.workspace = true\n";
+        assert!(lint_bench_manifest("crates/bench/Cargo.toml", bench, WS_TOML).is_empty());
     }
 }

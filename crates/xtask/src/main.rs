@@ -12,6 +12,12 @@
 //!   messages in non-test code of those crates.
 //! * `handler-id`       — every `const NAME: HandlerId` is referenced by a
 //!   registration or dispatch site somewhere in the workspace.
+//! * `bench-invariants` — the bench crate's manifest must not compile the
+//!   `check-invariants` oracles into measured code.
+//!
+//! `cargo xtask bench-json` runs the substrate and figure benchmarks and
+//! aggregates their per-benchmark JSON lines into the checked-in
+//! `BENCH_substrate.json` / `BENCH_figures.json` baselines.
 
 mod lints;
 mod source;
@@ -29,6 +35,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("bench-json") => bench_json(),
         Some(other) => {
             eprintln!("unknown xtask `{other}`\n");
             usage();
@@ -42,7 +49,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask lint");
+    eprintln!("usage: cargo xtask <lint | bench-json>");
 }
 
 /// Workspace root, derived from this crate's location (`crates/xtask`).
@@ -122,13 +129,38 @@ fn lint() -> ExitCode {
     everything.extend(all_files);
     violations.extend(lints::lint_handler_ids(&everything));
 
+    // bench-invariants reads manifests, not .rs files: the bench crate must
+    // measure the oracle-free build (`default-features = false` end to end).
+    let bench_manifest = root.join("crates/bench/Cargo.toml");
+    let workspace_manifest = root.join("Cargo.toml");
+    match (
+        std::fs::read_to_string(&bench_manifest),
+        std::fs::read_to_string(&workspace_manifest),
+    ) {
+        (Ok(bench), Ok(workspace)) => {
+            violations.extend(lints::lint_bench_manifest(
+                "crates/bench/Cargo.toml",
+                &bench,
+                &workspace,
+            ));
+        }
+        (bench, workspace) => {
+            for (path, res) in [(&bench_manifest, bench), (&workspace_manifest, workspace)] {
+                if let Err(e) = res {
+                    eprintln!("xtask: cannot read {}: {e}", path.display());
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
     violations.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
     for v in &violations {
         println!("{}:{}: [{}] {}", v.path, v.line, v.lint, v.message);
     }
     if violations.is_empty() {
         println!(
-            "xtask lint: OK ({} files, 4 lints, 0 violations)",
+            "xtask lint: OK ({} files, 5 lints, 0 violations)",
             everything.len()
         );
         ExitCode::SUCCESS
@@ -136,6 +168,82 @@ fn lint() -> ExitCode {
         println!("xtask lint: {} violation(s)", violations.len());
         ExitCode::FAILURE
     }
+}
+
+/// Benchmark targets feeding each checked-in baseline file: the substrate
+/// baseline carries both the microbenchmarks and the fast-path
+/// before/after comparison; the figure baseline carries the paper's
+/// experiment reproductions.
+const BENCH_BASELINES: &[(&str, &[&str])] = &[
+    ("BENCH_substrate.json", &["substrates", "fastpath"]),
+    ("BENCH_figures.json", &["figures"]),
+];
+
+/// Run the baseline benchmarks and aggregate their JSON lines (emitted by
+/// the harness via `PREMA_BENCH_JSON`) into pretty-printed `BENCH_*.json`
+/// files at the workspace root.
+fn bench_json() -> ExitCode {
+    let root = workspace_root();
+    let scratch = root.join("target/bench-json");
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        eprintln!("xtask: cannot create {}: {e}", scratch.display());
+        return ExitCode::FAILURE;
+    }
+
+    for (out_name, benches) in BENCH_BASELINES {
+        let jsonl = scratch.join(format!("{out_name}l"));
+        let _ = std::fs::remove_file(&jsonl); // the harness appends; start clean
+        for bench in *benches {
+            println!("xtask bench-json: running `cargo bench -p prema-bench --bench {bench}`");
+            let status = std::process::Command::new(env!("CARGO"))
+                .args(["bench", "-p", "prema-bench", "--bench", bench])
+                .env("PREMA_BENCH_JSON", &jsonl)
+                .current_dir(&root)
+                .status();
+            match status {
+                Ok(s) if s.success() => {}
+                Ok(s) => {
+                    eprintln!("xtask: bench `{bench}` failed with {s}");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("xtask: cannot spawn cargo bench: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let lines = match std::fs::read_to_string(&jsonl) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask: no benchmark output at {}: {e}", jsonl.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let out_path = root.join(out_name);
+        if let Err(e) = std::fs::write(&out_path, aggregate_json(&lines)) {
+            eprintln!("xtask: cannot write {}: {e}", out_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("xtask bench-json: wrote {}", out_path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Wrap harness JSON lines (one flat object per benchmark) into a single
+/// pretty-enough JSON document without needing a JSON parser.
+fn aggregate_json(jsonl: &str) -> String {
+    let lines: Vec<&str> = jsonl.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(line.trim());
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn clone_violation(v: &Violation) -> Violation {

@@ -11,9 +11,8 @@
 
 use bytes::Bytes;
 use prema_dcs::{Communicator, LocalFabric, Rank};
-use prema_ilb::{LbPolicy, LoadSnapshot, Scheduler, WorkStealing};
+use prema_ilb::{LbPolicy, LoadMap, LoadSnapshot, Scheduler, WorkStealing};
 use prema_mol::{Migratable, MolNode};
-use std::collections::HashMap;
 
 /// A toy mobile object: a block of iterations.
 struct Block(u64);
@@ -48,7 +47,7 @@ impl LbPolicy for RingGradient {
         &mut self,
         me: Rank,
         nprocs: usize,
-        known: &HashMap<Rank, LoadSnapshot>,
+        known: &LoadMap,
         attempt: u32,
     ) -> Option<Rank> {
         // Walk up the load gradient: heaviest known neighbor first, then

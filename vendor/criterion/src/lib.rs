@@ -4,14 +4,31 @@
 //! reporting min/mean per benchmark. No statistics beyond that — the point
 //! is that `cargo bench` compiles, runs, and prints comparable numbers
 //! offline.
+//!
+//! Two harness extensions the workspace relies on:
+//!
+//! * **`--test` mode** (`cargo bench -- --test`, mirroring real criterion):
+//!   each benchmark runs exactly one un-timed iteration. CI uses this as a
+//!   compile-and-smoke job that cannot be flaky on timing.
+//! * **JSON emission**: when `PREMA_BENCH_JSON` names a file, every finished
+//!   benchmark appends one JSON line `{"id", "min_ns", "mean_ns", "samples"}`
+//!   to it. `cargo xtask bench-json` aggregates these into the checked-in
+//!   `BENCH_*.json` baselines.
 
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver.
-#[derive(Default)]
 pub struct Criterion {
-    _priv: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
@@ -19,17 +36,19 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\nbench group: {name}");
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _c: self,
             name,
             sample_size: 20,
+            test_mode,
         }
     }
 
     /// Benchmark a single function outside any group.
     pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
         let id = id.into();
-        run_bench(&id, 20, f);
+        run_bench(&id, 20, self.test_mode, f);
     }
 }
 
@@ -38,6 +57,7 @@ pub struct BenchmarkGroup<'a> {
     _c: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -60,7 +80,7 @@ impl BenchmarkGroup<'_> {
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.into());
-        run_bench(&id, self.sample_size, f);
+        run_bench(&id, self.sample_size, self.test_mode, f);
         self
     }
 
@@ -68,7 +88,16 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_bench(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+fn run_bench(id: &str, samples: usize, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+    if test_mode {
+        // Smoke mode: prove the benchmark runs, measure nothing.
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("  {id:<48} test ok (1 iteration)");
+        return;
+    }
     // Warm-up sample (discarded), then timed samples.
     let mut b = Bencher {
         elapsed: Duration::ZERO,
@@ -86,6 +115,42 @@ fn run_bench(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
     let total: Duration = times.iter().sum();
     let mean = total / samples as u32;
     println!("  {id:<48} min {min:>12.3?}  mean {mean:>12.3?}  ({samples} samples)");
+    emit_json(id, min, mean, samples);
+}
+
+/// Append one JSON line per finished benchmark to `$PREMA_BENCH_JSON`.
+fn emit_json(id: &str, min: Duration, mean: Duration, samples: usize) {
+    let Ok(path) = std::env::var("PREMA_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"samples\":{}}}",
+        escaped,
+        min.as_nanos(),
+        mean.as_nanos(),
+        samples
+    );
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut file) => {
+            let _ = writeln!(file, "{line}");
+        }
+        Err(err) => eprintln!("PREMA_BENCH_JSON: cannot append to {path}: {err}"),
+    }
 }
 
 /// Passed to benchmark closures; [`Bencher::iter`] times the hot loop.
@@ -129,7 +194,9 @@ mod tests {
 
     #[test]
     fn bench_harness_runs() {
-        let mut c = Criterion::default();
+        let mut c = Criterion {
+            test_mode: false, // pin: the test binary's own args must not leak in
+        };
         let mut group = c.benchmark_group("t");
         group.sample_size(3);
         let mut count = 0u32;
@@ -142,5 +209,39 @@ mod tests {
         group.finish();
         // warm-up + 3 samples
         assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut count = 0u32;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn json_lines_append_with_escaping() {
+        let dir = std::env::temp_dir().join(format!("criterion-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        std::env::set_var("PREMA_BENCH_JSON", &path);
+        emit_json(
+            "group/na\"me",
+            Duration::from_nanos(5),
+            Duration::from_nanos(9),
+            3,
+        );
+        std::env::remove_var("PREMA_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\"id\":\"group/na\\\"me\",\"min_ns\":5,\"mean_ns\":9,\"samples\":3}\n"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
