@@ -1,0 +1,97 @@
+//! Overhead of the event tracer on the substrate fast path.
+//!
+//! Run twice and compare:
+//!
+//! * default build — the `Tracer` is a ZST and `emit` compiles to nothing;
+//!   these numbers must be indistinguishable from the `substrates` baseline.
+//! * `--features trace` — measures both the dormant handle (installed but
+//!   `Tracer::off()`, the cost every traced binary pays when not recording)
+//!   and a live recording tracer (the cost while a dump is being captured).
+//!
+//! CI runs this in `--test` smoke mode so the harness itself stays verified.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use prema_dcs::{Communicator, HandlerId, LocalFabric, Tag};
+use prema_mol::{Migratable, MolEvent, MolNode};
+use std::hint::black_box;
+
+/// Which build this binary measures; shows up in the benchmark names so the
+/// two runs never get compared against the wrong baseline.
+const MODE: &str = if cfg!(feature = "trace") {
+    "trace-feature-on"
+} else {
+    "trace-feature-off"
+};
+
+struct Blob(Vec<u8>);
+impl Migratable for Blob {
+    fn pack(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.0);
+    }
+    fn unpack(b: &[u8]) -> Self {
+        Blob(b.to_vec())
+    }
+}
+
+const H_BENCH: HandlerId = HandlerId(64);
+
+fn comm_self_loop() -> Communicator {
+    let mut eps = LocalFabric::new(1);
+    Communicator::new(Box::new(eps.pop().expect("fabric built with one endpoint")))
+}
+
+fn bench_dcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.bench_function(format!("dcs_send_recv/{MODE}"), |b| {
+        let comm = comm_self_loop();
+        b.iter(|| {
+            comm.am_send(0, H_BENCH, Tag::App, Bytes::from_static(b"x"));
+            black_box(comm.try_recv().is_some())
+        })
+    });
+    // With the feature compiled in, also measure a live recording tracer —
+    // the worst case: every send and recv claims a ring slot.
+    #[cfg(feature = "trace")]
+    group.bench_function(format!("dcs_send_recv/{MODE}-recording"), |b| {
+        let sink = prema_trace::TraceSink::with_capacity(1, 1 << 22);
+        let mut comm = comm_self_loop();
+        comm.set_tracer(sink.tracer(0));
+        b.iter(|| {
+            comm.am_send(0, H_BENCH, Tag::App, Bytes::from_static(b"x"));
+            black_box(comm.try_recv().is_some())
+        })
+    });
+    group.finish();
+}
+
+fn bench_mol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.bench_function(format!("mol_local_message/{MODE}"), |b| {
+        let mut node: MolNode<Blob> = MolNode::new(comm_self_loop());
+        let ptr = node.register(Blob(vec![0; 64]));
+        b.iter(|| {
+            node.message(ptr, 1, Bytes::from_static(b"x"));
+            let evs = node.poll();
+            debug_assert!(matches!(evs.last(), Some(MolEvent::Object { .. })));
+            black_box(evs.len())
+        })
+    });
+    #[cfg(feature = "trace")]
+    group.bench_function(format!("mol_local_message/{MODE}-recording"), |b| {
+        let sink = prema_trace::TraceSink::with_capacity(1, 1 << 22);
+        let mut node: MolNode<Blob> = MolNode::new(comm_self_loop());
+        node.set_tracer(sink.tracer(0));
+        let ptr = node.register(Blob(vec![0; 64]));
+        b.iter(|| {
+            node.message(ptr, 1, Bytes::from_static(b"x"));
+            let evs = node.poll();
+            debug_assert!(matches!(evs.last(), Some(MolEvent::Object { .. })));
+            black_box(evs.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dcs, bench_mol);
+criterion_main!(benches);

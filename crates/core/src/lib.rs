@@ -58,13 +58,17 @@ pub mod termination;
 
 pub use config::{LbMode, PolicyKind, PremaConfig};
 pub use phases::PhaseBarrier;
-pub use runtime::{launch, Runtime};
+pub use runtime::{launch, launch_with_trace, Runtime};
 pub use termination::Completion;
 
 // Re-export the component layers under their paper names.
 pub use prema_dcs as dcs;
 pub use prema_ilb as ilb;
 pub use prema_mol as mol;
+
+// Per-rank event tracing (`prema::trace::TraceSink` + `launch_with_trace`).
+// Hooks record only when built with the `trace` cargo feature.
+pub use prema_trace as trace;
 
 // The types applications touch constantly.
 pub use prema_ilb::{HandlerCtx, LoadSnapshot};

@@ -183,6 +183,25 @@ where
     R: Send + 'static,
     F: Fn(Runtime<O>) -> R + Send + Sync + 'static,
 {
+    launch_with_trace(cfg, None, main)
+}
+
+/// [`launch`], recording runtime events into `trace` (when `Some`). Each
+/// rank's scheduler, MOL node, communicator, and polling thread get a
+/// per-rank tracer stamping events with wall time since the sink's epoch.
+///
+/// Tracing hooks are compiled out unless the `trace` cargo feature is on;
+/// without it the sink simply stays empty.
+pub fn launch_with_trace<O, R, F>(
+    cfg: PremaConfig,
+    trace: Option<std::sync::Arc<prema_trace::TraceSink>>,
+    main: F,
+) -> Vec<R>
+where
+    O: Migratable,
+    R: Send + 'static,
+    F: Fn(Runtime<O>) -> R + Send + Sync + 'static,
+{
     let endpoints = LocalFabric::new(cfg.nprocs);
     let stop = Arc::new(StopFlag::new());
     let main = Arc::new(main);
@@ -197,6 +216,11 @@ where
         if cfg.mode == LbMode::Disabled {
             sched.set_lb_enabled(false);
         }
+        let tracer = trace
+            .as_ref()
+            .map(|s| s.tracer(rank))
+            .unwrap_or_else(prema_trace::Tracer::off);
+        sched.set_tracer(tracer.clone());
         let sched = Arc::new(Mutex::new(sched));
 
         if let LbMode::Implicit { poll_interval } = cfg.mode {
@@ -205,7 +229,10 @@ where
             poll_threads.push(std::thread::spawn(move || {
                 run_poll_loop(&stop, || {
                     std::thread::sleep(poll_interval);
-                    sched.lock().poll_system();
+                    let events = sched.lock().poll_system();
+                    tracer.emit(|| prema_trace::TraceEvent::PollWake {
+                        events: events as u32,
+                    });
                     true
                 });
             }));

@@ -15,6 +15,7 @@
 use crate::envelope::{Envelope, HandlerId, Rank, Tag};
 use crate::transport::Transport;
 use bytes::Bytes;
+use prema_trace::{TraceEvent, Tracer};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -35,6 +36,7 @@ pub struct Communicator {
     transport: Box<dyn Transport>,
     sidelined: RefCell<VecDeque<Envelope>>,
     stats: Cell<CommStats>,
+    tracer: Tracer,
 }
 
 impl Communicator {
@@ -44,7 +46,14 @@ impl Communicator {
             transport,
             sidelined: RefCell::new(VecDeque::new()),
             stats: Cell::new(CommStats::default()),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attach a trace recorder for this rank's sends and receives. A no-op
+    /// handle unless `prema-trace` is built with its `enabled` feature.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// This rank.
@@ -70,6 +79,12 @@ impl Communicator {
         s.msgs_sent += 1;
         s.bytes_sent += env.wire_size() as u64;
         self.stats.set(s);
+        self.tracer.emit(|| TraceEvent::Send {
+            dst,
+            handler: handler.0,
+            bytes: env.wire_size(),
+            system: tag == Tag::System,
+        });
         self.transport.send(env);
     }
 
@@ -145,6 +160,12 @@ impl Communicator {
         let mut s = self.stats.get();
         s.msgs_recvd += 1;
         self.stats.set(s);
+        self.tracer.emit(|| TraceEvent::Recv {
+            src: env.src,
+            handler: env.handler.0,
+            bytes: env.wire_size(),
+            system: env.tag == Tag::System,
+        });
         env
     }
 }

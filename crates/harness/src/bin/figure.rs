@@ -6,8 +6,19 @@
 //! Pass `--csv` to emit one CSV block per panel (all 128 processors, all
 //! categories) instead of the sampled ASCII tables — ready for plotting the
 //! stacked bars exactly as the paper draws them.
+//!
+//! Set `PREMA_TRACE_OUT=<path>` to additionally record the PREMA-implicit
+//! panel's run as a JSONL event trace, ready for `cargo xtask trace-report`.
 
-use prema_harness::runner::run_paper_figure;
+use prema_harness::report::Config;
+use prema_harness::runner::run_figure_with_trace;
+use prema_harness::spec::BenchSpec;
+use prema_sim::TraceSink;
+
+/// Ring capacity per simulated processor when tracing a full-scale figure.
+/// A 128-proc paper run emits a few thousand spans per processor; 2^18 slots
+/// leaves generous headroom so `dropped()` stays 0.
+const TRACE_RING_CAPACITY: usize = 1 << 18;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,7 +32,28 @@ fn main() {
         .get(1)
         .map(|s| s.parse().expect("stride must be a positive integer"))
         .unwrap_or(8);
-    let report = run_paper_figure(fig);
+    let spec = BenchSpec::paper_figure(fig);
+    let trace_out = std::env::var_os("PREMA_TRACE_OUT");
+    let sink = trace_out
+        .as_ref()
+        .map(|_| TraceSink::with_capacity(spec.machine.procs, TRACE_RING_CAPACITY));
+    let report = run_figure_with_trace(
+        fig,
+        &spec,
+        sink.as_ref()
+            .map(|s| (Config::PremaImplicit, std::sync::Arc::clone(s))),
+    );
+    if let (Some(path), Some(sink)) = (trace_out, sink) {
+        let mut out = std::io::BufWriter::new(
+            std::fs::File::create(&path).expect("cannot create PREMA_TRACE_OUT file"),
+        );
+        sink.write_jsonl(&mut out).expect("cannot write trace");
+        eprintln!(
+            "trace: wrote PREMA-implicit panel to {} ({} events dropped)",
+            path.to_string_lossy(),
+            sink.dropped()
+        );
+    }
     if csv {
         for (cfg, rep) in &report.panels {
             println!("# figure {fig} panel ({}) {}", cfg.panel(), cfg.label());

@@ -6,7 +6,7 @@
 
 use super::{callback_cpu, sched_cpu};
 use crate::spec::{BenchSpec, WorkUnit};
-use prema_sim::{Category, Ctx, Engine, Process, SimReport};
+use prema_sim::{Category, Ctx, Engine, Process, SimReport, TraceSink};
 use std::collections::VecDeque;
 
 /// Per-processor driver: drain the local queue.
@@ -37,11 +37,18 @@ impl Process for NoLbProc {
 
 /// Run the benchmark with no load balancing.
 pub fn run(spec: &BenchSpec) -> SimReport {
+    run_traced(spec, None)
+}
+
+/// [`run`] with an optional trace sink recording spans and finishes at
+/// simulated-time stamps.
+pub fn run_traced(spec: &BenchSpec, trace: Option<std::sync::Arc<TraceSink>>) -> SimReport {
     Engine::build(spec.machine, |p| {
         Box::new(NoLbProc {
             queue: spec.units_of_proc(p).into(),
         })
     })
+    .with_trace(trace)
     .run()
 }
 

@@ -22,7 +22,7 @@
 use super::{callback_cpu, sched_cpu, CTRL_BYTES, UNIT_BYTES};
 use crate::spec::{BenchSpec, WorkUnit};
 use prema_metis::{adaptive_repart, Graph, PartitionConfig};
-use prema_sim::{Category, Ctx, Engine, Process, SimReport, SimTime};
+use prema_sim::{Category, Ctx, Engine, Process, SimReport, SimTime, TraceSink};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -547,6 +547,16 @@ impl Process for ParMetisProc {
 
 /// Run the benchmark under stop-and-repartition.
 pub fn run(spec: &BenchSpec, cfg: ParMetisCfg) -> SimReport {
+    run_traced(spec, cfg, None)
+}
+
+/// [`run`] with an optional trace sink recording spans, messages, and
+/// finishes at simulated-time stamps.
+pub fn run_traced(
+    spec: &BenchSpec,
+    cfg: ParMetisCfg,
+    trace: Option<std::sync::Arc<TraceSink>>,
+) -> SimReport {
     let total_mflop: f64 = spec.units().iter().map(|u| u.hint_mflop).sum();
     let n = spec.machine.procs;
     let units_left = Rc::new(Cell::new(spec.total_units() as u64));
@@ -580,6 +590,7 @@ pub fn run(spec: &BenchSpec, cfg: ParMetisCfg) -> SimReport {
             initial_avg_mflop: total_mflop / n as f64,
         })
     })
+    .with_trace(trace)
     .run()
 }
 

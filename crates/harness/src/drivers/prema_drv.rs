@@ -21,7 +21,7 @@
 
 use super::{callback_cpu, poll_wake_cpu, sched_cpu, CTRL_BYTES, UNIT_BYTES};
 use crate::spec::{BenchSpec, WorkUnit};
-use prema_sim::{Category, Ctx, Engine, Process, SimReport, SimTime};
+use prema_sim::{Category, Ctx, Engine, Process, SimReport, SimTime, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -173,6 +173,10 @@ impl PremaProc {
                 free_mflop: self.queue_hint_mflop(),
             }),
         );
+        ctx.trace(TraceEvent::LbRequest {
+            victim,
+            attempt: self.attempt,
+        });
         self.outstanding = true;
     }
 }
@@ -267,6 +271,7 @@ impl PremaProc {
             match msg.kind {
                 K_REQUEST => {
                     let req = msg.take::<Request>();
+                    ctx.trace(TraceEvent::LbRequestRecv { src });
                     // Grant half the queue if we have a comfortable surplus
                     // and the requester is genuinely poorer than us.
                     let grant = if self.queue.len() >= 2 && req.free_mflop < self.queue_hint_mflop()
@@ -280,12 +285,21 @@ impl PremaProc {
                             (0..grant).map(|_| self.queue.pop_back().unwrap()).collect();
                         let size = CTRL_BYTES + UNIT_BYTES * units.len();
                         ctx.send(src, K_GRANT, size, Box::new(Grant { units }));
+                        ctx.trace(TraceEvent::LbGrant {
+                            dst: src,
+                            units: grant as u32,
+                        });
                     } else {
                         ctx.send(src, K_NACK, CTRL_BYTES, Box::new(Nack));
+                        ctx.trace(TraceEvent::LbNackSent { dst: src });
                     }
                 }
                 K_GRANT => {
                     let grant = msg.take::<Grant>();
+                    ctx.trace(TraceEvent::LbGrantRecv {
+                        src,
+                        units: grant.units.len() as u32,
+                    });
                     self.queue.extend(grant.units);
                     self.outstanding = false;
                     self.attempt = 0;
@@ -293,6 +307,7 @@ impl PremaProc {
                 }
                 K_NACK => {
                     let _ = msg.take::<Nack>();
+                    ctx.trace(TraceEvent::LbNackRecv { src, stale: false });
                     self.outstanding = false;
                     self.attempt += 1;
                     if self.last_victim == Some(src) {
@@ -321,6 +336,16 @@ impl MinSt for SimTime {
 
 /// Run the benchmark under PREMA work stealing.
 pub fn run(spec: &BenchSpec, cfg: PremaCfg) -> SimReport {
+    run_traced(spec, cfg, None)
+}
+
+/// [`run`] with an optional trace sink recording every span, message, and
+/// LB protocol round at simulated-time stamps.
+pub fn run_traced(
+    spec: &BenchSpec,
+    cfg: PremaCfg,
+    trace: Option<std::sync::Arc<TraceSink>>,
+) -> SimReport {
     let seed = spec.seed;
     let units_left = Rc::new(Cell::new(spec.total_units() as u64));
     Engine::build(spec.machine, |p| {
@@ -331,6 +356,7 @@ pub fn run(spec: &BenchSpec, cfg: PremaCfg) -> SimReport {
             units_left.clone(),
         ))
     })
+    .with_trace(trace)
     .run()
 }
 

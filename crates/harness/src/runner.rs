@@ -3,10 +3,29 @@
 use crate::drivers::{charm_drv, nolb, parmetis_drv, prema_drv};
 use crate::report::{Config, FigureReport};
 use crate::spec::BenchSpec;
-use prema_sim::SimTime;
+use prema_sim::{SimTime, TraceSink};
+use std::sync::Arc;
 
 /// Run every panel of a figure for `spec`.
 pub fn run_figure(figure: u32, spec: &BenchSpec) -> FigureReport {
+    run_figure_with_trace(figure, spec, None)
+}
+
+/// [`run_figure`], recording one panel's run into a trace sink. Only the
+/// engine-backed panels (a)–(d) can be traced; the Charm++ panels run on a
+/// separate virtual runtime with no trace hooks, and requesting them leaves
+/// the sink empty.
+pub fn run_figure_with_trace(
+    figure: u32,
+    spec: &BenchSpec,
+    trace: Option<(Config, Arc<TraceSink>)>,
+) -> FigureReport {
+    let sink_for = |c: Config| {
+        trace
+            .as_ref()
+            .filter(|(tc, _)| *tc == c)
+            .map(|(_, s)| Arc::clone(s))
+    };
     let implicit = prema_drv::PremaCfg {
         implicit: true,
         ..prema_drv::PremaCfg::default()
@@ -16,12 +35,22 @@ pub fn run_figure(figure: u32, spec: &BenchSpec) -> FigureReport {
         ..prema_drv::PremaCfg::default()
     };
     let panels = vec![
-        (Config::NoLb, nolb::run(spec)),
-        (Config::PremaExplicit, prema_drv::run(spec, explicit)),
-        (Config::PremaImplicit, prema_drv::run(spec, implicit)),
+        (Config::NoLb, nolb::run_traced(spec, sink_for(Config::NoLb))),
+        (
+            Config::PremaExplicit,
+            prema_drv::run_traced(spec, explicit, sink_for(Config::PremaExplicit)),
+        ),
+        (
+            Config::PremaImplicit,
+            prema_drv::run_traced(spec, implicit, sink_for(Config::PremaImplicit)),
+        ),
         (
             Config::ParMetis,
-            parmetis_drv::run(spec, parmetis_drv::ParMetisCfg::default()),
+            parmetis_drv::run_traced(
+                spec,
+                parmetis_drv::ParMetisCfg::default(),
+                sink_for(Config::ParMetis),
+            ),
         ),
         (Config::CharmNoSync, charm_drv::run(spec, 0)),
         (Config::CharmSync4, charm_drv::run(spec, 4)),

@@ -14,6 +14,7 @@ use crate::policy::{LbPolicy, LoadMap, LoadSnapshot};
 use bytes::Bytes;
 use prema_dcs::{FxHashMap, Rank, Tag, WireReader, WireWriter};
 use prema_mol::{Migratable, MobilePtr, MolEvent, MolNode, WorkItem};
+use prema_trace::{TraceEvent, Tracer};
 use std::sync::Arc;
 
 /// Runtime-internal node-message handler ids (top of the u32 space).
@@ -124,11 +125,15 @@ pub struct Scheduler<O: Migratable> {
     attempt: u32,
     /// Object currently detached for execution, if any.
     executing: Option<MobilePtr>,
+    /// Weight hint of the executing unit; published statuses must account
+    /// for in-flight work or diffusive policies see an under-report.
+    executing_weight: f64,
     /// Last load snapshot published to the neighborhood (statuses are only
     /// re-sent when the load changes).
     last_published: Option<LoadSnapshot>,
     stats: SchedStats,
     lb_enabled: bool,
+    tracer: Tracer,
 }
 
 impl<O: Migratable> Scheduler<O> {
@@ -143,10 +148,20 @@ impl<O: Migratable> Scheduler<O> {
             outstanding: None,
             attempt: 0,
             executing: None,
+            executing_weight: 0.0,
             last_published: None,
             stats: SchedStats::default(),
             lb_enabled: true,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attach a trace recorder. Propagates down through the MOL node to the
+    /// communicator so the whole rank records into one sink. A no-op handle
+    /// unless `prema-trace` is built with its `enabled` feature.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.node.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Disable load balancing entirely (the "no load balancing" baseline).
@@ -208,6 +223,7 @@ impl<O: Migratable> Scheduler<O> {
         };
         if self.executing.is_some() {
             s.units += 1;
+            s.weight += self.executing_weight;
         }
         s
     }
@@ -223,6 +239,7 @@ impl<O: Migratable> Scheduler<O> {
     pub fn poll(&mut self) -> usize {
         let events = self.node.pump();
         let n = events.len();
+        self.tracer.emit(|| TraceEvent::Poll { events: n as u32 });
         for ev in events {
             self.handle_event(ev);
         }
@@ -241,6 +258,8 @@ impl<O: Migratable> Scheduler<O> {
     pub fn poll_system(&mut self) -> usize {
         let events = self.node.poll_system();
         let n = events.len();
+        self.tracer
+            .emit(|| TraceEvent::PollSystem { events: n as u32 });
         for ev in events {
             self.handle_event(ev);
         }
@@ -275,6 +294,12 @@ impl<O: Migratable> Scheduler<O> {
                 .unwrap_or_else(|| panic!("no work handler registered for id {}", item.handler))
                 .clone();
             self.executing = Some(item.ptr);
+            self.executing_weight = item.hint;
+            self.tracer.emit(|| TraceEvent::ExecBegin {
+                home: item.ptr.home,
+                index: item.ptr.index,
+                handler: item.handler,
+            });
             return Some(Execution {
                 item,
                 obj: Some(obj),
@@ -301,7 +326,12 @@ impl<O: Migratable> Scheduler<O> {
         );
         self.node.put_object(item.ptr, obj);
         self.executing = None;
+        self.executing_weight = 0.0;
         self.stats.executed += 1;
+        self.tracer.emit(|| TraceEvent::ExecFinish {
+            home: item.ptr.home,
+            index: item.ptr.index,
+        });
         self.apply_outgoing(ctx.outgoing);
         if self.lb_enabled {
             self.lb_evaluate();
@@ -379,6 +409,13 @@ impl<O: Migratable> Scheduler<O> {
                         weight: r.f64(),
                     };
                     self.known.insert(src, snap);
+                    // Begging liveness: a rank that exhausted its attempt
+                    // cap would otherwise never beg again until work arrives
+                    // by luck. Fresh evidence of an overloaded neighbor
+                    // re-opens the round.
+                    if snap.units > 0 && self.attempt >= self.attempt_cap() {
+                        self.attempt = 0;
+                    }
                 }
                 LB_REQUEST => {
                     let mut r = WireReader::new(payload);
@@ -386,12 +423,21 @@ impl<O: Migratable> Scheduler<O> {
                         units: r.u64() as usize,
                         weight: r.f64(),
                     };
+                    self.tracer.emit(|| TraceEvent::LbRequestRecv { src });
                     self.handle_request(src, requester);
                 }
                 LB_NACK => {
                     self.stats.nacks_recv += 1;
-                    self.outstanding = None;
-                    self.attempt += 1;
+                    // Only a refusal from the victim of the *outstanding*
+                    // request ends the round: a delayed NACK from an earlier
+                    // round must not cancel a newer request to a different
+                    // victim (or burn an attempt).
+                    let stale = self.outstanding != Some(src);
+                    self.tracer.emit(|| TraceEvent::LbNackRecv { src, stale });
+                    if !stale {
+                        self.outstanding = None;
+                        self.attempt += 1;
+                    }
                 }
                 id => {
                     if let Some(h) = self.node_handlers.get(&id).cloned() {
@@ -424,20 +470,27 @@ impl<O: Migratable> Scheduler<O> {
         let local = self.local_load();
         let want = self.policy.grant_units(&local, &requester);
         if want == 0 {
+            self.tracer.emit(|| TraceEvent::LbNackSent { dst: src });
             self.node
                 .node_message(src, LB_NACK, Tag::System, Bytes::new());
             return;
         }
-        let granted = self.grant_objects(src, want);
+        let granted = self.grant_objects(src, want, requester.units == 0);
         if granted == 0 {
+            self.tracer.emit(|| TraceEvent::LbNackSent { dst: src });
             self.node
                 .node_message(src, LB_NACK, Tag::System, Bytes::new());
+        } else {
+            self.tracer.emit(|| TraceEvent::LbGrant {
+                dst: src,
+                units: granted as u32,
+            });
         }
     }
 
     /// Migrate objects covering roughly `want_units` queued messages to
     /// `dst`. Returns the number of units actually covered.
-    fn grant_objects(&mut self, dst: Rank, want_units: usize) -> usize {
+    fn grant_objects(&mut self, dst: Rank, want_units: usize, requester_idle: bool) -> usize {
         let summary = self.node.ready_summary();
         let mut covered = 0usize;
         for (ptr, units, _weight) in summary {
@@ -448,8 +501,10 @@ impl<O: Migratable> Scheduler<O> {
                 continue; // never migrate the executing unit
             }
             // Don't strip ourselves bare: keep at least one queued unit
-            // unless the requester is completely empty.
-            if self.node.ready_len() <= units && covered > 0 {
+            // unless the requester is completely empty. (`covered > 0` was
+            // the old guard — it let the *first* grant empty the donor even
+            // for a non-idle requester.)
+            if self.node.ready_len() <= units && !requester_idle {
                 break;
             }
             if self.node.migrate(ptr, dst) {
@@ -503,18 +558,27 @@ impl<O: Migratable> Scheduler<O> {
         // Receiver-initiated begging.
         if self.outstanding.is_none()
             && self.policy.is_underloaded(&local)
-            && self.attempt < (n as u32).max(4) * 2
+            && self.attempt < self.attempt_cap()
         {
             if let Some(victim) = self.policy.choose_victim(me, n, &self.known, self.attempt) {
                 let req = WireWriter::new()
                     .u64(local.units as u64)
                     .f64(local.weight)
                     .finish();
+                let attempt = self.attempt;
+                self.tracer
+                    .emit(|| TraceEvent::LbRequest { victim, attempt });
                 self.node.node_message(victim, LB_REQUEST, Tag::System, req);
                 self.outstanding = Some(victim);
                 self.stats.requests_sent += 1;
             }
         }
+    }
+
+    /// Maximum consecutive refusals before a begging round gives up (until
+    /// fresh status shows an overloaded neighbor or new work arrives).
+    fn attempt_cap(&self) -> u32 {
+        (self.nprocs() as u32).max(4) * 2
     }
 
     /// Reset the begging round (e.g. when new local work is created by the

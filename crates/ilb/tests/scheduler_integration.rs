@@ -2,9 +2,17 @@
 //! work-stealing protocol, diffusion flows, and detached-object execution.
 
 use bytes::Bytes;
-use prema_dcs::{Communicator, LocalFabric};
+use prema_dcs::{Communicator, LocalFabric, Tag, WireWriter};
 use prema_ilb::{Diffusion, LbPolicy, Scheduler, WorkStealing};
 use prema_mol::{Migratable, MolNode};
+
+/// Runtime-internal LB wire ids (see `crates/ilb/src/scheduler.rs`). The
+/// protocol regression tests below inject raw LB traffic to set up exact
+/// interleavings (delayed NACKs, forged statuses) that normal polling
+/// cannot reproduce deterministically.
+const LB_STATUS: u32 = 0xFFFF_F001;
+const LB_REQUEST: u32 = 0xFFFF_F002;
+const LB_NACK: u32 = 0xFFFF_F003;
 
 #[derive(Debug, PartialEq)]
 struct Counter {
@@ -218,4 +226,130 @@ fn executing_object_is_never_granted() {
     scheds[0].finish(exec);
     // The object is still on rank 0 and executed there.
     assert_eq!(scheds[0].stats().executed, 1);
+}
+
+#[test]
+fn stale_nack_does_not_cancel_newer_request() {
+    // Rank 0 is idle with an overloaded neighbor: it begs its pair partner
+    // (rank 1). A delayed NACK from an *earlier* round — here forged from
+    // rank 2 — must not cancel that outstanding request or burn an attempt.
+    let mut scheds = machine(3, |r| Box::new(WorkStealing::new(1.0, r as u64)));
+    let status = WireWriter::new().u64(10).f64(10.0).finish();
+    scheds[1]
+        .node_mut()
+        .node_message(0, LB_STATUS, Tag::System, status);
+    scheds[0].poll(); // learns the status, begs rank 1 (attempt 0 = partner)
+    assert_eq!(scheds[0].stats().requests_sent, 1);
+    scheds[2]
+        .node_mut()
+        .node_message(0, LB_NACK, Tag::System, Bytes::new());
+    scheds[0].poll();
+    assert_eq!(
+        scheds[0].stats().requests_sent,
+        1,
+        "a stale NACK cancelled the outstanding request and triggered a re-beg"
+    );
+    // The genuine refusal from the current victim ends the round; the same
+    // poll's evaluation begs again (attempt 1 < cap).
+    scheds[1]
+        .node_mut()
+        .node_message(0, LB_NACK, Tag::System, Bytes::new());
+    scheds[0].poll();
+    assert_eq!(scheds[0].stats().requests_sent, 2);
+    assert_eq!(scheds[0].stats().nacks_recv, 2);
+}
+
+#[test]
+fn grant_never_strips_donor_bare_for_a_busy_requester() {
+    // The donor holds one object carrying its entire ready queue. A poorer
+    // but non-idle requester must be refused (migrating would empty the
+    // donor); a fully idle requester may take the last object.
+    let mut scheds = machine(2, |r| Box::new(WorkStealing::new(1.0, r as u64)));
+    let ptr = scheds[0].node_mut().register(Counter { value: 0 });
+    for i in 0..2i64 {
+        scheds[0]
+            .node_mut()
+            .message(ptr, H_ADD, Bytes::copy_from_slice(&i.to_le_bytes()));
+    }
+    let busy_requester = WireWriter::new().u64(2).f64(0.5).finish();
+    scheds[1]
+        .node_mut()
+        .node_message(0, LB_REQUEST, Tag::System, busy_requester);
+    scheds[0].poll();
+    assert_eq!(
+        scheds[0].stats().granted,
+        0,
+        "the first grant stripped the donor bare for a busy requester"
+    );
+    assert_eq!(scheds[0].node().ready_len(), 2);
+    let idle_requester = WireWriter::new().u64(0).f64(0.0).finish();
+    scheds[1]
+        .node_mut()
+        .node_message(0, LB_REQUEST, Tag::System, idle_requester);
+    scheds[0].poll();
+    assert_eq!(scheds[0].stats().granted, 1);
+    assert_eq!(scheds[0].node().ready_len(), 0);
+}
+
+#[test]
+fn local_load_includes_executing_units_weight() {
+    // A status published mid-execution must carry the executing unit's
+    // weight hint, or diffusive policies see an under-report and push work
+    // at a rank that is actually busy.
+    let mut scheds = machine(1, |_| Box::new(WorkStealing::new(1.0, 1)));
+    let ptr = scheds[0].node_mut().register(Counter { value: 0 });
+    scheds[0].node_mut().message_with_hint(
+        ptr,
+        H_ADD,
+        5.0,
+        Bytes::copy_from_slice(&1i64.to_le_bytes()),
+    );
+    scheds[0].poll();
+    let mut exec = scheds[0].begin().expect("work queued");
+    let load = scheds[0].local_load();
+    assert_eq!(load.units, 1);
+    assert!(
+        (load.weight - 5.0).abs() < 1e-9,
+        "executing unit's weight missing from local load: {}",
+        load.weight
+    );
+    exec.run();
+    scheds[0].finish(exec);
+    assert_eq!(scheds[0].local_load().units, 0);
+    assert_eq!(scheds[0].local_load().weight, 0.0);
+}
+
+#[test]
+fn fresh_status_reenables_begging_after_attempt_cap() {
+    // A rank that exhausts its begging attempts must not go silent forever:
+    // fresh evidence of an overloaded neighbor re-opens the round.
+    let mut scheds = machine(2, |r| Box::new(WorkStealing::new(1.0, r as u64)));
+    let status = WireWriter::new().u64(5).f64(5.0).finish();
+    scheds[1]
+        .node_mut()
+        .node_message(0, LB_STATUS, Tag::System, status.clone());
+    scheds[0].poll();
+    assert_eq!(scheds[0].stats().requests_sent, 1);
+    // Rank 1 refuses every round until rank 0 gives up (cap = 8 for n=2;
+    // extra NACKs past the cap are stale and must change nothing).
+    for _ in 0..12 {
+        scheds[1]
+            .node_mut()
+            .node_message(0, LB_NACK, Tag::System, Bytes::new());
+        scheds[0].poll();
+    }
+    assert_eq!(
+        scheds[0].stats().requests_sent,
+        8,
+        "attempt cap not enforced"
+    );
+    scheds[1]
+        .node_mut()
+        .node_message(0, LB_STATUS, Tag::System, status);
+    scheds[0].poll();
+    assert_eq!(
+        scheds[0].stats().requests_sent,
+        9,
+        "a fresh LB_STATUS from an overloaded neighbor did not re-enable begging"
+    );
 }

@@ -35,6 +35,7 @@ use crate::proto::{
 use crate::ptr::{MobilePtr, PtrAllocator};
 use bytes::Bytes;
 use prema_dcs::{Communicator, Envelope, FxHashMap, Rank, Tag};
+use prema_trace::{TraceEvent, Tracer};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Location-update strategy knobs (the forwarding-vs-updates tradeoff).
@@ -228,6 +229,7 @@ pub struct MolNode<O: Migratable> {
     /// In-order messages awaiting execution.
     ready: VecDeque<MolEnvelope>,
     stats: MolStats,
+    tracer: Tracer,
     /// Shadow state asserting ordering/conservation invariants (see
     /// [`crate::oracle`]).
     #[cfg(feature = "check-invariants")]
@@ -252,9 +254,18 @@ impl<O: Migratable> MolNode<O> {
             resident: 0,
             ready: VecDeque::new(),
             stats: MolStats::default(),
+            tracer: Tracer::off(),
             #[cfg(feature = "check-invariants")]
             oracle: crate::oracle::NodeOracle::default(),
         }
+    }
+
+    /// Attach a trace recorder, propagated down to the communicator so the
+    /// rank's substrate traffic is recorded too. A no-op handle unless
+    /// `prema-trace` is built with its `enabled` feature.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.comm.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// This rank.
@@ -537,6 +548,11 @@ impl<O: Migratable> MolNode<O> {
         d.forward = Some((dst, epoch));
         d.location = Some((dst, epoch));
         self.stats.migrations_out += 1;
+        self.tracer.emit(|| TraceEvent::Migrate {
+            home: ptr.home,
+            index: ptr.index,
+            dst,
+        });
         self.comm
             .am_send(dst, H_MOL_MIGRATE, Tag::System, packet.encode());
         #[cfg(feature = "check-invariants")]
@@ -615,6 +631,11 @@ impl<O: Migratable> MolNode<O> {
         for env in parked {
             self.route(env);
         }
+        self.tracer.emit(|| TraceEvent::Install {
+            home: ptr.home,
+            index: ptr.index,
+            from,
+        });
         MolEvent::Installed { ptr, from }
     }
 
@@ -703,6 +724,12 @@ impl<O: Migratable> MolNode<O> {
             Some(next) => {
                 menv.hops += 1;
                 self.stats.forwarded += 1;
+                self.tracer.emit(|| TraceEvent::ForwardHop {
+                    home: ptr.home,
+                    index: ptr.index,
+                    next,
+                    hops: menv.hops,
+                });
                 #[cfg(feature = "check-invariants")]
                 self.oracle.on_forward(me, next, menv.hops);
                 // Lazily teach the original sender where the object went so

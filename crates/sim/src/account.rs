@@ -53,6 +53,12 @@ impl Category {
     /// Number of categories.
     pub const COUNT: usize = 8;
 
+    /// The category whose discriminant is `i` (the inverse of `as usize`),
+    /// or `None` out of range. Used to decode trace `Span` records.
+    pub fn from_index(i: usize) -> Option<Category> {
+        Category::ALL.get(i).copied()
+    }
+
     /// Short human-readable label used in harness reports.
     pub fn label(self) -> &'static str {
         match self {

@@ -35,9 +35,11 @@ use crate::account::{Category, TimeBreakdown};
 use crate::net::MachineConfig;
 use crate::stats::SimReport;
 use crate::time::SimTime;
+use prema_trace::{TraceEvent, TraceSink};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Index of a simulated processor.
 pub type ProcId = usize;
@@ -156,9 +158,18 @@ struct Core {
     /// Last scheduled arrival per (src, dst), to enforce per-pair FIFO.
     fifo: HashMap<(ProcId, ProcId), SimTime>,
     events: u64,
+    /// Optional trace recorder; events are stamped with simulated time.
+    /// Pure observation — attaching a sink never changes a run's behavior.
+    sink: Option<Arc<TraceSink>>,
 }
 
 impl Core {
+    fn trace(&self, pid: ProcId, t: SimTime, ev: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(pid, t.0, ev);
+        }
+    }
+
     fn push(&mut self, time: SimTime, proc: ProcId, kind: EvKind) {
         let seq = self.seq;
         self.seq += 1;
@@ -204,8 +215,28 @@ impl<'a> Ctx<'a> {
     /// Spend `dur` of CPU time attributed to `cat`, advancing the local clock.
     pub fn consume(&mut self, cat: Category, dur: SimTime) {
         let meta = &mut self.core.metas[self.pid];
+        let start = meta.clock;
         meta.acct.add(cat, dur);
         meta.clock += dur;
+        if dur.0 > 0 {
+            self.core.trace(
+                self.pid,
+                start,
+                TraceEvent::Span {
+                    cat: cat as u8,
+                    dur: dur.0,
+                },
+            );
+        }
+    }
+
+    /// Record a driver-level trace event stamped at the current local clock.
+    /// No-op unless a sink is attached ([`Engine::with_trace`]). Drivers use
+    /// this for protocol events the engine cannot see (LB request / grant /
+    /// refusal rounds).
+    pub fn trace(&mut self, ev: TraceEvent) {
+        let t = self.now();
+        self.core.trace(self.pid, t, ev);
     }
 
     /// Virtual time to execute `mflop` million flops on this machine.
@@ -246,6 +277,16 @@ impl<'a> Ctx<'a> {
             data,
         };
         self.core.push(arrival, dst, EvKind::Arrive { msg });
+        self.core.trace(
+            self.pid,
+            now,
+            TraceEvent::Send {
+                dst,
+                handler: kind,
+                bytes: wire_size,
+                system: false,
+            },
+        );
     }
 
     /// Drain every message currently in the inbox, charging the per-message
@@ -272,6 +313,21 @@ impl<'a> Ctx<'a> {
         let recv_cpu = self.core.cfg.recv_cpu;
         for _ in 0..taken.len() {
             self.consume(Category::Messaging, recv_cpu);
+        }
+        if self.core.sink.is_some() {
+            let now = self.now();
+            for m in &taken {
+                self.core.trace(
+                    self.pid,
+                    now,
+                    TraceEvent::Recv {
+                        src: m.src,
+                        handler: m.kind,
+                        bytes: m.wire_size,
+                        system: false,
+                    },
+                );
+            }
         }
         taken
     }
@@ -328,6 +384,8 @@ impl<'a> Ctx<'a> {
         let meta = &mut self.core.metas[self.pid];
         meta.done = true;
         meta.finish = meta.clock;
+        let t = self.core.metas[self.pid].finish;
+        self.core.trace(self.pid, t, TraceEvent::ProcFinish);
     }
 }
 
@@ -370,6 +428,7 @@ impl Engine {
             metas: (0..n).map(|_| ProcMeta::new()).collect(),
             fifo: HashMap::new(),
             events: 0,
+            sink: None,
         };
         for p in 0..n {
             core.push(SimTime::ZERO, p, EvKind::Start);
@@ -384,6 +443,15 @@ impl Engine {
     /// Override the runaway-simulation guard (default 5×10⁸ events).
     pub fn with_max_events(mut self, max: u64) -> Self {
         self.max_events = max;
+        self
+    }
+
+    /// Attach a trace sink: every consumed span, attributed wait, message
+    /// send/receive, and processor finish is recorded with simulated-time
+    /// stamps (plus whatever the drivers record via [`Ctx::trace`]).
+    /// Recording is pure observation; the run's outcome is unchanged.
+    pub fn with_trace(mut self, sink: Option<Arc<TraceSink>>) -> Self {
+        self.core.sink = sink;
         self
     }
 
@@ -414,16 +482,37 @@ impl Engine {
                     meta.inbox.push_back(msg);
                     if let Some(token) = meta.waiting.take() {
                         let idle = ev.time.saturating_sub(meta.idle_since);
+                        let idle_since = meta.idle_since;
                         let cat = meta.wait_cat;
                         meta.acct.add(cat, idle);
                         meta.wait_cat = Category::Idle;
                         meta.clock = meta.clock.max(ev.time);
+                        if idle.0 > 0 {
+                            self.core.trace(
+                                pid,
+                                idle_since,
+                                TraceEvent::Span {
+                                    cat: cat as u8,
+                                    dur: idle.0,
+                                },
+                            );
+                        }
                         self.dispatch(pid, ev.time, Some(token));
                     }
                 }
             }
             if self.core.metas.iter().all(|m| m.done) {
                 break;
+            }
+        }
+        // A processor that never called `finish` (the heap drained while it
+        // was still waiting) reports its last clock as its finish time;
+        // mirror that into the trace so a replay reconstructs the same
+        // finish column (`Ctx::finish` already recorded the explicit ones).
+        for pid in 0..self.core.metas.len() {
+            if !self.core.metas[pid].done {
+                let t = self.core.metas[pid].clock;
+                self.core.trace(pid, t, TraceEvent::ProcFinish);
             }
         }
         let makespan = self

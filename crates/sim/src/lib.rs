@@ -30,5 +30,6 @@ pub mod time;
 pub use account::{Category, TimeBreakdown};
 pub use engine::{Ctx, Engine, ProcId, Process, SimMessage};
 pub use net::{MachineConfig, NetworkConfig};
+pub use prema_trace::{Record, TraceEvent, TraceSink};
 pub use stats::SimReport;
 pub use time::SimTime;

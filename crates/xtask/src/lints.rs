@@ -154,6 +154,57 @@ pub fn lint_blocking_calls(
     out
 }
 
+/// Files allowed to read the wall clock directly: the trace crate owns the
+/// epoch every live `Tracer` stamps against, and the simulator's time module
+/// defines the virtual clock. Everything else must stamp via those.
+const TRACE_CLOCK_OWNERS: &[&str] = &["crates/trace/src/", "crates/sim/src/time.rs"];
+
+/// Forbid raw `Instant::now()` / `SystemTime::now()` outside the clock
+/// owners (and the allowlist). A timestamp taken off any other clock cannot
+/// be correlated with trace records, so figures derived from a trace would
+/// silently disagree with ad-hoc wall-clock measurements.
+pub fn lint_trace_hygiene(
+    file: &SourceFile,
+    allow: &Allowlist,
+    used: &mut BTreeSet<String>,
+) -> Vec<Violation> {
+    if TRACE_CLOCK_OWNERS
+        .iter()
+        .any(|p| file.path.starts_with(p) || file.path == *p)
+    {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (ln, stripped, _orig) in file.non_test_lines() {
+        let instant = stripped.contains("Instant::now(");
+        let system = stripped.contains("SystemTime::now(");
+        if !instant && !system {
+            continue;
+        }
+        if allow.allows(&file.path) {
+            used.insert(file.path.clone());
+            continue;
+        }
+        let what = if instant {
+            "Instant::now()"
+        } else {
+            "SystemTime::now()"
+        };
+        out.push(Violation::new(
+            &file.path,
+            ln,
+            "trace-hygiene",
+            format!(
+                "{what} outside the trace/sim clock owners: stamp time via a \
+                 prema_trace::Tracer (wall nanos since the sink epoch) or \
+                 simulated SimTime so traces stay correlatable (or allowlist \
+                 with a justification)"
+            ),
+        ));
+    }
+    out
+}
+
 /// Minimum words for an `.expect("...")` message to count as stating an
 /// invariant rather than restating the operation.
 const EXPECT_MIN_WORDS: usize = 3;
@@ -478,6 +529,65 @@ mod tests {
         );
         let mut used = BTreeSet::new();
         assert!(lint_blocking_calls(&f, &empty_allow(), &mut used).is_empty());
+    }
+
+    // ---- trace hygiene ----
+
+    #[test]
+    fn raw_instant_now_in_runtime_code_fires() {
+        let f = file(
+            "crates/ilb/src/scheduler.rs",
+            "fn f() { let t = Instant::now(); }\n",
+        );
+        let mut used = BTreeSet::new();
+        let v = lint_trace_hygiene(&f, &empty_allow(), &mut used);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "trace-hygiene");
+        assert!(v[0].message.contains("Instant::now()"));
+    }
+
+    #[test]
+    fn system_time_now_fires_too() {
+        let f = file(
+            "crates/harness/src/report.rs",
+            "fn f() { let t = std::time::SystemTime::now(); }\n",
+        );
+        let mut used = BTreeSet::new();
+        let v = lint_trace_hygiene(&f, &empty_allow(), &mut used);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("SystemTime::now()"));
+    }
+
+    #[test]
+    fn clock_owners_and_tests_are_exempt() {
+        let owner = file(
+            "crates/trace/src/lib.rs",
+            "fn epoch() -> Instant { Instant::now() }\n",
+        );
+        let sim_clock = file("crates/sim/src/time.rs", "fn f() { Instant::now(); }\n");
+        let test_code = file(
+            "crates/dcs/src/transport.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { Instant::now(); }\n}\n",
+        );
+        let mut used = BTreeSet::new();
+        for f in [owner, sim_clock, test_code] {
+            assert!(lint_trace_hygiene(&f, &empty_allow(), &mut used).is_empty());
+        }
+    }
+
+    #[test]
+    fn allowlisted_wall_clock_passes_and_is_marked_used() {
+        let allow = Allowlist::parse(
+            "allow.txt",
+            "crates/dcs/src/delay.rs: latency simulation needs a real deadline clock\n",
+        );
+        let f = file(
+            "crates/dcs/src/delay.rs",
+            "fn f() { let d = Instant::now() + self.latency; }\n",
+        );
+        let mut used = BTreeSet::new();
+        assert!(lint_trace_hygiene(&f, &allow, &mut used).is_empty());
+        assert!(used.contains("crates/dcs/src/delay.rs"));
     }
 
     // ---- unwrap/expect ----

@@ -14,13 +14,21 @@
 //!   registration or dispatch site somewhere in the workspace.
 //! * `bench-invariants` — the bench crate's manifest must not compile the
 //!   `check-invariants` oracles into measured code.
+//! * `trace-hygiene`    — no raw `Instant::now()` / `SystemTime::now()`
+//!   outside the trace/sim clock owners (workspace `crates/*/src`),
+//!   outside `allow/trace-hygiene.txt`.
 //!
 //! `cargo xtask bench-json` runs the substrate and figure benchmarks and
 //! aggregates their per-benchmark JSON lines into the checked-in
 //! `BENCH_substrate.json` / `BENCH_figures.json` baselines.
+//!
+//! `cargo xtask trace-report <trace.jsonl> [stride]` replays a JSONL event
+//! trace (harness `PREMA_TRACE_OUT`) into the per-processor breakdown table
+//! plus forwarding-chain, begging-latency, and migration views.
 
 mod lints;
 mod source;
+mod trace_report;
 
 use lints::{Allowlist, Violation};
 use source::SourceFile;
@@ -36,6 +44,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
         Some("bench-json") => bench_json(),
+        Some("trace-report") => trace_report_cmd(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask `{other}`\n");
             usage();
@@ -49,7 +58,40 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask <lint | bench-json>");
+    eprintln!("usage: cargo xtask <lint | bench-json | trace-report <trace.jsonl> [stride]>");
+}
+
+/// `cargo xtask trace-report <trace.jsonl> [stride]`.
+fn trace_report_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let stride: usize = match args.get(1).map(|s| s.parse()) {
+        None => 1,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("xtask: stride must be a positive integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match trace_report::report(&text, stride) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask trace-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Workspace root, derived from this crate's location (`crates/xtask`).
@@ -66,6 +108,7 @@ fn lint() -> ExitCode {
     let allow_dir = root.join("crates/xtask/allow");
     let relaxed_allow = load_allowlist(&allow_dir.join("relaxed-ordering.txt"));
     let blocking_allow = load_allowlist(&allow_dir.join("blocking-calls.txt"));
+    let hygiene_allow = load_allowlist(&allow_dir.join("trace-hygiene.txt"));
 
     // Everything under crates/*/src, plus tests/ and examples/ for the
     // handler-id cross-reference (a registration in an integration test or
@@ -99,14 +142,21 @@ fn lint() -> ExitCode {
     let mut violations: Vec<Violation> = Vec::new();
     violations.extend(relaxed_allow.parse_errors.iter().map(clone_violation));
     violations.extend(blocking_allow.parse_errors.iter().map(clone_violation));
+    violations.extend(hygiene_allow.parse_errors.iter().map(clone_violation));
 
     let mut relaxed_used = BTreeSet::new();
     let mut blocking_used = BTreeSet::new();
+    let mut hygiene_used = BTreeSet::new();
     for f in &src_files {
         violations.extend(lints::lint_relaxed_ordering(
             f,
             &relaxed_allow,
             &mut relaxed_used,
+        ));
+        violations.extend(lints::lint_trace_hygiene(
+            f,
+            &hygiene_allow,
+            &mut hygiene_used,
         ));
         let crate_name = f
             .path
@@ -123,6 +173,7 @@ fn lint() -> ExitCode {
     }
     violations.extend(relaxed_allow.unused(&relaxed_used));
     violations.extend(blocking_allow.unused(&blocking_used));
+    violations.extend(hygiene_allow.unused(&hygiene_used));
 
     // handler-id sees every file (src + tests + examples).
     let mut everything = src_files;
@@ -160,7 +211,7 @@ fn lint() -> ExitCode {
     }
     if violations.is_empty() {
         println!(
-            "xtask lint: OK ({} files, 5 lints, 0 violations)",
+            "xtask lint: OK ({} files, 6 lints, 0 violations)",
             everything.len()
         );
         ExitCode::SUCCESS

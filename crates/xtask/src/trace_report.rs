@@ -1,0 +1,497 @@
+//! `cargo xtask trace-report` — replay a JSONL event trace (written by the
+//! harness under `PREMA_TRACE_OUT`, or by any [`prema_trace::TraceSink`])
+//! into the paper's per-processor time-breakdown table plus derived views
+//! the aggregate figures cannot show: the forwarding-chain length histogram,
+//! begging-round latencies, and a migration timeline.
+//!
+//! Pure std, like the rest of xtask: the dump format is flat JSON (one
+//! object of scalar fields per line, guaranteed by
+//! `prema_trace::Record::to_jsonl`), so a hand-rolled splitter is all the
+//! parsing this needs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Cost-category labels, indexed by the `"cat"` field of `span` records
+/// (`prema_sim::Category::ALL` order).
+const CATEGORY_LABELS: [&str; 8] = [
+    "compute",
+    "idle",
+    "messaging",
+    "scheduling",
+    "callback",
+    "poll-thread",
+    "partition",
+    "sync",
+];
+const CAT_COMPUTE: usize = 0;
+const CAT_IDLE: usize = 1;
+const CAT_PARTITION: usize = 6;
+const CAT_SYNC: usize = 7;
+
+/// One parsed trace record: the common stamp plus the event-specific scalar
+/// fields, kept as strings until a view asks for them.
+#[derive(Debug)]
+struct Rec {
+    rank: usize,
+    t: u64,
+    ev: String,
+    fields: BTreeMap<String, String>,
+}
+
+impl Rec {
+    fn u64(&self, key: &str) -> Option<u64> {
+        self.fields.get(key).and_then(|v| v.parse().ok())
+    }
+}
+
+/// Parse one flat-JSON line (`{"k":v,...}`, values are unsigned integers,
+/// booleans, or quoted strings without escapes — everything
+/// `Record::to_jsonl` emits). Returns `None` on anything else.
+fn parse_line(line: &str) -> Option<Rec> {
+    let inner = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = BTreeMap::new();
+    for pair in split_top_level(inner) {
+        let (k, v) = pair.split_once(':')?;
+        let k = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let v = v.trim();
+        let v = v
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .unwrap_or(v);
+        fields.insert(k.to_string(), v.to_string());
+    }
+    let rank: usize = fields.remove("rank")?.parse().ok()?;
+    let t: u64 = fields.remove("t")?.parse().ok()?;
+    let ev = fields.remove("ev")?;
+    fields.remove("seq");
+    Some(Rec {
+        rank,
+        t,
+        ev,
+        fields,
+    })
+}
+
+/// Split `a:1,b:"x",c:true` on commas outside string quotes.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let (mut start, mut in_str) = (0usize, false);
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < s.len() {
+        out.push(&s[start..]);
+    }
+    out
+}
+
+/// Parse a whole dump; reports (line number, content) of the first few
+/// malformed lines via the error.
+fn parse_dump(text: &str) -> Result<Vec<Rec>, String> {
+    let mut recs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some(r) => recs.push(r),
+            None => return Err(format!("line {}: not a trace record: {line}", i + 1)),
+        }
+    }
+    Ok(recs)
+}
+
+/// Everything the breakdown table needs, folded from the records.
+struct Breakdown {
+    /// `[proc][category] -> nanoseconds` from `span` records.
+    per_proc: Vec<[u64; 8]>,
+    /// Per-processor finish time (ns) from `proc_finish` records.
+    finish: Vec<u64>,
+    /// Max finish (ns).
+    makespan: u64,
+}
+
+fn fold_breakdown(recs: &[Rec]) -> Breakdown {
+    let nprocs = recs.iter().map(|r| r.rank + 1).max().unwrap_or(0);
+    let mut per_proc = vec![[0u64; 8]; nprocs];
+    let mut finish = vec![0u64; nprocs];
+    for r in recs {
+        match r.ev.as_str() {
+            "span" => {
+                let cat = r.u64("cat").unwrap_or(u64::MAX) as usize;
+                if cat < 8 {
+                    per_proc[r.rank][cat] += r.u64("dur").unwrap_or(0);
+                }
+            }
+            "proc_finish" => finish[r.rank] = finish[r.rank].max(r.t),
+            _ => {}
+        }
+    }
+    let makespan = finish.iter().copied().max().unwrap_or(0);
+    Breakdown {
+        per_proc,
+        finish,
+        makespan,
+    }
+}
+
+const NANOS: f64 = 1e9;
+
+/// The per-processor table, formatted exactly like the harness figure tables
+/// (`SimReport::render_table`): idle padded to the makespan, empty categories
+/// omitted, then the makespan / quality / overhead summary line.
+fn render_breakdown(b: &Breakdown, stride: usize) -> String {
+    let stride = stride.max(1);
+    // Idle-normalize: pad every processor's idle up to the makespan.
+    let mut norm = b.per_proc.clone();
+    for (row, &f) in norm.iter_mut().zip(&b.finish) {
+        row[CAT_IDLE] += b.makespan.saturating_sub(f);
+    }
+    let used: Vec<usize> = (0..8)
+        .filter(|&c| norm.iter().map(|row| row[c]).sum::<u64>() > 0)
+        .collect();
+    let mut s = String::new();
+    let _ = writeln!(s, "== Trace: per-processor time breakdown ==");
+    let _ = write!(s, "{:>5}", "proc");
+    for &c in &used {
+        let _ = write!(s, " {:>11}", CATEGORY_LABELS[c]);
+    }
+    let _ = writeln!(s, " {:>11}", "finish");
+    for p in (0..norm.len()).step_by(stride) {
+        let _ = write!(s, "{p:>5}");
+        for &c in &used {
+            let _ = write!(s, " {:>11.3}", norm[p][c] as f64 / NANOS);
+        }
+        let _ = writeln!(s, " {:>11.3}", b.finish[p] as f64 / NANOS);
+    }
+    // Summary line: population stddev of compute; overhead = busy-but-not-
+    // compute over compute; sync = (sync + partition) over compute.
+    let n = b.per_proc.len().max(1) as f64;
+    let compute: f64 = b.per_proc.iter().map(|r| r[CAT_COMPUTE] as f64).sum();
+    let mean = compute / n / NANOS;
+    let var = b
+        .per_proc
+        .iter()
+        .map(|r| {
+            let d = r[CAT_COMPUTE] as f64 / NANOS - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let busy_overhead: f64 = b
+        .per_proc
+        .iter()
+        .map(|r| {
+            (0..8)
+                .filter(|&c| c != CAT_COMPUTE && c != CAT_IDLE)
+                .map(|c| r[c] as f64)
+                .sum::<f64>()
+        })
+        .sum();
+    let sync: f64 = b
+        .per_proc
+        .iter()
+        .map(|r| (r[CAT_SYNC] + r[CAT_PARTITION]) as f64)
+        .sum();
+    let pct = |x: f64| {
+        if compute > 0.0 {
+            x / compute * 100.0
+        } else {
+            0.0
+        }
+    };
+    let _ = writeln!(
+        s,
+        "makespan {:.3}s  compute-stddev {:.3}s  overhead {:.4}%  sync {:.3}%",
+        b.makespan as f64 / NANOS,
+        var.sqrt(),
+        pct(busy_overhead),
+        pct(sync)
+    );
+    s
+}
+
+/// Forwarding-chain length histogram. Each migration leaves a forwarding
+/// pointer; a message that chases a chain of length `L` emits `forward_hop`
+/// records with `hops = 1..=L`. So `count[L] - count[L+1]` messages ended
+/// their chase after exactly `L` hops.
+fn render_forward_histogram(recs: &[Rec]) -> String {
+    let mut count: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in recs.iter().filter(|r| r.ev == "forward_hop") {
+        if let Some(h) = r.u64("hops") {
+            *count.entry(h).or_insert(0) += 1;
+        }
+    }
+    let mut s = String::from("== Forwarding-chain length histogram ==\n");
+    if count.is_empty() {
+        s.push_str("(no forwarded messages)\n");
+        return s;
+    }
+    let _ = writeln!(s, "{:>6} {:>10}", "length", "messages");
+    let max = *count
+        .keys()
+        .last()
+        .expect("count map checked non-empty above");
+    for len in 1..=max {
+        let at = count.get(&len).copied().unwrap_or(0);
+        let beyond = count.get(&(len + 1)).copied().unwrap_or(0);
+        let exact = at.saturating_sub(beyond);
+        if at > 0 {
+            let _ = writeln!(s, "{len:>6} {exact:>10}");
+        }
+    }
+    let total: u64 = count.get(&1).copied().unwrap_or(0);
+    let hops: u64 = count.values().sum();
+    let _ = writeln!(
+        s,
+        "{total} forwarded messages, {hops} hops total, mean chain {:.2}",
+        if total > 0 {
+            hops as f64 / total as f64
+        } else {
+            0.0
+        }
+    );
+    s
+}
+
+/// Begging-round latency: on each rank, the time from an `lb_request` to the
+/// next grant or NACK arriving back on that rank. Stale NACKs are ignored —
+/// they answer an older, already-cancelled round.
+fn render_begging_latency(recs: &[Rec]) -> String {
+    // Per rank, walk records in time order.
+    let nprocs = recs.iter().map(|r| r.rank + 1).max().unwrap_or(0);
+    let mut s = String::from("== Begging-round latency ==\n");
+    let mut any = false;
+    let _ = writeln!(
+        s,
+        "{:>5} {:>7} {:>8} {:>8} {:>10} {:>10}",
+        "proc", "rounds", "granted", "refused", "mean(ms)", "max(ms)"
+    );
+    for p in 0..nprocs {
+        let mut open: Option<u64> = None;
+        let (mut rounds, mut granted, mut refused) = (0u64, 0u64, 0u64);
+        let (mut sum_ns, mut max_ns) = (0u64, 0u64);
+        for r in recs.iter().filter(|r| r.rank == p) {
+            match r.ev.as_str() {
+                "lb_request" => open = Some(r.t),
+                "lb_grant_recv" | "lb_nack_recv" => {
+                    if r.ev == "lb_nack_recv"
+                        && r.fields.get("stale").map(String::as_str) == Some("true")
+                    {
+                        continue;
+                    }
+                    if let Some(t0) = open.take() {
+                        let dt = r.t.saturating_sub(t0);
+                        rounds += 1;
+                        sum_ns += dt;
+                        max_ns = max_ns.max(dt);
+                        if r.ev == "lb_grant_recv" {
+                            granted += 1;
+                        } else {
+                            refused += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if rounds > 0 {
+            any = true;
+            let _ = writeln!(
+                s,
+                "{p:>5} {rounds:>7} {granted:>8} {refused:>8} {:>10.3} {:>10.3}",
+                sum_ns as f64 / rounds as f64 / 1e6,
+                max_ns as f64 / 1e6
+            );
+        }
+    }
+    if !any {
+        s.push_str("(no completed begging rounds)\n");
+    }
+    s
+}
+
+/// How many timeline rows to print before eliding the rest.
+const TIMELINE_LIMIT: usize = 20;
+
+/// Migration timeline: `migrate` (source side) and `install` (destination
+/// side) records merged in time order, first [`TIMELINE_LIMIT`] shown.
+fn render_migration_timeline(recs: &[Rec]) -> String {
+    let mut rows: Vec<&Rec> = recs
+        .iter()
+        .filter(|r| r.ev == "migrate" || r.ev == "install")
+        .collect();
+    rows.sort_by_key(|r| (r.t, r.rank));
+    let mut s = String::from("== Migration timeline ==\n");
+    if rows.is_empty() {
+        s.push_str("(no migrations)\n");
+        return s;
+    }
+    for r in rows.iter().take(TIMELINE_LIMIT) {
+        let obj = format!(
+            "{}:{}",
+            r.u64("home").unwrap_or(0),
+            r.u64("index").unwrap_or(0)
+        );
+        let line = if r.ev == "migrate" {
+            format!(
+                "{:>12.6}s  proc {:>3}  migrate  {obj} -> proc {}",
+                r.t as f64 / NANOS,
+                r.rank,
+                r.u64("dst").unwrap_or(0)
+            )
+        } else {
+            format!(
+                "{:>12.6}s  proc {:>3}  install  {obj} <- proc {}",
+                r.t as f64 / NANOS,
+                r.rank,
+                r.u64("from").unwrap_or(0)
+            )
+        };
+        s.push_str(&line);
+        s.push('\n');
+    }
+    if rows.len() > TIMELINE_LIMIT {
+        let _ = writeln!(s, "... {} more", rows.len() - TIMELINE_LIMIT);
+    }
+    let migrations = rows.iter().filter(|r| r.ev == "migrate").count();
+    let _ = writeln!(s, "{migrations} migrations total");
+    s
+}
+
+/// Entry point for the subcommand: render every view of one dump.
+pub fn report(text: &str, stride: usize) -> Result<String, String> {
+    let recs = parse_dump(text)?;
+    if recs.is_empty() {
+        return Err("trace is empty".to_string());
+    }
+    let mut s = String::new();
+    s.push_str(&render_breakdown(&fold_breakdown(&recs), stride));
+    s.push('\n');
+    s.push_str(&render_forward_histogram(&recs));
+    s.push('\n');
+    s.push_str(&render_begging_latency(&recs));
+    s.push('\n');
+    s.push_str(&render_migration_timeline(&recs));
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DUMP: &str = r#"{"rank":0,"seq":0,"t":0,"ev":"span","cat":0,"dur":2000000000}
+{"rank":0,"seq":1,"t":2000000000,"ev":"span","cat":2,"dur":500000000}
+{"rank":0,"seq":2,"t":2500000000,"ev":"proc_finish"}
+{"rank":1,"seq":0,"t":0,"ev":"span","cat":0,"dur":1000000000}
+{"rank":1,"seq":1,"t":1000000000,"ev":"proc_finish"}
+{"rank":1,"seq":2,"t":100,"ev":"lb_request","victim":0,"attempt":0}
+{"rank":1,"seq":3,"t":3000100,"ev":"lb_nack_recv","src":0,"stale":false}
+{"rank":1,"seq":4,"t":4000000,"ev":"lb_request","victim":0,"attempt":1}
+{"rank":1,"seq":5,"t":5000000,"ev":"lb_grant_recv","src":0,"units":2}
+{"rank":0,"seq":3,"t":10,"ev":"migrate","home":0,"index":7,"dst":1}
+{"rank":1,"seq":6,"t":20,"ev":"install","home":0,"index":7,"from":0}
+{"rank":1,"seq":7,"t":30,"ev":"forward_hop","home":0,"index":7,"next":1,"hops":1}
+{"rank":1,"seq":8,"t":40,"ev":"forward_hop","home":0,"index":7,"next":1,"hops":1}
+{"rank":1,"seq":9,"t":50,"ev":"forward_hop","home":0,"index":7,"next":1,"hops":2}
+"#;
+
+    #[test]
+    fn parses_every_line_of_a_real_dump() {
+        let recs = parse_dump(DUMP).expect("dump parses");
+        assert_eq!(recs.len(), 14);
+        assert_eq!(recs[0].ev, "span");
+        assert_eq!(recs[0].u64("dur"), Some(2_000_000_000));
+    }
+
+    #[test]
+    fn malformed_line_is_an_error_with_its_line_number() {
+        let err = parse_dump("{\"rank\":0,\"seq\":0,\"t\":0,\"ev\":\"span\"}\nnot json\n")
+            .expect_err("must fail");
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn breakdown_table_pads_idle_and_sums_categories() {
+        let recs = parse_dump(DUMP).expect("dump parses");
+        let out = render_breakdown(&fold_breakdown(&recs), 1);
+        // Proc 1 finished at 1s, makespan 2.5s: 1.5s idle padding.
+        assert!(out.contains("compute"), "{out}");
+        assert!(out.contains("idle"), "{out}");
+        assert!(out.contains("1.500"), "{out}");
+        assert!(out.contains("makespan 2.500s"), "{out}");
+        // overhead = 0.5s messaging / 3.0s compute.
+        assert!(out.contains("overhead 16.6667%"), "{out}");
+    }
+
+    #[test]
+    fn forward_histogram_counts_exact_chain_lengths() {
+        let recs = parse_dump(DUMP).expect("dump parses");
+        let out = render_forward_histogram(&recs);
+        // hops=1 seen twice, hops=2 once: one chain of length 1, one of 2.
+        assert!(out.contains("     1          1"), "{out}");
+        assert!(out.contains("     2          1"), "{out}");
+        assert!(out.contains("2 forwarded messages, 3 hops total"), "{out}");
+    }
+
+    #[test]
+    fn begging_latency_pairs_requests_with_replies() {
+        let recs = parse_dump(DUMP).expect("dump parses");
+        let out = render_begging_latency(&recs);
+        // Two rounds on proc 1: 3ms NACK and 1ms grant -> mean 2ms, max 3ms.
+        assert!(
+            out.contains("    1       2        1        1      2.000      3.000"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn stale_nacks_do_not_close_a_round() {
+        let dump = "{\"rank\":0,\"seq\":0,\"t\":100,\"ev\":\"lb_request\",\"victim\":1,\"attempt\":0}\n\
+            {\"rank\":0,\"seq\":1,\"t\":200,\"ev\":\"lb_nack_recv\",\"src\":2,\"stale\":true}\n\
+            {\"rank\":0,\"seq\":2,\"t\":1000100,\"ev\":\"lb_nack_recv\",\"src\":1,\"stale\":false}\n";
+        let recs = parse_dump(dump).expect("dump parses");
+        let out = render_begging_latency(&recs);
+        // One round, closed by the genuine NACK at +1ms (not the stale one).
+        assert!(
+            out.contains("    0       1        0        1      1.000      1.000"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn migration_timeline_merges_both_sides_in_time_order() {
+        let recs = parse_dump(DUMP).expect("dump parses");
+        let out = render_migration_timeline(&recs);
+        let migrate_at = out.find("migrate").expect("has migrate row");
+        let install_at = out.find("install").expect("has install row");
+        assert!(migrate_at < install_at, "{out}");
+        assert!(out.contains("1 migrations total"), "{out}");
+    }
+
+    #[test]
+    fn report_renders_all_four_sections() {
+        let out = report(DUMP, 1).expect("report renders");
+        for heading in [
+            "per-processor time breakdown",
+            "Forwarding-chain length histogram",
+            "Begging-round latency",
+            "Migration timeline",
+        ] {
+            assert!(out.contains(heading), "missing {heading}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert!(report("", 1).is_err());
+    }
+}
