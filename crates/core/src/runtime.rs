@@ -24,7 +24,10 @@ use crate::config::{LbMode, PremaConfig};
 use crate::shutdown::{run_poll_loop, StopFlag};
 use crate::sync::{Arc, Mutex};
 use bytes::Bytes;
-use prema_dcs::{Communicator, LocalFabric, Rank};
+use prema_dcs::{
+    ChaosConfig, ChaosHandle, ChaosTransport, Communicator, LocalFabric, Rank, ReliableTransport,
+    Transport,
+};
 use prema_ilb as ilb;
 use prema_ilb::LoadSnapshot;
 use prema_mol::{Migratable, MobilePtr, MolNode, MolStats, WorkItem};
@@ -192,6 +195,12 @@ where
 ///
 /// Tracing hooks are compiled out unless the `trace` cargo feature is on;
 /// without it the sink simply stays empty.
+///
+/// When `PREMA_CHAOS_SEED` is set in the environment the wire is wrapped in
+/// a [`ChaosTransport`] (seeded fault injection) under a
+/// [`ReliableTransport`] (ack/retry recovery), so any run can be soaked
+/// against an adversarial wire without code changes. See
+/// [`ChaosConfig::from_env`] for the knobs.
 pub fn launch_with_trace<O, R, F>(
     cfg: PremaConfig,
     trace: Option<std::sync::Arc<prema_trace::TraceSink>>,
@@ -203,14 +212,69 @@ where
     F: Fn(Runtime<O>) -> R + Send + Sync + 'static,
 {
     let endpoints = LocalFabric::new(cfg.nprocs);
+    let tracer_for = |rank: usize| {
+        trace
+            .as_ref()
+            .map(|s| s.tracer(rank))
+            .unwrap_or_else(prema_trace::Tracer::off)
+    };
+    let transports: Vec<Box<dyn Transport>> = match ChaosConfig::from_env() {
+        Some(chaos_cfg) => {
+            let handle = ChaosHandle::new();
+            endpoints
+                .into_iter()
+                .enumerate()
+                .map(|(rank, mut ep)| {
+                    let tracer = tracer_for(rank);
+                    ep.set_tracer(tracer.clone());
+                    let mut chaos = ChaosTransport::new(ep, chaos_cfg, handle.clone());
+                    chaos.set_tracer(tracer.clone());
+                    let mut reliable = ReliableTransport::new(chaos);
+                    reliable.set_tracer(tracer);
+                    Box::new(reliable) as Box<dyn Transport>
+                })
+                .collect()
+        }
+        None => endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut ep)| {
+                ep.set_tracer(tracer_for(rank));
+                Box::new(ep) as Box<dyn Transport>
+            })
+            .collect(),
+    };
+    launch_with_transports(cfg, transports, trace, main)
+}
+
+/// [`launch_with_trace`] over caller-provided transports — one boxed
+/// [`Transport`] per rank, in rank order. This is the entry point for wiring
+/// custom transport stacks (chaos soak tests with partition control, delay
+/// decorators, future real interconnects) under the full runtime.
+pub fn launch_with_transports<O, R, F>(
+    cfg: PremaConfig,
+    transports: Vec<Box<dyn Transport>>,
+    trace: Option<std::sync::Arc<prema_trace::TraceSink>>,
+    main: F,
+) -> Vec<R>
+where
+    O: Migratable,
+    R: Send + 'static,
+    F: Fn(Runtime<O>) -> R + Send + Sync + 'static,
+{
+    assert_eq!(
+        transports.len(),
+        cfg.nprocs,
+        "need exactly one transport per rank"
+    );
     let stop = Arc::new(StopFlag::new());
     let main = Arc::new(main);
 
     let mut app_threads = Vec::with_capacity(cfg.nprocs);
     let mut poll_threads = Vec::new();
 
-    for (rank, ep) in endpoints.into_iter().enumerate() {
-        let node: MolNode<O> = MolNode::new(Communicator::new(Box::new(ep)));
+    for (rank, transport) in transports.into_iter().enumerate() {
+        let node: MolNode<O> = MolNode::new(Communicator::new(transport));
         let policy = cfg.policy.build(cfg.seed.wrapping_add(rank as u64));
         let mut sched = ilb::Scheduler::new(node, policy);
         if cfg.mode == LbMode::Disabled {

@@ -6,6 +6,18 @@
 //! standard pattern is a completion counter: every executed unit is reported
 //! to rank 0, which broadcasts *done* when the count reaches the target.
 //! [`Completion`] packages that pattern.
+//!
+//! # Loss tolerance
+//!
+//! The protocol is built to survive an unreliable wire (see
+//! `prema_dcs::chaos`): reports are **cumulative** — each rank sends its
+//! running total, and rank 0 keeps the per-rank maximum — so a duplicated or
+//! replayed report is idempotent and a lost one is subsumed by any later
+//! report from the same rank. [`Completion::maintain`] re-sends the current
+//! total on a poll-counted timeout, which both recovers lost reports and
+//! probes rank 0 after the fact: a report arriving at an already-done rank 0
+//! is answered with a fresh *done* broadcast to its sender, recovering a
+//! lost completion notice.
 
 use crate::runtime::Runtime;
 use bytes::Bytes;
@@ -14,17 +26,27 @@ use prema_dcs::WireWriter;
 use prema_ilb::NODE_HANDLER_LIMIT;
 use prema_mol::Migratable;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Node-message handler id for completion reports (to rank 0).
 pub const H_COMPLETE_REPORT: u32 = NODE_HANDLER_LIMIT - 1;
 /// Node-message handler id for the done broadcast (from rank 0).
 pub const H_COMPLETE_DONE: u32 = NODE_HANDLER_LIMIT - 2;
 
+/// How many [`Completion::maintain`] calls between re-reports while not yet
+/// done. Each call typically corresponds to one application poll iteration.
+const REREPORT_EVERY: u64 = 128;
+
 /// A completion detector. Create one per rank with the same `target` on
-/// every rank, report executed units, and poll [`Completion::is_done`].
+/// every rank, report executed units, and poll [`Completion::is_done`] —
+/// calling [`Completion::maintain`] from the wait loop if the wire may lose
+/// messages.
 pub struct Completion {
     done: Arc<AtomicBool>,
+    /// This rank's running executed total (the cumulative report value).
+    local: Arc<AtomicU64>,
+    /// `maintain` call counter driving the re-report schedule.
+    ticks: AtomicU64,
 }
 
 impl Completion {
@@ -33,14 +55,35 @@ impl Completion {
     pub fn install<O: Migratable>(rt: &Runtime<O>, target: u64) -> Completion {
         let done = Arc::new(AtomicBool::new(false));
 
-        // Rank 0 counts reports and broadcasts done.
-        let counted = Arc::new(AtomicU64::new(0));
+        // Rank 0 tracks the per-rank cumulative maxima. A Vec indexed by
+        // source rank, under a mutex (handlers already run serialized per
+        // rank; the mutex is for form, not contention).
+        let reported: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
         {
-            let counted = counted.clone();
+            let reported = reported.clone();
             let done = done.clone();
-            rt.on_node_message(H_COMPLETE_REPORT, move |ctx, _src, payload| {
-                let n = WireReader::new(payload).u64();
-                let total = counted.fetch_add(n, Ordering::SeqCst) + n;
+            rt.on_node_message(H_COMPLETE_REPORT, move |ctx, src, payload| {
+                // A truncated report is droppable: cumulative re-reports make
+                // any single message expendable.
+                let Some(n) = WireReader::new(payload).try_u64() else {
+                    return;
+                };
+                if done.load(Ordering::SeqCst) {
+                    // Already finished: the reporter evidently missed the
+                    // broadcast (or is re-probing). Tell it again.
+                    ctx.node_message(src, H_COMPLETE_DONE, Bytes::new());
+                    return;
+                }
+                let total: u64 = {
+                    let mut counts = reported.lock().unwrap_or_else(|p| p.into_inner());
+                    if counts.len() < ctx.nprocs() {
+                        counts.resize(ctx.nprocs(), 0);
+                    }
+                    // Cumulative max: duplicates and out-of-date reports are
+                    // no-ops, so the wire may duplicate or reorder freely.
+                    counts[src] = counts[src].max(n);
+                    counts.iter().sum()
+                };
                 if total >= target && !done.swap(true, Ordering::SeqCst) {
                     for dst in 0..ctx.nprocs() {
                         if dst != ctx.rank() {
@@ -56,13 +99,36 @@ impl Completion {
                 done.store(true, Ordering::SeqCst);
             });
         }
-        Completion { done }
+        Completion {
+            done,
+            local: Arc::new(AtomicU64::new(0)),
+            ticks: AtomicU64::new(0),
+        }
     }
 
-    /// Report `n` completed units (routed to rank 0).
+    /// Report `n` newly completed units (routed to rank 0 as this rank's new
+    /// cumulative total, so losing any individual report is recoverable).
     pub fn report<O: Migratable>(&self, rt: &Runtime<O>, n: u64) {
-        let payload = WireWriter::new().u64(n).finish();
+        let total = self.local.fetch_add(n, Ordering::SeqCst) + n;
+        let payload = WireWriter::new().u64(total).finish();
         rt.node_message(0, H_COMPLETE_REPORT, payload);
+    }
+
+    /// Liveness backstop for lossy wires: call once per iteration of the
+    /// completion wait loop. Every [`REREPORT_EVERY`] calls while not yet
+    /// done, re-sends this rank's cumulative total — recovering lost
+    /// reports, and prompting an already-done rank 0 to re-send the *done*
+    /// broadcast if that was what got lost. A no-op once done.
+    pub fn maintain<O: Migratable>(&self, rt: &Runtime<O>) {
+        if self.is_done() {
+            return;
+        }
+        let t = self.ticks.fetch_add(1, Ordering::SeqCst) + 1;
+        if t.is_multiple_of(REREPORT_EVERY) {
+            let total = self.local.load(Ordering::SeqCst);
+            let payload = WireWriter::new().u64(total).finish();
+            rt.node_message(0, H_COMPLETE_REPORT, payload);
+        }
     }
 
     /// Whether the global target has been reached (eventually true on every

@@ -10,7 +10,7 @@
 
 use crate::envelope::{Envelope, Rank};
 use crate::transport::Transport;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -22,6 +22,10 @@ pub struct DelayTransport<T: Transport> {
     latency: Duration,
     /// Envelopes pulled off the wire, with the instant they become visible.
     holding: RefCell<VecDeque<(Instant, Envelope)>>,
+    /// Number of times `recv_timeout` went to sleep or blocked on the inner
+    /// transport. Exposed so tests can assert the wait is event-driven, not
+    /// a busy-spin.
+    wakeups: Cell<u64>,
 }
 
 impl<T: Transport> DelayTransport<T> {
@@ -31,7 +35,13 @@ impl<T: Transport> DelayTransport<T> {
             inner,
             latency,
             holding: RefCell::new(VecDeque::new()),
+            wakeups: Cell::new(0),
         }
+    }
+
+    /// How many sleep/block cycles `recv_timeout` has performed so far.
+    pub fn wakeup_count(&self) -> u64 {
+        self.wakeups.get()
     }
 
     /// Pull everything available off the inner transport into the holding
@@ -76,19 +86,31 @@ impl<T: Transport> Transport for DelayTransport<T> {
             if now >= deadline {
                 return None;
             }
-            // Sleep until either the next held message matures or a short
-            // poll tick, whichever is sooner.
-            let next = self
-                .holding
-                .borrow()
-                .front()
-                .map(|(visible, _)| *visible)
-                .unwrap_or(now + Duration::from_micros(200));
-            let wake = next.min(deadline);
-            let pause = wake
-                .saturating_duration_since(now)
-                .min(Duration::from_micros(500));
-            std::thread::sleep(pause.max(Duration::from_micros(10)));
+            match self.holding.borrow().front().map(|(visible, _)| *visible) {
+                // Nothing in flight: block on the inner transport's condvar
+                // until something arrives or the deadline passes. An arrival
+                // still has to age `latency` before delivery, so there is
+                // nothing to wake up for in between.
+                None => {
+                    self.wakeups.set(self.wakeups.get() + 1);
+                    if let Some(env) = self.inner.recv_timeout(deadline - now) {
+                        self.holding
+                            .borrow_mut()
+                            .push_back((Instant::now() + self.latency, env));
+                    }
+                }
+                // A message is aging: sleep exactly until it matures (or the
+                // deadline, whichever is sooner). All latencies are equal, so
+                // the front of the queue is always the earliest maturity —
+                // nothing behind it can become visible first.
+                Some(next) => {
+                    self.wakeups.set(self.wakeups.get() + 1);
+                    let pause = next.min(deadline).saturating_duration_since(now);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+            }
         }
     }
 }
@@ -148,6 +170,41 @@ mod tests {
         assert!(b.recv_timeout(Duration::from_millis(20)).is_none());
         let waited = start.elapsed();
         assert!(waited >= Duration::from_millis(18) && waited < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn long_latency_wait_is_not_a_busy_spin() {
+        let mut eps = LocalFabric::new(2);
+        let b = DelayTransport::new(eps.pop().unwrap(), Duration::from_millis(60));
+        let a = eps.pop().unwrap();
+        a.send(env(1, 1));
+        let got = b
+            .recv_timeout(Duration::from_secs(2))
+            .expect("must deliver after latency");
+        assert_eq!(got.handler, HandlerId(1));
+        // One ingest finds the message, then one sleep carries the wait all
+        // the way to maturity. The old 500µs-clamped loop needed ~120 wakeups
+        // to cross 60ms; allow a small margin for spurious early wakeups.
+        assert!(
+            b.wakeup_count() <= 5,
+            "busy-spin: {} wakeups to cross a 60ms latency",
+            b.wakeup_count()
+        );
+    }
+
+    #[test]
+    fn empty_wait_blocks_instead_of_polling() {
+        let mut eps = LocalFabric::new(2);
+        let b = DelayTransport::new(eps.pop().unwrap(), Duration::from_millis(5));
+        let _a = eps.remove(0);
+        // No traffic at all: the whole timeout should be one blocking wait on
+        // the inner transport, not a tick loop.
+        assert!(b.recv_timeout(Duration::from_millis(80)).is_none());
+        assert!(
+            b.wakeup_count() <= 3,
+            "busy-spin: {} wakeups across an idle 80ms wait",
+            b.wakeup_count()
+        );
     }
 
     #[test]

@@ -25,25 +25,34 @@
 //!   messages.
 //! * [`delay`] — a latency-injecting transport decorator for tests that need
 //!   wide-area message races.
+//! * [`chaos`] — a seeded fault-injecting transport decorator: deterministic
+//!   drop / duplicate / reorder / delay plus runtime rank-pair partitions.
+//! * [`reliable`] — an opt-in ack/retry/backoff reliable-delivery decorator
+//!   (sequence-deduped, per-pair FIFO) that restores the MPI-grade wire
+//!   contract above an adversarial transport.
 //! * [`fxmap`] — Fx-hashed map aliases for runtime-internal keys (fast,
 //!   deterministic, not DoS-resistant).
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod collective;
 pub mod comm;
 pub mod delay;
 pub mod envelope;
 pub mod fxmap;
 pub mod handler;
+pub mod reliable;
 pub mod transport;
 pub mod wire;
 
+pub use chaos::{ChaosConfig, ChaosHandle, ChaosStats, ChaosTransport};
 pub use collective::Collectives;
 pub use comm::{CommStats, Communicator};
 pub use delay::DelayTransport;
 pub use envelope::{Envelope, HandlerId, Rank, Tag};
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use handler::{Handler, HandlerTable};
+pub use reliable::{ReliableStats, ReliableTransport, RetryConfig};
 pub use transport::{LocalEndpoint, LocalFabric, Transport};
 pub use wire::{WireReader, WireWriter};

@@ -29,6 +29,9 @@
 
 use crate::envelope::{Envelope, Rank};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use prema_trace::{TraceEvent, Tracer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A node's connection to the machine.
@@ -55,6 +58,25 @@ pub struct LocalEndpoint {
     /// This rank's single shared inbox: every peer sends into it, so receive
     /// cost is independent of machine size.
     inbox: Receiver<Envelope>,
+    /// Fabric-wide count of sends into an already-torn-down inbox. Shared by
+    /// every endpoint so a teardown race anywhere in the machine is visible
+    /// from any surviving rank.
+    undeliverable: Arc<AtomicU64>,
+    /// Emits [`TraceEvent::DcsDropped`] for undeliverable sends.
+    tracer: Tracer,
+}
+
+impl LocalEndpoint {
+    /// Attach a tracer so undeliverable sends show up in the event stream.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Fabric-wide number of envelopes that could not be delivered because
+    /// the destination inbox had already been dropped.
+    pub fn undeliverable_count(&self) -> u64 {
+        self.undeliverable.load(Ordering::SeqCst)
+    }
 }
 
 impl Transport for LocalEndpoint {
@@ -69,9 +91,16 @@ impl Transport for LocalEndpoint {
     fn send(&self, env: Envelope) {
         let dst = env.dst;
         assert!(dst < self.peers.len(), "send to nonexistent rank {dst}");
-        // Unbounded channel: send never blocks and cannot fail unless the
-        // receiver was dropped, which only happens at teardown.
-        let _ = self.peers[dst].send(env);
+        // Unbounded channel: send never blocks; it fails only when the
+        // destination inbox receiver was already dropped (a teardown race).
+        // That loss must not be silent — count it and trace it so a vanished
+        // message is diagnosable instead of a mystery hang.
+        if let Err(e) = self.peers[dst].send(env) {
+            self.undeliverable.fetch_add(1, Ordering::SeqCst);
+            let handler = e.0.handler.0;
+            self.tracer
+                .emit(|| TraceEvent::DcsDropped { peer: dst, handler });
+        }
     }
 
     fn try_recv(&self) -> Option<Envelope> {
@@ -103,12 +132,15 @@ impl LocalFabric {
         // construction.
         let (txs, rxs): (Vec<Sender<Envelope>>, Vec<Receiver<Envelope>>) =
             (0..n).map(|_| unbounded()).unzip();
+        let undeliverable = Arc::new(AtomicU64::new(0));
         rxs.into_iter()
             .enumerate()
             .map(|(rank, inbox)| LocalEndpoint {
                 rank,
                 peers: txs.clone(),
                 inbox,
+                undeliverable: Arc::clone(&undeliverable),
+                tracer: Tracer::off(),
             })
             .collect()
     }
@@ -224,6 +256,44 @@ mod tests {
             seen_src.contains(&0) && seen_src.contains(&1),
             "{seen_src:?}"
         );
+    }
+
+    #[test]
+    fn send_to_torn_down_rank_is_counted_not_silent() {
+        let mut eps = LocalFabric::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert_eq!(a.undeliverable_count(), 0);
+        // Rank 1 tears down (its inbox receiver drops) while rank 0 still
+        // holds a sender — the shutdown race the runtime hits when a worker
+        // finishes before a straggler's last messages drain.
+        drop(b);
+        a.send(env(0, 1, 3));
+        a.send(env(0, 1, 4));
+        assert_eq!(a.undeliverable_count(), 2);
+        // Deliverable traffic (self-send) is unaffected and not counted.
+        a.send(env(0, 0, 5));
+        assert_eq!(a.try_recv().unwrap().handler, HandlerId(5));
+        assert_eq!(a.undeliverable_count(), 2);
+    }
+
+    #[test]
+    fn undeliverable_send_emits_dropped_event() {
+        use prema_trace::TraceSink;
+        let sink = std::sync::Arc::new(TraceSink::new(2));
+        let mut eps = LocalFabric::new(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.set_tracer(sink.tracer(0));
+        drop(b);
+        a.send(env(0, 1, 9));
+        let recs = sink.drain();
+        // With tracing compiled out the emit is a no-op; the counter is the
+        // always-on signal (asserted above), the event is best-effort.
+        if !recs.is_empty() {
+            assert_eq!(recs[0].ev.name(), "dcs_dropped");
+        }
+        assert_eq!(a.undeliverable_count(), 1);
     }
 
     #[test]

@@ -85,6 +85,51 @@ impl WireReader {
         self.buf.split_to(len)
     }
 
+    /// Read a `u64`, returning `None` on underflow instead of panicking.
+    ///
+    /// Use this (and the other `try_*` readers) when decoding payloads that
+    /// arrived off the wire: a truncated or hostile message must be droppable
+    /// without aborting the rank.
+    pub fn try_u64(&mut self) -> Option<u64> {
+        if self.buf.remaining() < 8 {
+            return None;
+        }
+        Some(self.buf.get_u64_le())
+    }
+
+    /// Read a `u32`, returning `None` on underflow instead of panicking.
+    pub fn try_u32(&mut self) -> Option<u32> {
+        if self.buf.remaining() < 4 {
+            return None;
+        }
+        Some(self.buf.get_u32_le())
+    }
+
+    /// Read an `f64`, returning `None` on underflow instead of panicking.
+    pub fn try_f64(&mut self) -> Option<f64> {
+        if self.buf.remaining() < 8 {
+            return None;
+        }
+        Some(self.buf.get_f64_le())
+    }
+
+    /// Read a length-prefixed byte string, returning `None` on underflow
+    /// (including a length prefix that exceeds the remaining payload).
+    pub fn try_bytes(&mut self) -> Option<Bytes> {
+        let len = self.try_u32()? as usize;
+        if self.buf.remaining() < len {
+            return None;
+        }
+        Some(self.buf.split_to(len))
+    }
+
+    /// Read a `u64` and narrow it to `usize`, returning `None` on underflow
+    /// or if the value does not fit (a corrupt count on a 32-bit target must
+    /// not truncate silently).
+    pub fn try_usize(&mut self) -> Option<usize> {
+        usize::try_from(self.try_u64()?).ok()
+    }
+
     /// Bytes left unread.
     pub fn remaining(&self) -> usize {
         self.buf.remaining()
@@ -125,5 +170,34 @@ mod tests {
     fn underflow_panics() {
         let mut r = WireReader::new(Bytes::from_static(&[1, 2]));
         let _ = r.u64();
+    }
+
+    #[test]
+    fn try_readers_return_none_on_underflow() {
+        let mut r = WireReader::new(Bytes::from_static(&[1, 2]));
+        assert_eq!(r.try_u64(), None);
+        assert_eq!(r.try_f64(), None);
+        assert_eq!(r.try_usize(), None);
+        // The two bytes are still there: underflow must not consume.
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.try_u32(), None);
+    }
+
+    #[test]
+    fn try_bytes_rejects_oversized_length_prefix() {
+        // Length prefix says 100 bytes but only 2 follow.
+        let payload = WireWriter::new().u32(100).u32(0).finish();
+        let mut r = WireReader::new(payload);
+        assert_eq!(r.try_bytes(), None);
+    }
+
+    #[test]
+    fn try_readers_roundtrip() {
+        let payload = WireWriter::new().u64(9).f64(2.5).bytes(b"xy").finish();
+        let mut r = WireReader::new(payload);
+        assert_eq!(r.try_usize(), Some(9));
+        assert_eq!(r.try_f64(), Some(2.5));
+        assert_eq!(r.try_bytes().as_deref(), Some(&b"xy"[..]));
+        assert_eq!(r.try_u64(), None);
     }
 }

@@ -107,6 +107,16 @@ pub struct SchedStats {
     pub granted: u64,
     /// Status updates sent.
     pub status_sent: u64,
+    /// Work items dropped because no handler was registered for their id
+    /// (malformed or hostile remote message; dropping beats aborting the
+    /// rank).
+    pub dropped_work: u64,
+    /// Node messages dropped: unregistered handler id or undecodable
+    /// load-balancer payload.
+    pub dropped_node_msgs: u64,
+    /// Begging rounds abandoned because the victim never answered (lost
+    /// request or lost grant); the round re-issues to another victim.
+    pub request_timeouts: u64,
 }
 
 /// A rank-targeted message handler.
@@ -121,6 +131,12 @@ pub struct Scheduler<O: Migratable> {
     known: LoadMap,
     /// Victim of the outstanding work request, if any.
     outstanding: Option<Rank>,
+    /// Polls elapsed since the outstanding request was sent.
+    outstanding_polls: u64,
+    /// Polls to wait for an answer (grant or NACK) before declaring the
+    /// request lost and re-issuing. See
+    /// [`Scheduler::set_request_timeout_polls`].
+    request_timeout_polls: u64,
     /// Consecutive refusals in the current begging round.
     attempt: u32,
     /// Object currently detached for execution, if any.
@@ -146,6 +162,8 @@ impl<O: Migratable> Scheduler<O> {
             policy,
             known: LoadMap::default(),
             outstanding: None,
+            outstanding_polls: 0,
+            request_timeout_polls: 256,
             attempt: 0,
             executing: None,
             executing_weight: 0.0,
@@ -167,6 +185,15 @@ impl<O: Migratable> Scheduler<O> {
     /// Disable load balancing entirely (the "no load balancing" baseline).
     pub fn set_lb_enabled(&mut self, enabled: bool) {
         self.lb_enabled = enabled;
+    }
+
+    /// How many polls a begging request may stay unanswered before the round
+    /// declares it lost, forgets the victim's stale load snapshot, and
+    /// re-issues to the next candidate. On a reliable wire the default never
+    /// fires; under chaos it is the liveness backstop for a lost GRANT.
+    pub fn set_request_timeout_polls(&mut self, polls: u64) {
+        assert!(polls > 0, "request timeout must be at least one poll");
+        self.request_timeout_polls = polls;
     }
 
     /// This rank.
@@ -282,17 +309,24 @@ impl<O: Migratable> Scheduler<O> {
         );
         loop {
             let item = self.node.pop_work()?;
+            // Resolve the handler before detaching the object: a work item
+            // for an unregistered handler id (one malformed or hostile
+            // remote message) must be droppable without aborting the rank —
+            // and without leaving its object detached.
+            let Some(handler) = self.handlers.get(&item.handler).cloned() else {
+                self.stats.dropped_work += 1;
+                let peer = item.sender;
+                let handler = item.handler;
+                self.tracer
+                    .emit(|| TraceEvent::DcsDropped { peer, handler });
+                continue;
+            };
             let Some(obj) = self.node.take_object(item.ptr) else {
                 // The object is resident but detached — impossible here since
                 // we are the only executor. Treat defensively as a skip.
                 debug_assert!(false, "popped work for a detached object");
                 continue;
             };
-            let handler = self
-                .handlers
-                .get(&item.handler)
-                .unwrap_or_else(|| panic!("no work handler registered for id {}", item.handler))
-                .clone();
             self.executing = Some(item.ptr);
             self.executing_weight = item.hint;
             self.tracer.emit(|| TraceEvent::ExecBegin {
@@ -354,12 +388,13 @@ impl<O: Migratable> Scheduler<O> {
         let in_flight = self.executing.is_some() as u64;
         assert_eq!(
             delivered,
-            self.stats.executed + in_flight,
+            self.stats.executed + in_flight + self.stats.dropped_work,
             "scheduler conservation oracle: MOL delivered {} work units but \
-             {} executed + {} in flight",
+             {} executed + {} in flight + {} dropped (unroutable)",
             delivered,
             self.stats.executed,
-            in_flight
+            in_flight,
+            self.stats.dropped_work
         );
     }
 
@@ -403,10 +438,9 @@ impl<O: Migratable> Scheduler<O> {
                 ..
             } => match handler {
                 LB_STATUS => {
-                    let mut r = WireReader::new(payload);
-                    let snap = LoadSnapshot {
-                        units: r.u64() as usize,
-                        weight: r.f64(),
+                    let Some(snap) = Self::decode_snapshot(payload) else {
+                        self.drop_node_msg(src, handler);
+                        return;
                     };
                     self.known.insert(src, snap);
                     // Begging liveness: a rank that exhausted its attempt
@@ -418,10 +452,9 @@ impl<O: Migratable> Scheduler<O> {
                     }
                 }
                 LB_REQUEST => {
-                    let mut r = WireReader::new(payload);
-                    let requester = LoadSnapshot {
-                        units: r.u64() as usize,
-                        weight: r.f64(),
+                    let Some(requester) = Self::decode_snapshot(payload) else {
+                        self.drop_node_msg(src, handler);
+                        return;
                     };
                     self.tracer.emit(|| TraceEvent::LbRequestRecv { src });
                     self.handle_request(src, requester);
@@ -449,7 +482,9 @@ impl<O: Migratable> Scheduler<O> {
                         h(&mut ctx, src, payload);
                         self.apply_outgoing(ctx.outgoing);
                     } else {
-                        panic!("no node handler registered for id {id}");
+                        // An unregistered handler id is one bad remote
+                        // message; dropping it beats aborting the rank.
+                        self.drop_node_msg(src, id);
                     }
                 }
             },
@@ -462,6 +497,26 @@ impl<O: Migratable> Scheduler<O> {
                 unreachable!("pump()/poll_system() never emit Object events")
             }
         }
+    }
+
+    /// Decode a load snapshot off the wire, refusing truncated payloads and
+    /// unit counts that do not fit in `usize` (checked narrowing — a corrupt
+    /// count must not truncate silently on 32-bit targets).
+    fn decode_snapshot(payload: Bytes) -> Option<LoadSnapshot> {
+        let mut r = WireReader::new(payload);
+        let units = r.try_usize()?;
+        let weight = r.try_f64()?;
+        if !weight.is_finite() || weight < 0.0 {
+            return None;
+        }
+        Some(LoadSnapshot { units, weight })
+    }
+
+    /// Count and trace an unroutable or undecodable node message.
+    fn drop_node_msg(&mut self, src: Rank, handler: u32) {
+        self.stats.dropped_node_msgs += 1;
+        self.tracer
+            .emit(|| TraceEvent::DcsDropped { peer: src, handler });
     }
 
     /// Answer a work request: migrate objects (with their queued messages)
@@ -555,6 +610,31 @@ impl<O: Migratable> Scheduler<O> {
             }
         }
 
+        // Outstanding-request watchdog: on a reliable wire every request is
+        // answered with a grant or a NACK, but a lossy wire can eat either —
+        // and a starving rank that waits forever on a lost GRANT is wedged.
+        // After `request_timeout_polls` unanswered polls, declare the request
+        // lost: forget the victim's (evidently stale) load snapshot so the
+        // next round falls back to the next-most-loaded candidate, and burn
+        // an attempt. A spuriously-timed-out round is harmless — a late NACK
+        // is ignored as stale, and a late grant just delivers extra work.
+        if let Some(victim) = self.outstanding {
+            self.outstanding_polls += 1;
+            if self.outstanding_polls >= self.request_timeout_polls {
+                self.stats.request_timeouts += 1;
+                let attempt = self.attempt;
+                self.tracer.emit(|| TraceEvent::DcsRetry {
+                    peer: victim,
+                    seq: 0,
+                    attempt,
+                });
+                self.known.remove(&victim);
+                self.outstanding = None;
+                self.outstanding_polls = 0;
+                self.attempt += 1;
+            }
+        }
+
         // Receiver-initiated begging.
         if self.outstanding.is_none()
             && self.policy.is_underloaded(&local)
@@ -570,6 +650,7 @@ impl<O: Migratable> Scheduler<O> {
                     .emit(|| TraceEvent::LbRequest { victim, attempt });
                 self.node.node_message(victim, LB_REQUEST, Tag::System, req);
                 self.outstanding = Some(victim);
+                self.outstanding_polls = 0;
                 self.stats.requests_sent += 1;
             }
         }

@@ -83,6 +83,13 @@ pub struct MolStats {
     pub locupd_sent: u64,
     /// Messages buffered out-of-order (sequence gap) at arrival.
     pub reordered: u64,
+    /// Duplicate object messages dropped (sequence number already consumed).
+    /// Always zero on a reliable wire.
+    pub duplicates: u64,
+    /// Migration packets dropped because their epoch was not newer than what
+    /// this rank already knew (a replayed or duplicated packet). Always zero
+    /// on a reliable wire.
+    pub stale_installs: u64,
 }
 
 /// What [`MolNode::poll`] hands to the layer above.
@@ -481,8 +488,16 @@ impl<O: Migratable> MolNode<O> {
                     .insert(env.seq, env);
             }
             Less => {
-                // Duplicate (cannot happen with a reliable transport); drop.
-                debug_assert!(false, "duplicate sequence number {}", env.seq);
+                // Duplicate: this sequence number was already consumed. On a
+                // reliable wire this cannot happen; under an unreliable one
+                // (chaos without the reliable shim) dropping it is exactly
+                // the idempotency the sequence numbers exist to provide.
+                self.stats.duplicates += 1;
+                let peer = env.sender;
+                self.tracer.emit(|| TraceEvent::DcsDuplicate {
+                    peer,
+                    handler: env.handler,
+                });
             }
         }
     }
@@ -560,27 +575,39 @@ impl<O: Migratable> MolNode<O> {
         true
     }
 
-    fn install(&mut self, from: Rank, packet: MigratePacket) -> MolEvent {
+    fn install(&mut self, from: Rank, packet: MigratePacket) -> Option<MolEvent> {
         let ptr = packet.ptr;
+        // Replay guard: every genuine migration carries a strictly newer
+        // epoch, so a packet whose epoch is not beyond everything this rank
+        // knows about the object is a duplicate or a stale retransmission.
+        // Installing it would resurrect an object that already moved on (or
+        // double-install one that is resident) — drop it before the oracle,
+        // whose history model assumes only genuine installs.
+        let prior_epoch = self.directory.get(&ptr).and_then(|d| {
+            d.forward
+                .map(|(_, e)| e)
+                .into_iter()
+                .chain(d.location.map(|(_, e)| e))
+                .chain(d.entry.as_ref().map(|e| e.epoch))
+                .max()
+        });
+        if prior_epoch.is_some_and(|prior| packet.epoch <= prior) {
+            self.stats.stale_installs += 1;
+            self.tracer.emit(|| TraceEvent::DcsDuplicate {
+                peer: from,
+                handler: H_MOL_MIGRATE.0,
+            });
+            return None;
+        }
         let obj = O::unpack(&packet.object);
         #[cfg(feature = "check-invariants")]
-        {
-            let prior_epoch = self.directory.get(&ptr).and_then(|d| {
-                d.forward
-                    .map(|(_, e)| e)
-                    .into_iter()
-                    .chain(d.location.map(|(_, e)| e))
-                    .chain(d.entry.as_ref().map(|e| e.epoch))
-                    .max()
-            });
-            self.oracle.on_install(
-                ptr,
-                packet.epoch,
-                prior_epoch,
-                &packet.expected,
-                &packet.pending,
-            );
-        }
+        self.oracle.on_install(
+            ptr,
+            packet.epoch,
+            prior_epoch,
+            &packet.expected,
+            &packet.pending,
+        );
         let d = self.directory.entry(ptr).or_default();
         // If this object once lived here and left, the stale forward pointer
         // must die: it is local again.
@@ -636,7 +663,7 @@ impl<O: Migratable> MolNode<O> {
             index: ptr.index,
             from,
         });
-        MolEvent::Installed { ptr, from }
+        Some(MolEvent::Installed { ptr, from })
     }
 
     // ---- polling ---------------------------------------------------------
@@ -696,7 +723,9 @@ impl<O: Migratable> MolNode<O> {
             }
             h if h == H_MOL_MIGRATE => {
                 let packet = MigratePacket::decode(env.payload);
-                events.push(self.install(env.src, packet));
+                if let Some(ev) = self.install(env.src, packet) {
+                    events.push(ev);
+                }
             }
             h if h == H_MOL_LOCUPD => {
                 let upd = LocUpdate::decode(env.payload);

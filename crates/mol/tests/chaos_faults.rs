@@ -1,0 +1,165 @@
+//! MOL under an unreliable wire: duplicated migration packets must install
+//! exactly once, duplicated messages must execute exactly once, and a lost
+//! location update must degrade to forwarding — never to lost delivery.
+
+use bytes::Bytes;
+use prema_dcs::{ChaosConfig, ChaosHandle, ChaosTransport, Communicator, LocalFabric};
+use prema_mol::{MobilePtr, MolEvent, MolNode};
+
+#[derive(Debug, PartialEq)]
+struct Counter {
+    id: u64,
+    value: i64,
+}
+
+impl prema_mol::Migratable for Counter {
+    fn pack(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.id.to_le_bytes());
+        buf.extend_from_slice(&self.value.to_le_bytes());
+    }
+    fn unpack(buf: &[u8]) -> Self {
+        Counter {
+            id: u64::from_le_bytes(buf[..8].try_into().unwrap()),
+            value: i64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        }
+    }
+}
+
+const H_ADD: u32 = 1;
+
+/// An N-rank machine whose wire is wrapped in [`ChaosTransport`]s sharing
+/// one [`ChaosHandle`].
+fn chaos_machine(n: usize, cfg: ChaosConfig) -> (Vec<MolNode<Counter>>, ChaosHandle) {
+    let handle = ChaosHandle::new();
+    let nodes = LocalFabric::new(n)
+        .into_iter()
+        .map(|ep| {
+            let chaos = ChaosTransport::new(ep, cfg, handle.clone());
+            MolNode::new(Communicator::new(Box::new(chaos)))
+        })
+        .collect();
+    (nodes, handle)
+}
+
+/// Pump every node until a full quiet round; returns (rank, ptr, handler,
+/// payload) for every delivered object message.
+fn pump(nodes: &mut [MolNode<Counter>]) -> Vec<(usize, MobilePtr, u32, Bytes)> {
+    let mut out = Vec::new();
+    loop {
+        let mut quiet = true;
+        for (rank, node) in nodes.iter_mut().enumerate() {
+            for ev in node.poll() {
+                quiet = false;
+                if let MolEvent::Object {
+                    ptr,
+                    handler,
+                    payload,
+                    ..
+                } = ev
+                {
+                    out.push((rank, ptr, handler, payload));
+                }
+            }
+        }
+        if quiet {
+            break;
+        }
+    }
+    out
+}
+
+fn apply_add(node: &mut MolNode<Counter>, ptr: MobilePtr, payload: &Bytes) {
+    let delta = i64::from_le_bytes(payload[..8].try_into().unwrap());
+    node.with_object(ptr, |_, obj| obj.value += delta).unwrap();
+}
+
+#[test]
+fn duplicated_wire_is_idempotent() {
+    // dup_p = 1.0: every envelope is delivered twice. Message sequence
+    // numbers must discard the replays, and the migration epoch guard must
+    // discard the second MigratePacket instead of double-installing.
+    let cfg = ChaosConfig {
+        dup_p: 1.0,
+        ..ChaosConfig::quiet(11)
+    };
+    let (mut nodes, _handle) = chaos_machine(2, cfg);
+    let ptr = nodes[0].register(Counter { id: 3, value: 0 });
+
+    // Two remote messages, each doubled on the wire: applied exactly once.
+    for delta in [5i64, 7] {
+        nodes[1].message(ptr, H_ADD, Bytes::copy_from_slice(&delta.to_le_bytes()));
+    }
+    let evs = pump(&mut nodes);
+    assert_eq!(evs.len(), 2, "duplicates leaked through: {evs:?}");
+    for (rank, p, _h, payload) in &evs {
+        apply_add(&mut nodes[*rank], *p, payload);
+    }
+    assert_eq!(nodes[0].get(ptr).unwrap().value, 12);
+    assert_eq!(nodes[0].stats().duplicates, 2);
+
+    // Migrate under the same wire: the doubled MigratePacket must install
+    // once and count the replay as stale, not clone the object.
+    assert!(nodes[0].migrate(ptr, 1));
+    let _ = pump(&mut nodes);
+    assert!(nodes[1].is_local(ptr));
+    assert_eq!(nodes[1].get(ptr).unwrap().value, 12);
+    assert_eq!(nodes[1].stats().migrations_in, 1);
+    assert_eq!(nodes[1].stats().stale_installs, 1);
+
+    // Post-migration delivery still exactly-once.
+    nodes[0].message(ptr, H_ADD, Bytes::copy_from_slice(&1i64.to_le_bytes()));
+    let evs = pump(&mut nodes);
+    assert_eq!(evs.len(), 1);
+    assert_eq!(evs[0].0, 1);
+    nodes[0].verify_conservation();
+    nodes[1].verify_conservation();
+}
+
+#[test]
+fn lost_location_update_degrades_to_forwarding() {
+    // The lazy location update taught to a sender after a forward hop is an
+    // optimization, not a correctness dependency: when the wire eats it, the
+    // sender keeps routing via the home rank's forwarding pointer and every
+    // message still arrives, in order.
+    let (mut nodes, handle) = chaos_machine(3, ChaosConfig::quiet(13));
+    let ptr = nodes[0].register(Counter { id: 1, value: 0 });
+    assert!(nodes[0].migrate(ptr, 2));
+    let _ = pump(&mut nodes); // install on 2, home learns the new location
+
+    // Rank 1 (which knows nothing) sends via home; rank 0 forwards to 2 and
+    // mails rank 1 a location update — which we then eat with a partition
+    // before rank 1 drains it.
+    nodes[1].message(ptr, H_ADD, Bytes::copy_from_slice(&4i64.to_le_bytes()));
+    let _ = nodes[0].poll(); // forward hop + LocUpdate now in rank 1's inbox
+    handle.partition(0, 1);
+    let _ = nodes[1].poll(); // admission drops the in-flight LocUpdate
+    assert_eq!(
+        handle.stats().partitioned,
+        1,
+        "expected exactly the LocUpdate to be eaten"
+    );
+    handle.heal_all();
+
+    // The first message was already past the partition: it arrives.
+    let evs = pump(&mut nodes);
+    assert_eq!(evs.len(), 1);
+    assert_eq!(evs[0].0, 2, "delivered at the object's actual rank");
+    apply_add(&mut nodes[2], ptr, &evs[0].3);
+
+    // Rank 1 never learned the location, so the next message takes the
+    // forwarding chain again — and must still arrive.
+    nodes[1].message(ptr, H_ADD, Bytes::copy_from_slice(&2i64.to_le_bytes()));
+    let evs = pump(&mut nodes);
+    assert_eq!(evs.len(), 1);
+    assert_eq!(evs[0].0, 2);
+    apply_add(&mut nodes[2], ptr, &evs[0].3);
+    assert_eq!(nodes[2].get(ptr).unwrap().value, 6);
+    assert_eq!(
+        nodes[0].stats().forwarded,
+        2,
+        "second send should have ridden the forwarding chain"
+    );
+    for n in &nodes {
+        n.verify_conservation();
+    }
+}

@@ -160,6 +160,35 @@ pub enum TraceEvent {
         /// and was ignored rather than cancelling the current round.
         stale: bool,
     },
+    /// A message was dropped rather than delivered. Emitted by any layer
+    /// that discards traffic: the chaos transport (injected loss or a
+    /// partitioned pair), a send into a torn-down rank's inbox, or a
+    /// scheduler that received a message it cannot route (unregistered
+    /// handler id, malformed payload).
+    DcsDropped {
+        /// The other end of the dropped message (destination when dropped
+        /// on send, source when dropped on receive).
+        peer: usize,
+        /// Raw handler id of the dropped envelope.
+        handler: u32,
+    },
+    /// The reliable-delivery layer retransmitted an unacknowledged frame.
+    DcsRetry {
+        /// Destination rank of the retransmission.
+        peer: usize,
+        /// Sequence number of the retransmitted frame.
+        seq: u64,
+        /// Retry attempt for this backoff round (1 = first retransmit).
+        attempt: u32,
+    },
+    /// A duplicate message was suppressed (reliable-layer sequence dedup)
+    /// or observed (MOL sequence replay); the duplicate was not delivered.
+    DcsDuplicate {
+        /// Source rank of the duplicate.
+        peer: usize,
+        /// Raw handler id of the duplicate envelope.
+        handler: u32,
+    },
     /// The simulator charged `dur` nanoseconds of simulated time to cost
     /// category `cat` (`prema_sim::Category as usize`).
     Span {
@@ -192,6 +221,9 @@ impl TraceEvent {
             TraceEvent::LbGrantRecv { .. } => "lb_grant_recv",
             TraceEvent::LbNackSent { .. } => "lb_nack_sent",
             TraceEvent::LbNackRecv { .. } => "lb_nack_recv",
+            TraceEvent::DcsDropped { .. } => "dcs_dropped",
+            TraceEvent::DcsRetry { .. } => "dcs_retry",
+            TraceEvent::DcsDuplicate { .. } => "dcs_duplicate",
             TraceEvent::Span { .. } => "span",
             TraceEvent::ProcFinish => "proc_finish",
         }
@@ -276,6 +308,19 @@ impl TraceEvent {
             }
             TraceEvent::LbNackRecv { src, stale } => {
                 let _ = write!(out, ",\"src\":{src},\"stale\":{stale}");
+            }
+            TraceEvent::DcsDropped { peer, handler }
+            | TraceEvent::DcsDuplicate { peer, handler } => {
+                let _ = write!(out, ",\"peer\":{peer},\"handler\":{handler}");
+            }
+            TraceEvent::DcsRetry { peer, seq, attempt } => {
+                // `seq` is already the record-level sequence key; the frame's
+                // own sequence number serializes as `frame` to keep the flat
+                // JSON object free of duplicate keys.
+                let _ = write!(
+                    out,
+                    ",\"peer\":{peer},\"frame\":{seq},\"attempt\":{attempt}"
+                );
             }
             TraceEvent::Span { cat, dur } => {
                 let _ = write!(out, ",\"cat\":{cat},\"dur\":{dur}");
@@ -621,6 +666,50 @@ mod tests {
         assert_eq!(
             fin.to_jsonl(),
             "{\"rank\":0,\"seq\":0,\"t\":9,\"ev\":\"proc_finish\"}"
+        );
+    }
+
+    #[test]
+    fn chaos_events_serialize_flat() {
+        let drop = Record {
+            rank: 2,
+            seq: 0,
+            t: 7,
+            ev: TraceEvent::DcsDropped {
+                peer: 5,
+                handler: 9,
+            },
+        };
+        assert_eq!(
+            drop.to_jsonl(),
+            "{\"rank\":2,\"seq\":0,\"t\":7,\"ev\":\"dcs_dropped\",\"peer\":5,\"handler\":9}"
+        );
+        let retry = Record {
+            rank: 1,
+            seq: 1,
+            t: 8,
+            ev: TraceEvent::DcsRetry {
+                peer: 3,
+                seq: 42,
+                attempt: 2,
+            },
+        };
+        assert_eq!(
+            retry.to_jsonl(),
+            "{\"rank\":1,\"seq\":1,\"t\":8,\"ev\":\"dcs_retry\",\"peer\":3,\"frame\":42,\"attempt\":2}"
+        );
+        let dup = Record {
+            rank: 0,
+            seq: 2,
+            t: 9,
+            ev: TraceEvent::DcsDuplicate {
+                peer: 4,
+                handler: 1,
+            },
+        };
+        assert_eq!(
+            dup.to_jsonl(),
+            "{\"rank\":0,\"seq\":2,\"t\":9,\"ev\":\"dcs_duplicate\",\"peer\":4,\"handler\":1}"
         );
     }
 
