@@ -13,7 +13,9 @@
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
 use crossbeam::channel::{unbounded, Receiver, Select, Sender};
-use prema_dcs::{Communicator, Envelope, HandlerId, LocalFabric, Rank, Tag, Transport};
+use prema_dcs::{
+    pool, BatchConfig, Communicator, Envelope, HandlerId, LocalFabric, Rank, Tag, Transport,
+};
 use prema_mol::{Migratable, MolConfig, MolEvent, MolNode};
 use std::hint::black_box;
 use std::time::Duration;
@@ -180,6 +182,111 @@ fn bench_p2p_throughput(c: &mut Criterion) {
             run_p2p(tx, &rx);
         })
     });
+    // Same logical traffic, but through a pair of Communicators with
+    // coalescing on: the sender stages and flushes frames, the receiver's
+    // burst drain pulls a whole frame per channel op. The acceptance bar for
+    // the batching layer is this bench beating `p2p_shared` by ≥ 1.5×.
+    group.bench_function(format!("p2p_batched_2ranks_{P2P_MSGS}msgs"), |b| {
+        b.iter(|| {
+            let mut eps = LocalFabric::new(2);
+            let rx_ep = eps.pop().expect("fabric returns one endpoint per rank");
+            let tx_ep = eps.pop().expect("fabric returns one endpoint per rank");
+            let sender = std::thread::spawn(move || {
+                let mut comm = Communicator::new(Box::new(tx_ep));
+                comm.set_batch_config(BatchConfig::on(64, 8 * 1024));
+                for i in 0..P2P_MSGS {
+                    comm.am_send(1, HandlerId(i as u32), Tag::App, Bytes::new());
+                }
+                comm.flush();
+            });
+            let rx = Communicator::new(Box::new(rx_ep));
+            let mut got = 0;
+            while got < P2P_MSGS {
+                if rx.recv_timeout(Duration::from_secs(5)).is_some() {
+                    got += 1;
+                }
+            }
+            sender.join().expect("sender thread panicked");
+        })
+    });
+    group.finish();
+}
+
+/// One rank broadcasting small messages to 7 peers — the per-destination
+/// staging case (load-balancer status fan-out, §4.1 traffic shape). Batched
+/// and unbatched variants share the same logical traffic.
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate-fastpath");
+    group.sample_size(10);
+    const RANKS: usize = 8;
+    const ROUNDS: usize = 2_000;
+
+    let mut run = |name: &str, batch: BatchConfig| {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut eps = LocalFabric::new(RANKS);
+                let peers: Vec<Communicator> = eps
+                    .split_off(1)
+                    .into_iter()
+                    .map(|ep| Communicator::new(Box::new(ep)))
+                    .collect();
+                let mut root = Communicator::new(Box::new(
+                    eps.pop().expect("fabric returns one endpoint per rank"),
+                ));
+                root.set_batch_config(batch);
+                for i in 0..ROUNDS {
+                    for dst in 1..RANKS {
+                        root.am_send(dst, HandlerId(i as u32), Tag::App, Bytes::new());
+                    }
+                }
+                root.flush();
+                let mut got = 0;
+                for peer in &peers {
+                    while peer.try_recv().is_some() {
+                        got += 1;
+                    }
+                }
+                assert_eq!(got, ROUNDS * (RANKS - 1));
+                black_box(got)
+            })
+        });
+    };
+    run(
+        &format!("fanout_{RANKS}ranks_broadcast"),
+        BatchConfig::off(),
+    );
+    run(
+        &format!("fanout_{RANKS}ranks_broadcast_batched"),
+        BatchConfig::on(64, 8 * 1024),
+    );
+    group.finish();
+}
+
+/// The pool's steady-state loop: take a buffer, fill it, freeze, recycle. One
+/// iteration = 10k cycles; after warm-up every take should hit the freelist
+/// (the hit rate is asserted, not just timed).
+fn bench_pool_hit_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate-fastpath");
+    const CYCLES: usize = 10_000;
+    // Warm the freelist so the measured loop is the steady state.
+    pool::recycle(pool::take(256).freeze());
+    pool::reset_stats();
+    group.bench_function(format!("pool_take_recycle_256B_x{}k", CYCLES / 1000), |b| {
+        b.iter(|| {
+            for i in 0..CYCLES {
+                use bytes::BufMut;
+                let mut buf = pool::take(256);
+                buf.put_slice(&(i as u64).to_le_bytes());
+                black_box(&buf);
+                pool::recycle(buf.freeze());
+            }
+        })
+    });
+    let stats = pool::stats();
+    assert!(
+        stats.hits > stats.misses * 100,
+        "steady-state pool loop must run ~all-hits: {stats:?}"
+    );
     group.finish();
 }
 
@@ -258,6 +365,8 @@ criterion_group!(
     benches,
     bench_empty_poll,
     bench_p2p_throughput,
+    bench_fanout,
+    bench_pool_hit_rate,
     bench_forwarding_chain,
     bench_migrate_cost
 );

@@ -270,11 +270,22 @@ where
     let stop = Arc::new(StopFlag::new());
     let main = Arc::new(main);
 
+    // Message coalescing: the environment knobs (when set) win over the
+    // config field, so any binary can be batched without a rebuild.
+    let env_batch = prema_dcs::BatchConfig::from_env();
+    let batch = if env_batch.is_on() {
+        env_batch
+    } else {
+        cfg.batch
+    };
+
     let mut app_threads = Vec::with_capacity(cfg.nprocs);
     let mut poll_threads = Vec::new();
 
     for (rank, transport) in transports.into_iter().enumerate() {
-        let node: MolNode<O> = MolNode::new(Communicator::new(transport));
+        let mut comm = Communicator::new(transport);
+        comm.set_batch_config(batch);
+        let node: MolNode<O> = MolNode::new(comm);
         let policy = cfg.policy.build(cfg.seed.wrapping_add(rank as u64));
         let mut sched = ilb::Scheduler::new(node, policy);
         if cfg.mode == LbMode::Disabled {

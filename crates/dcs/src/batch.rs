@@ -1,0 +1,283 @@
+//! Per-destination message coalescing.
+//!
+//! The shared-inbox fast path (DESIGN.md §8) made the empty poll O(1) but
+//! left bulk throughput paying one contended channel op + condvar wake per
+//! envelope. This module supplies the canonical active-message fix — the
+//! same per-destination aggregation Charm++ (TRAM) and GASNet use for the
+//! small-message regime: the [`crate::Communicator`] stages application
+//! envelopes per destination and ships a whole batch as **one wire frame**.
+//!
+//! A frame is itself an ordinary [`Envelope`] addressed to [`H_DCS_BATCH`],
+//! which is what makes the layer compose with the transport decorators for
+//! free: `ReliableTransport` assigns the frame one sequence number (the
+//! frame is the retransmit unit) and `ChaosTransport` rolls one fate per
+//! frame, with **zero changes to either decorator**. The receiving
+//! communicator expands a frame back into its constituent envelopes before
+//! any higher layer sees it.
+//!
+//! Ordering: only `Tag::App` traffic is ever staged, and a system send to a
+//! destination first flushes that destination's pending batch. Within a
+//! frame, envelopes are decoded in the order they were staged; frames ride
+//! the same per-pair-FIFO channel as everything else. The per-pair delivery
+//! order of the unbatched substrate is therefore preserved exactly —
+//! pinned by the batched-mode companion of `shared_queue_preserves_per_pair_fifo`.
+
+use crate::envelope::{Envelope, HandlerId, Rank, Tag};
+use crate::pool;
+use crate::wire::{WireReader, WireWriter};
+use std::collections::VecDeque;
+
+/// Handler id marking a coalesced frame. Never dispatched: the communicator
+/// expands frames before delivery, so handler tables never see it.
+pub const H_DCS_BATCH: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 64);
+
+/// Per-envelope framing overhead inside a frame payload: `u32` handler +
+/// `u32` length prefix. Compare with the 24-byte envelope header each
+/// message pays when sent unbatched — the accounting win batching is
+/// measured by.
+pub const PER_MSG_OVERHEAD: usize = 8;
+
+/// Fixed frame payload overhead: the `u32` message count.
+pub const FRAME_OVERHEAD: usize = 4;
+
+/// Default [`BatchConfig::max_msgs`] when batching is enabled without an
+/// explicit message cap.
+pub const DEFAULT_MAX_MSGS: usize = 32;
+
+/// Default [`BatchConfig::max_bytes`] when batching is enabled without an
+/// explicit byte cap.
+pub const DEFAULT_MAX_BYTES: usize = 8 * 1024;
+
+/// Coalescing policy for a [`crate::Communicator`].
+///
+/// [`BatchConfig::off`] (the default) reproduces the unbatched substrate
+/// exactly: every send goes straight to the transport. When on, application
+/// sends are staged per destination and flushed by the three-way policy
+/// described in DESIGN.md §11 (size threshold, explicit flush at poll
+/// boundaries, immediate flush-and-bypass for `Tag::System`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush a destination once this many envelopes are staged for it.
+    /// Values below 2 mean batching is off.
+    pub max_msgs: usize,
+    /// Flush a destination once its pending frame payload reaches this many
+    /// bytes.
+    pub max_bytes: usize,
+}
+
+impl BatchConfig {
+    /// Batching disabled — byte-for-byte today's unbatched behavior.
+    pub const fn off() -> Self {
+        BatchConfig {
+            max_msgs: 0,
+            max_bytes: 0,
+        }
+    }
+
+    /// Batching enabled with explicit thresholds (`max_msgs` is clamped up
+    /// to 2: a 1-message "batch" is just a slower direct send).
+    pub fn on(max_msgs: usize, max_bytes: usize) -> Self {
+        BatchConfig {
+            max_msgs: max_msgs.max(2),
+            max_bytes: max_bytes.max(1),
+        }
+    }
+
+    /// Whether sends are coalesced under this config.
+    pub fn is_on(&self) -> bool {
+        self.max_msgs >= 2
+    }
+
+    /// Read `PREMA_BATCH_MSGS` / `PREMA_BATCH_BYTES`. Batching stays off
+    /// unless at least one is set; a knob the other leaves at its default
+    /// ([`DEFAULT_MAX_MSGS`] / [`DEFAULT_MAX_BYTES`]).
+    pub fn from_env() -> Self {
+        Self::from_env_values(
+            std::env::var("PREMA_BATCH_MSGS").ok().as_deref(),
+            std::env::var("PREMA_BATCH_BYTES").ok().as_deref(),
+        )
+    }
+
+    fn from_env_values(msgs: Option<&str>, bytes: Option<&str>) -> Self {
+        let msgs = msgs.and_then(|v| v.trim().parse::<usize>().ok());
+        let bytes = bytes.and_then(|v| v.trim().parse::<usize>().ok());
+        if msgs.is_none() && bytes.is_none() {
+            return Self::off();
+        }
+        Self::on(
+            msgs.unwrap_or(DEFAULT_MAX_MSGS),
+            bytes.unwrap_or(DEFAULT_MAX_BYTES),
+        )
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+/// Payload length of the frame that would carry `msgs`.
+pub fn frame_payload_len(msgs: &[Envelope]) -> usize {
+    FRAME_OVERHEAD
+        + msgs
+            .iter()
+            .map(|e| PER_MSG_OVERHEAD + e.payload.len())
+            .sum::<usize>()
+}
+
+/// Coalesce `msgs` (all staged for `dst`) into one wire frame. The staged
+/// payload buffers are recycled into the thread-local [`pool`] after being
+/// copied into the frame — this is the allocation-reuse loop that makes the
+/// batched hot path allocation-free in steady state.
+pub fn encode_frame(src: Rank, dst: Rank, msgs: Vec<Envelope>) -> Envelope {
+    debug_assert!(msgs.len() >= 2, "a frame coalesces at least two envelopes");
+    let mut w = WireWriter::pooled(frame_payload_len(&msgs));
+    w = w.u32(msgs.len() as u32);
+    for env in msgs {
+        debug_assert_eq!(env.dst, dst, "staged envelope addressed elsewhere");
+        debug_assert_eq!(env.tag, Tag::App, "system traffic is never batched");
+        w = w.u32(env.handler.0).bytes(&env.payload);
+        pool::recycle(env.payload);
+    }
+    Envelope {
+        src,
+        dst,
+        handler: H_DCS_BATCH,
+        tag: Tag::App,
+        payload: w.finish(),
+    }
+}
+
+/// Whether an envelope is a coalesced frame.
+pub fn is_frame(env: &Envelope) -> bool {
+    env.handler == H_DCS_BATCH
+}
+
+/// Expand a received envelope into `out`: a frame is decoded into its
+/// constituent envelopes (in staging order, zero-copy payload slices); a
+/// plain envelope is passed through. Returns the number of envelopes
+/// appended. A truncated or hostile frame yields its decodable prefix —
+/// per-pair FIFO among what survives, never a panic.
+pub fn expand(env: Envelope, out: &mut VecDeque<Envelope>) -> usize {
+    if !is_frame(&env) {
+        out.push_back(env);
+        return 1;
+    }
+    let (src, dst) = (env.src, env.dst);
+    let mut r = WireReader::new(env.payload);
+    let Some(count) = r.try_u32() else { return 0 };
+    let mut appended = 0;
+    for _ in 0..count {
+        let Some(handler) = r.try_u32() else { break };
+        let Some(payload) = r.try_bytes() else { break };
+        out.push_back(Envelope {
+            src,
+            dst,
+            handler: HandlerId(handler),
+            tag: Tag::App,
+            payload,
+        });
+        appended += 1;
+    }
+    appended
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn app(src: Rank, dst: Rank, h: u32, payload: &'static [u8]) -> Envelope {
+        Envelope {
+            src,
+            dst,
+            handler: HandlerId(h),
+            tag: Tag::App,
+            payload: Bytes::from_static(payload),
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_order_and_payloads() {
+        let msgs = vec![app(0, 1, 7, b"aa"), app(0, 1, 8, b""), app(0, 1, 9, b"ccc")];
+        let expect_len = frame_payload_len(&msgs);
+        let frame = encode_frame(0, 1, msgs);
+        assert!(is_frame(&frame));
+        assert_eq!(frame.payload.len(), expect_len);
+        assert_eq!(frame.wire_size(), 24 + 4 + 3 * 8 + 5);
+        let mut out = VecDeque::new();
+        assert_eq!(expand(frame, &mut out), 3);
+        let got: Vec<_> = out.iter().map(|e| (e.handler.0, e.payload.len())).collect();
+        assert_eq!(got, vec![(7, 2), (8, 0), (9, 3)]);
+        assert!(out
+            .iter()
+            .all(|e| e.src == 0 && e.dst == 1 && e.tag == Tag::App));
+    }
+
+    #[test]
+    fn frame_is_smaller_than_unbatched_wire_bytes() {
+        let msgs: Vec<_> = (0..16).map(|i| app(0, 1, i, b"xy")).collect();
+        let unbatched: usize = msgs.iter().map(Envelope::wire_size).sum();
+        let frame = encode_frame(0, 1, msgs);
+        assert!(
+            frame.wire_size() < unbatched,
+            "frame {} vs unbatched {}",
+            frame.wire_size(),
+            unbatched
+        );
+    }
+
+    #[test]
+    fn expand_passes_plain_envelopes_through() {
+        let mut out = VecDeque::new();
+        assert_eq!(expand(app(2, 3, 5, b"p"), &mut out), 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].handler, HandlerId(5));
+    }
+
+    #[test]
+    fn truncated_frame_yields_decodable_prefix() {
+        let msgs = vec![app(0, 1, 1, b"aaaa"), app(0, 1, 2, b"bbbb")];
+        let frame = encode_frame(0, 1, msgs);
+        let cut = frame.payload.len() - 2;
+        let truncated = Envelope {
+            payload: frame.payload.slice(0..cut),
+            ..frame
+        };
+        let mut out = VecDeque::new();
+        assert_eq!(expand(truncated, &mut out), 1);
+        assert_eq!(out[0].handler, HandlerId(1));
+    }
+
+    #[test]
+    fn empty_payload_frame_decodes_nothing() {
+        let hostile = Envelope {
+            src: 0,
+            dst: 1,
+            handler: H_DCS_BATCH,
+            tag: Tag::App,
+            payload: Bytes::new(),
+        };
+        let mut out = VecDeque::new();
+        assert_eq!(expand(hostile, &mut out), 0);
+    }
+
+    #[test]
+    fn config_off_by_default_and_env_parsing() {
+        assert!(!BatchConfig::default().is_on());
+        assert_eq!(BatchConfig::off(), BatchConfig::default());
+        assert!(!BatchConfig::from_env_values(None, None).is_on());
+        let m = BatchConfig::from_env_values(Some("16"), None);
+        assert_eq!(m, BatchConfig::on(16, DEFAULT_MAX_BYTES));
+        let b = BatchConfig::from_env_values(None, Some("4096"));
+        assert_eq!(b, BatchConfig::on(DEFAULT_MAX_MSGS, 4096));
+        let both = BatchConfig::from_env_values(Some("8"), Some("512"));
+        assert_eq!(both, BatchConfig::on(8, 512));
+        // Garbage values fall back to off rather than panicking.
+        assert!(!BatchConfig::from_env_values(Some("lots"), None).is_on());
+        // A 1-message batch is a slower direct send; clamp up.
+        assert!(BatchConfig::on(1, 64).is_on());
+        assert_eq!(BatchConfig::on(1, 64).max_msgs, 2);
+    }
+}

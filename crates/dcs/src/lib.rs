@@ -17,6 +17,12 @@
 //!   system) + payload bytes.
 //! * [`comm`] — the per-rank endpoint: sends, polling receives, a sideline
 //!   queue for deferring messages, traffic counters.
+//! * [`batch`] — opt-in per-destination coalescing: application envelopes
+//!   stage per destination and ship as one wire frame, amortizing the
+//!   per-message channel cost while `Tag::System` traffic bypasses staging
+//!   (the preemptive poll's latency is never queued behind a batch).
+//! * [`pool`] — a thread-local freelist of payload/frame buffers in
+//!   power-of-two size classes, so steady-state encoding reuses allocations.
 //! * [`handler`] — handler tables for dispatch.
 //! * [`collective`] — barrier / allgather / allreduce, used by the
 //!   *baselines* (stop-and-repartition, Charm++ `AtSync`), never by PREMA's
@@ -35,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod chaos;
 pub mod collective;
 pub mod comm;
@@ -42,10 +49,12 @@ pub mod delay;
 pub mod envelope;
 pub mod fxmap;
 pub mod handler;
+pub mod pool;
 pub mod reliable;
 pub mod transport;
 pub mod wire;
 
+pub use batch::{BatchConfig, H_DCS_BATCH};
 pub use chaos::{ChaosConfig, ChaosHandle, ChaosStats, ChaosTransport};
 pub use collective::Collectives;
 pub use comm::{CommStats, Communicator};

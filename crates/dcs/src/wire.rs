@@ -4,6 +4,7 @@
 //! migration, load balancing) use these little-endian helpers rather than a
 //! full serializer, keeping system messages small and allocation-light.
 
+use crate::pool;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Incrementally build a payload.
@@ -16,6 +17,17 @@ impl WireWriter {
     /// New empty writer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// New writer backed by a pooled buffer of at least `min_cap` bytes
+    /// (see [`crate::pool`]). Hot-path encoders use this so steady-state
+    /// message construction reuses allocations instead of growing fresh
+    /// `Vec`s; the buffer returns to the pool when the finished payload's
+    /// last owner recycles it (or is dropped — recycling is best-effort).
+    pub fn pooled(min_cap: usize) -> Self {
+        WireWriter {
+            buf: pool::take(min_cap),
+        }
     }
 
     /// Append a `u64`.
@@ -199,5 +211,17 @@ mod tests {
         assert_eq!(r.try_f64(), Some(2.5));
         assert_eq!(r.try_bytes().as_deref(), Some(&b"xy"[..]));
         assert_eq!(r.try_u64(), None);
+    }
+
+    #[test]
+    fn pooled_writer_matches_fresh_writer() {
+        let fresh = WireWriter::new().u64(1).bytes(b"abc").finish();
+        let pooled = WireWriter::pooled(32).u64(1).bytes(b"abc").finish();
+        assert_eq!(fresh, pooled);
+        // Recycle and re-take: the encoding must still be identical (a warm
+        // buffer carries no residue of its previous contents).
+        assert!(pool::recycle(pooled));
+        let warm = WireWriter::pooled(32).u64(1).bytes(b"abc").finish();
+        assert_eq!(fresh, warm);
     }
 }

@@ -60,8 +60,9 @@ fn env_usize(key: &str, default: usize) -> usize {
 /// One full soak run: Fig. 3 workload shape (50% imbalance, heavy = 2 ×
 /// light, block-distributed to 8 ranks) under the chaos stack. Returns the
 /// per-unit execution counts and the wire's fault tally.
-fn soak_run(spec: &BenchSpec, chaos_cfg: ChaosConfig) -> (Vec<u64>, ChaosStats) {
+fn soak_run(spec: &BenchSpec, chaos_cfg: ChaosConfig, cfg: PremaConfig) -> (Vec<u64>, ChaosStats) {
     let nprocs = spec.machine.procs;
+    assert_eq!(nprocs, cfg.nprocs);
     let total = spec.total_units();
     let hits: Arc<Vec<AtomicU64>> = Arc::new((0..total).map(|_| AtomicU64::new(0)).collect());
 
@@ -76,56 +77,51 @@ fn soak_run(spec: &BenchSpec, chaos_cfg: ChaosConfig) -> (Vec<u64>, ChaosStats) 
 
     let spec = *spec;
     let hits_in = hits.clone();
-    launch_with_transports::<Unit, (), _>(
-        PremaConfig::implicit(nprocs),
-        transports,
-        None,
-        move |rt| {
-            let hits = hits_in.clone();
-            rt.on_message(H_COMPUTE, move |_ctx, unit, _item| {
-                // Scale Mflop to a short spin: weight ratios (and thus the
-                // imbalance the balancer sees) are preserved, wall time is
-                // bounded.
-                let iters = (unit.mflop * 40.0) as u64;
-                let mut x = unit.id;
-                for i in 0..iters {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
-                }
-                std::hint::black_box(x);
-                hits[unit.id as usize].fetch_add(1, Ordering::SeqCst);
-            });
-            let completion = Completion::install(&rt, total as u64);
-            // Block distribution: each rank registers and seeds its own
-            // slice of the global index space, exactly like the paper's
-            // benchmark (§5) — rank 0 gets the heavy block.
-            for u in spec.units_of_proc(rt.rank()) {
-                let ptr = rt.register(Unit {
-                    id: u.id as u64,
-                    mflop: u.mflop,
-                });
-                // The paper feeds the balancer *inaccurate* hints: every
-                // unit claims the mean weight.
-                rt.message_with_hint(ptr, H_COMPUTE, u.hint_mflop, Bytes::new());
+    launch_with_transports::<Unit, (), _>(cfg, transports, None, move |rt| {
+        let hits = hits_in.clone();
+        rt.on_message(H_COMPUTE, move |_ctx, unit, _item| {
+            // Scale Mflop to a short spin: weight ratios (and thus the
+            // imbalance the balancer sees) are preserved, wall time is
+            // bounded.
+            let iters = (unit.mflop * 40.0) as u64;
+            let mut x = unit.id;
+            for i in 0..iters {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
             }
-            loop {
-                if rt.step() {
-                    completion.report(&rt, 1);
-                } else {
-                    rt.poll();
-                    completion.maintain(&rt);
-                    if completion.is_done() {
-                        break;
-                    }
-                    std::thread::sleep(Duration::from_micros(50));
-                }
-            }
-            // The runtime's own oracles, one last time under quiescence.
-            rt.with_scheduler(|s| {
-                s.verify_invariants();
-                s.node().verify_conservation();
+            std::hint::black_box(x);
+            hits[unit.id as usize].fetch_add(1, Ordering::SeqCst);
+        });
+        let completion = Completion::install(&rt, total as u64);
+        // Block distribution: each rank registers and seeds its own
+        // slice of the global index space, exactly like the paper's
+        // benchmark (§5) — rank 0 gets the heavy block.
+        for u in spec.units_of_proc(rt.rank()) {
+            let ptr = rt.register(Unit {
+                id: u.id as u64,
+                mflop: u.mflop,
             });
-        },
-    );
+            // The paper feeds the balancer *inaccurate* hints: every
+            // unit claims the mean weight.
+            rt.message_with_hint(ptr, H_COMPUTE, u.hint_mflop, Bytes::new());
+        }
+        loop {
+            if rt.step() {
+                completion.report(&rt, 1);
+            } else {
+                rt.poll();
+                completion.maintain(&rt);
+                if completion.is_done() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        // The runtime's own oracles, one last time under quiescence.
+        rt.with_scheduler(|s| {
+            s.verify_invariants();
+            s.node().verify_conservation();
+        });
+    });
 
     let counts = hits.iter().map(|c| c.load(Ordering::SeqCst)).collect();
     (counts, handle.stats())
@@ -140,7 +136,7 @@ fn microbenchmark_survives_adversarial_wire() {
 
     let mut all_counts: Vec<Vec<u64>> = Vec::new();
     for run in 0..runs {
-        let (counts, wire) = soak_run(&spec, chaos_cfg);
+        let (counts, wire) = soak_run(&spec, chaos_cfg, PremaConfig::implicit(spec.machine.procs));
         // Work conservation, the §5 oracle: every unit exactly once —
         // dropped frames were retransmitted, duplicated frames deduplicated.
         let lost: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] == 0).collect();
@@ -163,4 +159,29 @@ fn microbenchmark_survives_adversarial_wire() {
             "run {run} diverged from run 0 under the same chaos seed"
         );
     }
+}
+
+/// The same soak with DCS message coalescing on: a dropped wire envelope is
+/// now a whole *frame* of application messages, and the reliable layer must
+/// retransmit it as a unit. Exactly-once execution under seeded 5% loss is
+/// the end-to-end proof — a frame torn apart by loss would show up as lost
+/// units, a replayed fragment as double-executed ones.
+#[test]
+fn microbenchmark_survives_adversarial_wire_batched() {
+    let spec = BenchSpec::test_scale(3);
+    let loss = env_f64("PREMA_SOAK_LOSS", 0.05);
+    let chaos_cfg = ChaosConfig::adversarial(0xBA7C4, loss);
+    let cfg = PremaConfig::implicit(spec.machine.procs).with_batch(16, 4096);
+
+    let (counts, wire) = soak_run(&spec, chaos_cfg, cfg);
+    let lost: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] == 0).collect();
+    let doubled: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] > 1).collect();
+    assert!(
+        lost.is_empty() && doubled.is_empty(),
+        "batched soak: lost units {lost:?}, double-executed units {doubled:?} (wire: {wire:?})"
+    );
+    assert!(
+        wire.dropped > 0,
+        "batched soak: the wire dropped nothing — frame-as-retransmit-unit untested: {wire:?}"
+    );
 }

@@ -367,6 +367,10 @@ impl<O: Migratable> Scheduler<O> {
             index: item.ptr.index,
         });
         self.apply_outgoing(ctx.outgoing);
+        // Handler-boundary flush (DESIGN.md §11): the burst of sends this
+        // handler buffered coalesces per destination and ships now, rather
+        // than waiting for the next poll. System traffic was never staged.
+        self.node.comm().flush();
         if self.lb_enabled {
             self.lb_evaluate();
         }

@@ -27,14 +27,14 @@
 //! ([`MolNode::poll_system`]) without ever running application handlers
 //! behind the application's back.
 
-use crate::migrate::{pack_to_vec, Migratable};
+use crate::migrate::Migratable;
 use crate::proto::{
     LocUpdate, MigratePacket, MolEnvelope, NodeMsg, H_MOL_LOCUPD, H_MOL_MIGRATE, H_MOL_MSG,
     H_NODE_MSG,
 };
 use crate::ptr::{MobilePtr, PtrAllocator};
 use bytes::Bytes;
-use prema_dcs::{Communicator, Envelope, FxHashMap, Rank, Tag};
+use prema_dcs::{pool, Communicator, Envelope, FxHashMap, Rank, Tag};
 use prema_trace::{TraceEvent, Tracer};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -547,15 +547,16 @@ impl<O: Migratable> MolNode<O> {
         #[cfg(feature = "check-invariants")]
         self.oracle.on_migrate_out(ptr, pending.len());
         let epoch = entry.epoch + 1;
+        let obj = entry
+            .obj
+            .as_ref()
+            .expect("obj is Some: is_none_or guard above");
         let packet = MigratePacket {
             ptr,
             epoch,
-            object: Bytes::from(pack_to_vec(
-                entry
-                    .obj
-                    .as_ref()
-                    .expect("obj is Some: is_none_or guard above"),
-            )),
+            // Packed into a pooled scratch buffer: migrations under churn
+            // reuse the same allocation instead of growing a fresh Vec.
+            object: pool::build(64, |buf| obj.pack(buf)),
             expected: entry.expected.into_iter().collect(),
             pending,
             buffered,
@@ -680,11 +681,16 @@ impl<O: Migratable> MolNode<O> {
     /// pair (used by the ILB scheduler) sidesteps the issue by keeping
     /// undelivered work inside the node.
     pub fn poll(&mut self) -> Vec<MolEvent> {
+        // Poll-boundary flush (DESIGN.md §11): anything the application
+        // staged since the last poll goes out before we look for input.
+        self.comm.flush();
         let mut events = Vec::new();
         while let Some(env) = self.comm.try_recv() {
             self.handle_wire(env, &mut events);
         }
         self.drain_ready(&mut events);
+        // Forwards/routes performed while handling the wire stage too.
+        self.comm.flush();
         #[cfg(feature = "check-invariants")]
         self.verify_conservation();
         events
@@ -697,6 +703,9 @@ impl<O: Migratable> MolNode<O> {
     /// runs at its periodic wake-ups (§4.2): load-balancing messages are seen
     /// promptly, yet no application handler ever runs preemptively.
     pub fn poll_system(&mut self) -> Vec<MolEvent> {
+        // The preemptive poll is also a flush boundary: staged application
+        // batches ship even if the worker is stuck in a long handler.
+        self.comm.flush();
         let mut events = Vec::new();
         while let Some(env) = self.comm.try_recv_transport() {
             let is_system = env.tag == Tag::System;
@@ -706,6 +715,9 @@ impl<O: Migratable> MolNode<O> {
                 self.comm.sideline(env);
             }
         }
+        // An install may have routed parked messages (application traffic);
+        // push those out rather than leaving them for the next poll.
+        self.comm.flush();
         #[cfg(feature = "check-invariants")]
         self.verify_conservation();
         events
@@ -837,10 +849,12 @@ impl<O: Migratable> MolNode<O> {
     /// [`MolNode::pop_work`]); only node messages and installation notices
     /// are returned. This is the scheduler's ingest step.
     pub fn pump(&mut self) -> Vec<MolEvent> {
+        self.comm.flush();
         let mut events = Vec::new();
         while let Some(env) = self.comm.try_recv() {
             self.handle_wire(env, &mut events);
         }
+        self.comm.flush();
         #[cfg(feature = "check-invariants")]
         self.verify_conservation();
         events

@@ -51,9 +51,10 @@ pub struct MolEnvelope {
 }
 
 impl MolEnvelope {
-    /// Encode for the wire.
+    /// Encode for the wire (into a pooled buffer — this runs once per
+    /// application message, the hottest encoder in the stack).
     pub fn encode(&self) -> Bytes {
-        write_env(WireWriter::new(), self).finish()
+        write_env(WireWriter::pooled(ENV_HEADER + self.payload.len()), self).finish()
     }
 
     /// Decode from the wire.
@@ -62,6 +63,10 @@ impl MolEnvelope {
         read_env(&mut r)
     }
 }
+
+/// Encoded size of a [`MolEnvelope`] minus its payload: 4×u64 + 2×u32 +
+/// f64 + the payload length prefix.
+const ENV_HEADER: usize = 8 * 4 + 4 * 2 + 8 + 4;
 
 fn write_env(w: WireWriter, e: &MolEnvelope) -> WireWriter {
     w.u64(e.target.home as u64)
@@ -111,7 +116,7 @@ pub struct MigratePacket {
 impl MigratePacket {
     /// Encode for the wire.
     pub fn encode(&self) -> Bytes {
-        let mut w = WireWriter::new()
+        let mut w = WireWriter::pooled(32 + self.object.len())
             .u64(self.ptr.home as u64)
             .u64(self.ptr.index)
             .u64(self.epoch)
@@ -171,7 +176,7 @@ pub struct LocUpdate {
 impl LocUpdate {
     /// Encode for the wire.
     pub fn encode(&self) -> Bytes {
-        WireWriter::new()
+        WireWriter::pooled(32)
             .u64(self.ptr.home as u64)
             .u64(self.ptr.index)
             .u64(self.owner as u64)
@@ -205,7 +210,7 @@ pub struct NodeMsg {
 impl NodeMsg {
     /// Encode for the wire.
     pub fn encode(&self) -> Bytes {
-        WireWriter::new()
+        WireWriter::pooled(8 + self.payload.len())
             .u32(self.handler)
             .bytes(&self.payload)
             .finish()

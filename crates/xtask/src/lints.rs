@@ -205,6 +205,58 @@ pub fn lint_trace_hygiene(
     out
 }
 
+/// Crates whose send/receive paths must build payloads through the buffer
+/// pool, and the one module allowed to construct `Bytes` from raw vectors
+/// (it *is* the pool).
+const BATCH_HOT_CRATES: &[&str] = &["crates/dcs/src/", "crates/mol/src/"];
+const BATCH_POOL_OWNER: &str = "crates/dcs/src/pool.rs";
+
+/// Forbid raw `Bytes::from(..)` / `Bytes::copy_from_slice(..)` payload
+/// construction in the dcs/mol hot paths outside the pool module (and the
+/// allowlist). Every such call is a fresh heap allocation the pool exists to
+/// avoid; hot paths must take buffers via `pool::take` / `WireWriter::pooled`
+/// or freeze them via `pool::build`.
+pub fn lint_batch_hygiene(
+    file: &SourceFile,
+    allow: &Allowlist,
+    used: &mut BTreeSet<String>,
+) -> Vec<Violation> {
+    if !BATCH_HOT_CRATES.iter().any(|p| file.path.starts_with(p)) || file.path == BATCH_POOL_OWNER {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (ln, stripped, _orig) in file.non_test_lines() {
+        // `Bytes::from_static` is allocation-free and stays legal; the `(`
+        // in the needle keeps it from matching here.
+        let from = stripped.contains("Bytes::from(");
+        let copy = stripped.contains("Bytes::copy_from_slice(");
+        if !from && !copy {
+            continue;
+        }
+        if allow.allows(&file.path) {
+            used.insert(file.path.clone());
+            continue;
+        }
+        let what = if from {
+            "Bytes::from(..)"
+        } else {
+            "Bytes::copy_from_slice(..)"
+        };
+        out.push(Violation::new(
+            &file.path,
+            ln,
+            "batch-hygiene",
+            format!(
+                "{what} allocates a fresh payload on a dcs/mol hot path; \
+                 build through the buffer pool (pool::take / \
+                 WireWriter::pooled / pool::build) or allowlist with a \
+                 justification"
+            ),
+        ));
+    }
+    out
+}
+
 /// Minimum words for an `.expect("...")` message to count as stating an
 /// invariant rather than restating the operation.
 const EXPECT_MIN_WORDS: usize = 3;
@@ -588,6 +640,68 @@ mod tests {
         let mut used = BTreeSet::new();
         assert!(lint_trace_hygiene(&f, &allow, &mut used).is_empty());
         assert!(used.contains("crates/dcs/src/delay.rs"));
+    }
+
+    // ---- batch hygiene ----
+
+    #[test]
+    fn raw_bytes_from_on_hot_path_fires() {
+        let f = file(
+            "crates/mol/src/node.rs",
+            "fn f(v: Vec<u8>) -> Bytes { Bytes::from(v) }\n",
+        );
+        let mut used = BTreeSet::new();
+        let v = lint_batch_hygiene(&f, &empty_allow(), &mut used);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "batch-hygiene");
+        assert!(v[0].message.contains("pool"));
+    }
+
+    #[test]
+    fn copy_from_slice_fires_but_from_static_passes() {
+        let f = file(
+            "crates/dcs/src/comm.rs",
+            "fn a(s: &[u8]) -> Bytes { Bytes::copy_from_slice(s) }\nfn b() -> Bytes { Bytes::from_static(b\"x\") }\n",
+        );
+        let mut used = BTreeSet::new();
+        let v = lint_batch_hygiene(&f, &empty_allow(), &mut used);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn pool_module_other_crates_and_tests_are_exempt() {
+        let pool = file(
+            "crates/dcs/src/pool.rs",
+            "fn f(v: Vec<u8>) -> Bytes { Bytes::from(v) }\n",
+        );
+        let elsewhere = file(
+            "crates/harness/src/report.rs",
+            "fn f(v: Vec<u8>) -> Bytes { Bytes::from(v) }\n",
+        );
+        let test_code = file(
+            "crates/dcs/src/comm.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t(v: Vec<u8>) -> Bytes { Bytes::from(v) }\n}\n",
+        );
+        let mut used = BTreeSet::new();
+        for f in [pool, elsewhere, test_code] {
+            assert!(lint_batch_hygiene(&f, &empty_allow(), &mut used).is_empty());
+        }
+    }
+
+    #[test]
+    fn allowlisted_bytes_construction_passes_and_is_marked_used() {
+        let allow = Allowlist::parse(
+            "allow.txt",
+            "crates/dcs/src/collective.rs: collectives are cold-path setup traffic\n",
+        );
+        let f = file(
+            "crates/dcs/src/collective.rs",
+            "fn f(s: &[u8]) -> Bytes { Bytes::copy_from_slice(s) }\n",
+        );
+        let mut used = BTreeSet::new();
+        assert!(lint_batch_hygiene(&f, &allow, &mut used).is_empty());
+        assert!(used.contains("crates/dcs/src/collective.rs"));
     }
 
     // ---- unwrap/expect ----

@@ -17,6 +17,9 @@
 //! * `trace-hygiene`    — no raw `Instant::now()` / `SystemTime::now()`
 //!   outside the trace/sim clock owners (workspace `crates/*/src`),
 //!   outside `allow/trace-hygiene.txt`.
+//! * `batch-hygiene`    — no raw `Bytes::from(..)` /
+//!   `Bytes::copy_from_slice(..)` payload construction in dcs/mol hot paths
+//!   outside the pool module, outside `allow/batch-hygiene.txt`.
 //!
 //! `cargo xtask bench-json` runs the substrate and figure benchmarks and
 //! aggregates their per-benchmark JSON lines into the checked-in
@@ -109,6 +112,7 @@ fn lint() -> ExitCode {
     let relaxed_allow = load_allowlist(&allow_dir.join("relaxed-ordering.txt"));
     let blocking_allow = load_allowlist(&allow_dir.join("blocking-calls.txt"));
     let hygiene_allow = load_allowlist(&allow_dir.join("trace-hygiene.txt"));
+    let batch_allow = load_allowlist(&allow_dir.join("batch-hygiene.txt"));
 
     // Everything under crates/*/src, plus tests/ and examples/ for the
     // handler-id cross-reference (a registration in an integration test or
@@ -143,10 +147,12 @@ fn lint() -> ExitCode {
     violations.extend(relaxed_allow.parse_errors.iter().map(clone_violation));
     violations.extend(blocking_allow.parse_errors.iter().map(clone_violation));
     violations.extend(hygiene_allow.parse_errors.iter().map(clone_violation));
+    violations.extend(batch_allow.parse_errors.iter().map(clone_violation));
 
     let mut relaxed_used = BTreeSet::new();
     let mut blocking_used = BTreeSet::new();
     let mut hygiene_used = BTreeSet::new();
+    let mut batch_used = BTreeSet::new();
     for f in &src_files {
         violations.extend(lints::lint_relaxed_ordering(
             f,
@@ -158,6 +164,7 @@ fn lint() -> ExitCode {
             &hygiene_allow,
             &mut hygiene_used,
         ));
+        violations.extend(lints::lint_batch_hygiene(f, &batch_allow, &mut batch_used));
         let crate_name = f
             .path
             .strip_prefix("crates/")
@@ -174,6 +181,7 @@ fn lint() -> ExitCode {
     violations.extend(relaxed_allow.unused(&relaxed_used));
     violations.extend(blocking_allow.unused(&blocking_used));
     violations.extend(hygiene_allow.unused(&hygiene_used));
+    violations.extend(batch_allow.unused(&batch_used));
 
     // handler-id sees every file (src + tests + examples).
     let mut everything = src_files;
@@ -211,7 +219,7 @@ fn lint() -> ExitCode {
     }
     if violations.is_empty() {
         println!(
-            "xtask lint: OK ({} files, 6 lints, 0 violations)",
+            "xtask lint: OK ({} files, 7 lints, 0 violations)",
             everything.len()
         );
         ExitCode::SUCCESS

@@ -93,6 +93,33 @@ impl Bytes {
             end: self.start + range.end,
         }
     }
+
+    /// Try to reclaim the underlying allocation as an *emptied* `Vec`.
+    ///
+    /// Succeeds only when this handle is the sole owner of heap storage: the
+    /// contents are discarded but the capacity is kept, so a buffer pool can
+    /// recycle the allocation. Static-backed or still-shared `Bytes` are
+    /// returned unchanged in `Err` (nothing to reclaim / not safe to).
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        match self.inner {
+            Inner::Static(s) => Err(Bytes {
+                inner: Inner::Static(s),
+                start: self.start,
+                end: self.end,
+            }),
+            Inner::Shared(arc) => match Arc::try_unwrap(arc) {
+                Ok(mut v) => {
+                    v.clear();
+                    Ok(v)
+                }
+                Err(arc) => Err(Bytes {
+                    inner: Inner::Shared(arc),
+                    start: self.start,
+                    end: self.end,
+                }),
+            },
+        }
+    }
 }
 
 impl Deref for Bytes {
@@ -206,9 +233,25 @@ impl BytesMut {
         self.buf.is_empty()
     }
 
+    /// Reserved capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Drop the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Convert into immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
     }
 }
 
@@ -356,5 +399,42 @@ mod tests {
         let s = Bytes::from_static(b"abc");
         assert_eq!(s, Bytes::copy_from_slice(b"abc"));
         assert_eq!(format!("{s:?}"), "b\"abc\"");
+    }
+
+    #[test]
+    fn try_reclaim_sole_owner_keeps_capacity() {
+        let mut v = Vec::with_capacity(128);
+        v.extend_from_slice(b"payload");
+        let b = Bytes::from(v);
+        let got = b.try_reclaim().expect("sole owner must reclaim");
+        assert!(got.is_empty());
+        assert!(got.capacity() >= 128);
+    }
+
+    #[test]
+    fn try_reclaim_shared_or_static_fails_without_losing_data() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let clone = a.clone();
+        let back = a
+            .try_reclaim()
+            .expect_err("shared storage must not reclaim");
+        assert_eq!(&back[..], &[1, 2, 3]);
+        drop(clone);
+        let s = Bytes::from_static(b"abc");
+        let back = s
+            .try_reclaim()
+            .expect_err("static storage has no allocation");
+        assert_eq!(&back[..], b"abc");
+    }
+
+    #[test]
+    fn bytes_mut_capacity_and_clear() {
+        let mut m = BytesMut::from(Vec::with_capacity(64));
+        m.put_slice(b"xy");
+        assert_eq!(m.len(), 2);
+        assert!(m.capacity() >= 64);
+        m.clear();
+        assert!(m.is_empty());
+        assert!(m.capacity() >= 64);
     }
 }
