@@ -16,6 +16,7 @@
 //! partition-aligned view for a solver.
 
 use crate::runtime::Runtime;
+use bytes::Bytes;
 use prema_dcs::WireReader;
 use prema_dcs::WireWriter;
 use prema_ilb::NODE_HANDLER_LIMIT;
@@ -27,6 +28,16 @@ use std::sync::Arc;
 pub const H_PHASE_ARRIVE: u32 = NODE_HANDLER_LIMIT - 3;
 /// Node-message handler id for barrier releases (from rank 0).
 pub const H_PHASE_RELEASE: u32 = NODE_HANDLER_LIMIT - 4;
+
+/// Encode a barrier arrive/release payload: just the epoch.
+fn encode_epoch(epoch: u64) -> Bytes {
+    WireWriter::new().u64(epoch).finish()
+}
+
+/// Decode a barrier epoch payload.
+fn decode_epoch(payload: Bytes) -> u64 {
+    WireReader::new(payload).u64()
+}
 
 /// A reusable inter-phase barrier. Install once per rank; call
 /// [`PhaseBarrier::wait`] at each phase boundary. Barrier instances are
@@ -54,13 +65,13 @@ impl PhaseBarrier {
             let arrivals = arrivals.clone();
             let released = released.clone();
             rt.on_node_message(H_PHASE_ARRIVE, move |ctx, _src, payload| {
-                let epoch = WireReader::new(payload).u64();
+                let epoch = decode_epoch(payload);
                 let n = ctx.nprocs() as u64;
                 let total = arrivals.fetch_add(1, Ordering::SeqCst) + 1;
                 // Arrivals for epoch e complete when the count reaches e*n.
                 if total == epoch * n {
                     released.store(epoch, Ordering::SeqCst);
-                    let msg = WireWriter::new().u64(epoch).finish();
+                    let msg = encode_epoch(epoch);
                     for dst in 0..ctx.nprocs() {
                         if dst != ctx.rank() {
                             ctx.node_message(dst, H_PHASE_RELEASE, msg.clone());
@@ -72,7 +83,7 @@ impl PhaseBarrier {
         {
             let released = released.clone();
             rt.on_node_message(H_PHASE_RELEASE, move |_ctx, _src, payload| {
-                let epoch = WireReader::new(payload).u64();
+                let epoch = decode_epoch(payload);
                 released.fetch_max(epoch, Ordering::SeqCst);
             });
         }
@@ -89,7 +100,7 @@ impl PhaseBarrier {
     pub fn wait<O: Migratable>(&mut self, rt: &Runtime<O>) {
         let epoch = self.next_epoch;
         self.next_epoch += 1;
-        let payload = WireWriter::new().u64(epoch).finish();
+        let payload = encode_epoch(epoch);
         rt.node_message(0, H_PHASE_ARRIVE, payload);
         while self.released.load(Ordering::SeqCst) < epoch {
             rt.poll();

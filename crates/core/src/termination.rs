@@ -37,6 +37,17 @@ pub const H_COMPLETE_DONE: u32 = NODE_HANDLER_LIMIT - 2;
 /// done. Each call typically corresponds to one application poll iteration.
 const REREPORT_EVERY: u64 = 128;
 
+/// Encode a cumulative completion report (this rank's running total).
+fn encode_report(total: u64) -> Bytes {
+    WireWriter::new().u64(total).finish()
+}
+
+/// Decode a completion report; `None` drops a truncated payload (cumulative
+/// re-reports make any single message expendable).
+fn decode_report(payload: Bytes) -> Option<u64> {
+    WireReader::new(payload).try_u64()
+}
+
 /// A completion detector. Create one per rank with the same `target` on
 /// every rank, report executed units, and poll [`Completion::is_done`] —
 /// calling [`Completion::maintain`] from the wait loop if the wire may lose
@@ -63,9 +74,7 @@ impl Completion {
             let reported = reported.clone();
             let done = done.clone();
             rt.on_node_message(H_COMPLETE_REPORT, move |ctx, src, payload| {
-                // A truncated report is droppable: cumulative re-reports make
-                // any single message expendable.
-                let Some(n) = WireReader::new(payload).try_u64() else {
+                let Some(n) = decode_report(payload) else {
                     return;
                 };
                 if done.load(Ordering::SeqCst) {
@@ -110,8 +119,7 @@ impl Completion {
     /// cumulative total, so losing any individual report is recoverable).
     pub fn report<O: Migratable>(&self, rt: &Runtime<O>, n: u64) {
         let total = self.local.fetch_add(n, Ordering::SeqCst) + n;
-        let payload = WireWriter::new().u64(total).finish();
-        rt.node_message(0, H_COMPLETE_REPORT, payload);
+        rt.node_message(0, H_COMPLETE_REPORT, encode_report(total));
     }
 
     /// Liveness backstop for lossy wires: call once per iteration of the
@@ -126,8 +134,7 @@ impl Completion {
         let t = self.ticks.fetch_add(1, Ordering::SeqCst) + 1;
         if t.is_multiple_of(REREPORT_EVERY) {
             let total = self.local.load(Ordering::SeqCst);
-            let payload = WireWriter::new().u64(total).finish();
-            rt.node_message(0, H_COMPLETE_REPORT, payload);
+            rt.node_message(0, H_COMPLETE_REPORT, encode_report(total));
         }
     }
 

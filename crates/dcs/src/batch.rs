@@ -154,33 +154,44 @@ pub fn is_frame(env: &Envelope) -> bool {
     env.handler == H_DCS_BATCH
 }
 
-/// Expand a received envelope into `out`: a frame is decoded into its
-/// constituent envelopes (in staging order, zero-copy payload slices); a
-/// plain envelope is passed through. Returns the number of envelopes
-/// appended. A truncated or hostile frame yields its decodable prefix —
-/// per-pair FIFO among what survives, never a panic.
+/// Decode a frame payload back into its constituent envelopes, appending to
+/// `out` in staging order (zero-copy payload slices). The schema mirrors
+/// [`encode_frame`]. A truncated or hostile frame yields its decodable
+/// prefix — per-pair FIFO among what survives, never a panic.
+pub fn decode_frame(
+    src: Rank,
+    dst: Rank,
+    payload: bytes::Bytes,
+    out: &mut VecDeque<Envelope>,
+) -> usize {
+    let mut r = WireReader::new(payload);
+    let Some(count) = r.try_u32() else { return 0 };
+    let mut appended = 0;
+    for _ in 0..count {
+        let Some(handler) = r.try_u32() else { break };
+        let Some(inner) = r.try_bytes() else { break };
+        out.push_back(Envelope {
+            src,
+            dst,
+            handler: HandlerId(handler),
+            tag: Tag::App,
+            payload: inner,
+        });
+        appended += 1;
+    }
+    appended
+}
+
+/// Expand a received envelope into `out`: a frame is decoded via
+/// [`decode_frame`]; a plain envelope is passed through. Returns the number
+/// of envelopes appended.
 pub fn expand(env: Envelope, out: &mut VecDeque<Envelope>) -> usize {
     if !is_frame(&env) {
         out.push_back(env);
         return 1;
     }
     let (src, dst) = (env.src, env.dst);
-    let mut r = WireReader::new(env.payload);
-    let Some(count) = r.try_u32() else { return 0 };
-    let mut appended = 0;
-    for _ in 0..count {
-        let Some(handler) = r.try_u32() else { break };
-        let Some(payload) = r.try_bytes() else { break };
-        out.push_back(Envelope {
-            src,
-            dst,
-            handler: HandlerId(handler),
-            tag: Tag::App,
-            payload,
-        });
-        appended += 1;
-    }
-    appended
+    decode_frame(src, dst, env.payload, out)
 }
 
 #[cfg(test)]

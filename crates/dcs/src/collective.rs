@@ -31,6 +31,53 @@ pub const H_BCAST: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 3);
 
 const TICK: Duration = Duration::from_millis(1);
 
+// Named wire-schema pairs for the collective frames; `cargo xtask analyze`
+// checks each encode/decode sequence against its partner.
+
+/// Encode an epoch-only payload (barrier arrive/release).
+fn encode_epoch(epoch: u64) -> Bytes {
+    WireWriter::new().u64(epoch).finish()
+}
+
+/// Decode the leading epoch of any collective payload. Every collective
+/// frame starts with the epoch, so this also serves the matched-call check
+/// in `await_handler`.
+fn decode_epoch(payload: Bytes) -> u64 {
+    WireReader::new(payload).u64()
+}
+
+/// Encode one rank's gather contribution: epoch, source rank, body.
+fn encode_contribution(epoch: u64, rank: u64, body: &[u8]) -> Bytes {
+    WireWriter::new().u64(epoch).u64(rank).bytes(body).finish()
+}
+
+/// Decode a gather contribution to (source rank, body). The epoch was
+/// already validated by `await_handler`.
+fn decode_contribution(payload: Bytes) -> (usize, Bytes) {
+    let mut r = WireReader::new(payload);
+    let _epoch = r.u64();
+    let src = r.u64() as usize;
+    let body = r.bytes();
+    (src, body)
+}
+
+/// Encode the broadcast frame: epoch, part count, then each part.
+fn encode_bcast(epoch: u64, parts: &[Bytes]) -> Bytes {
+    let mut w = WireWriter::new().u64(epoch).u32(parts.len() as u32);
+    for p in parts {
+        w = w.bytes(p);
+    }
+    w.finish()
+}
+
+/// Decode a broadcast frame back to its per-rank parts.
+fn decode_bcast(payload: Bytes) -> Vec<Bytes> {
+    let mut r = WireReader::new(payload);
+    let _epoch = r.u64();
+    let n_parts = r.u32() as usize;
+    (0..n_parts).map(|_| r.bytes()).collect()
+}
+
 /// Collective state for one rank: pairs a [`Communicator`] with the epoch
 /// counter that matches collective instances across ranks.
 pub struct Collectives<'a> {
@@ -68,13 +115,13 @@ impl<'a> Collectives<'a> {
                 let _ = env;
                 arrived += 1;
             }
-            let payload = WireWriter::new().u64(epoch).finish();
+            let payload = encode_epoch(epoch);
             for dst in 1..n {
                 self.comm
                     .am_send(dst, H_BARRIER_RELEASE, Tag::System, payload.clone());
             }
         } else {
-            let payload = WireWriter::new().u64(epoch).finish();
+            let payload = encode_epoch(epoch);
             self.comm.am_send(0, H_BARRIER_ARRIVE, Tag::System, payload);
             let _ = self.await_handler(H_BARRIER_RELEASE, epoch);
         }
@@ -94,10 +141,7 @@ impl<'a> Collectives<'a> {
             let mut have = 1usize;
             while have < n {
                 let env = self.await_handler(H_GATHER, epoch);
-                let mut r = WireReader::new(env.payload);
-                let _epoch = r.u64();
-                let src = r.u64() as usize;
-                let body = r.bytes();
+                let (src, body) = decode_contribution(env.payload);
                 assert!(
                     parts[src].is_none(),
                     "duplicate gather contribution from {src}"
@@ -106,28 +150,17 @@ impl<'a> Collectives<'a> {
                 have += 1;
             }
             // Broadcast the frame.
-            let mut w = WireWriter::new().u64(epoch).u32(n as u32);
             let parts: Vec<Bytes> = parts.into_iter().map(Option::unwrap).collect();
-            for p in &parts {
-                w = w.bytes(p);
-            }
-            let frame = w.finish();
+            let frame = encode_bcast(epoch, &parts);
             for dst in 1..n {
                 self.comm.am_send(dst, H_BCAST, Tag::System, frame.clone());
             }
             parts
         } else {
-            let payload = WireWriter::new()
-                .u64(epoch)
-                .u64(self.comm.rank() as u64)
-                .bytes(contribution)
-                .finish();
+            let payload = encode_contribution(epoch, self.comm.rank() as u64, contribution);
             self.comm.am_send(0, H_GATHER, Tag::System, payload);
             let env = self.await_handler(H_BCAST, epoch);
-            let mut r = WireReader::new(env.payload);
-            let _epoch = r.u64();
-            let n_parts = r.u32() as usize;
-            (0..n_parts).map(|_| r.bytes()).collect()
+            decode_bcast(env.payload)
         }
     }
 
@@ -170,8 +203,7 @@ impl<'a> Collectives<'a> {
                 continue;
             };
             if env.handler == handler {
-                let mut r = WireReader::new(env.payload.clone());
-                let got = r.u64();
+                let got = decode_epoch(env.payload.clone());
                 assert_eq!(
                     got, epoch,
                     "collective epoch mismatch: ranks issued collectives in different orders"

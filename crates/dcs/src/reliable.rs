@@ -39,6 +39,48 @@ pub const H_REL_DATA: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 48);
 /// Reliable-layer cumulative acknowledgement.
 pub const H_REL_ACK: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 49);
 
+// Wire schema of the two reliable-layer frames, kept as named encode/decode
+// pairs so `cargo xtask analyze` can check the sequences against each other.
+
+/// Encode a data frame: seq, inner handler, inner tag, inner payload.
+///
+/// Pooled: frame buffers cycle constantly under load (wrapped at send,
+/// dropped at ACK), the exact pattern the freelist serves.
+fn encode_data(seq: u64, env: &Envelope) -> bytes::Bytes {
+    WireWriter::pooled(20 + env.payload.len())
+        .u64(seq)
+        .u32(env.handler.0)
+        .u32(match env.tag {
+            Tag::App => 0,
+            Tag::System => 1,
+        })
+        .bytes(&env.payload)
+        .finish()
+}
+
+/// Decode a data frame back to (seq, handler, tag, payload).
+fn decode_data(payload: bytes::Bytes) -> Option<(u64, HandlerId, Tag, bytes::Bytes)> {
+    let mut r = WireReader::new(payload);
+    let seq = r.try_u64()?;
+    let handler = HandlerId(r.try_u32()?);
+    let tag = match r.try_u32()? {
+        0 => Tag::App,
+        _ => Tag::System,
+    };
+    let inner = r.try_bytes()?;
+    Some((seq, handler, tag, inner))
+}
+
+/// Encode a cumulative ACK: the next expected sequence number.
+fn encode_ack(expected: u64) -> bytes::Bytes {
+    WireWriter::pooled(8).u64(expected).finish()
+}
+
+/// Decode a cumulative ACK.
+fn decode_ack(payload: bytes::Bytes) -> Option<u64> {
+    WireReader::new(payload).try_u64()
+}
+
 /// Retransmission schedule, in receive-poll ticks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryConfig {
@@ -165,17 +207,7 @@ impl<T: Transport> ReliableTransport<T> {
     }
 
     fn wrap(&self, env: &Envelope, seq: u64) -> Envelope {
-        // Pooled: frame buffers cycle constantly under load (wrapped at
-        // send, dropped at ACK), the exact pattern the freelist serves.
-        let payload = WireWriter::pooled(20 + env.payload.len())
-            .u64(seq)
-            .u32(env.handler.0)
-            .u32(match env.tag {
-                Tag::App => 0,
-                Tag::System => 1,
-            })
-            .bytes(&env.payload)
-            .finish();
+        let payload = encode_data(seq, env);
         Envelope {
             src: self.inner.rank(),
             dst: env.dst,
@@ -196,7 +228,7 @@ impl<T: Transport> ReliableTransport<T> {
             dst,
             handler: H_REL_ACK,
             tag: Tag::System,
-            payload: WireWriter::pooled(8).u64(expected).finish(),
+            payload: encode_ack(expected),
         });
     }
 
@@ -204,8 +236,7 @@ impl<T: Transport> ReliableTransport<T> {
     fn handle_incoming(&self, state: &mut ReliableState, env: Envelope) {
         let src = env.src;
         if env.handler == H_REL_ACK {
-            let mut r = WireReader::new(env.payload);
-            let Some(ack) = r.try_u64() else {
+            let Some(ack) = decode_ack(env.payload) else {
                 state.stats.malformed += 1;
                 return;
             };
@@ -232,26 +263,19 @@ impl<T: Transport> ReliableTransport<T> {
             state.ready.push_back(env);
             return;
         }
-        let mut r = WireReader::new(env.payload);
-        let decoded = (|| {
-            let seq = r.try_u64()?;
-            let handler = HandlerId(r.try_u32()?);
-            let tag = match r.try_u32()? {
-                0 => Tag::App,
-                _ => Tag::System,
-            };
-            let payload = r.try_bytes()?;
-            Some((
+        let dst = env.dst;
+        let decoded = decode_data(env.payload).map(|(seq, handler, tag, payload)| {
+            (
                 seq,
                 Envelope {
                     src,
-                    dst: env.dst,
+                    dst,
                     handler,
                     tag,
                     payload,
                 },
-            ))
-        })();
+            )
+        });
         let Some((seq, inner_env)) = decoded else {
             state.stats.malformed += 1;
             let handler = env.handler.0;

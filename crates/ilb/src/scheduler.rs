@@ -503,6 +503,15 @@ impl<O: Migratable> Scheduler<O> {
         }
     }
 
+    /// Encode a load snapshot for the `LB_STATUS`/`LB_REQUEST` node
+    /// messages; the wire twin of [`Self::decode_snapshot`].
+    fn encode_snapshot(load: &LoadSnapshot) -> Bytes {
+        WireWriter::new()
+            .u64(load.units as u64)
+            .f64(load.weight)
+            .finish()
+    }
+
     /// Decode a load snapshot off the wire, refusing truncated payloads and
     /// unit counts that do not fit in `usize` (checked narrowing — a corrupt
     /// count must not truncate silently on 32-bit targets).
@@ -584,10 +593,7 @@ impl<O: Migratable> Scheduler<O> {
 
         // Publish status to the neighborhood when it changed.
         if self.last_published != Some(local) {
-            let status = WireWriter::new()
-                .u64(local.units as u64)
-                .f64(local.weight)
-                .finish();
+            let status = Self::encode_snapshot(&local);
             for nb in self.policy.neighborhood(me, n) {
                 self.node
                     .node_message(nb, LB_STATUS, Tag::System, status.clone());
@@ -645,10 +651,7 @@ impl<O: Migratable> Scheduler<O> {
             && self.attempt < self.attempt_cap()
         {
             if let Some(victim) = self.policy.choose_victim(me, n, &self.known, self.attempt) {
-                let req = WireWriter::new()
-                    .u64(local.units as u64)
-                    .f64(local.weight)
-                    .finish();
+                let req = Self::encode_snapshot(&local);
                 let attempt = self.attempt;
                 self.tracer
                     .emit(|| TraceEvent::LbRequest { victim, attempt });

@@ -15,7 +15,7 @@ pub struct Violation {
 }
 
 impl Violation {
-    fn new(path: &str, line: usize, lint: &'static str, message: String) -> Self {
+    pub(crate) fn new(path: &str, line: usize, lint: &'static str, message: String) -> Self {
         Violation {
             path: path.to_string(),
             line,
@@ -25,19 +25,41 @@ impl Violation {
     }
 }
 
-/// Parsed allowlist: workspace-relative path -> justification.
+/// One parsed allowlist entry: the 1-based line it sits on in the allowlist
+/// file (so stale-entry diagnostics point at the exact line to delete) and
+/// its mandatory justification.
+pub struct AllowEntry {
+    pub line: usize,
+    pub why: String,
+}
+
+/// Parsed allowlist: key -> entry, where a key is either a
+/// workspace-relative `path` or a `path:line` pair.
 ///
-/// File format: one `path: justification` per line; `#` starts a comment.
-/// A justification is mandatory — an allowlist entry without a reason is
-/// itself a violation (reported against the allowlist file).
+/// File format: one `path: justification` or `path:line: justification` per
+/// line; `#` starts a comment. A justification is mandatory — an allowlist
+/// entry without a reason is itself a violation (reported against the
+/// allowlist file). Line-keyed lists ([`Allowlist::parse_line_keyed`])
+/// additionally reject plain-path keys, so a single entry can never
+/// blanket-allow a whole file.
 pub struct Allowlist {
     pub file: String,
-    pub entries: BTreeMap<String, String>,
+    pub entries: BTreeMap<String, AllowEntry>,
     pub parse_errors: Vec<Violation>,
 }
 
 impl Allowlist {
     pub fn parse(file: &str, text: &str) -> Allowlist {
+        Self::parse_with(file, text, false)
+    }
+
+    /// Parse an allowlist whose entries must all be `path:line: reason` —
+    /// used by lints that refuse file-granular allowances.
+    pub fn parse_line_keyed(file: &str, text: &str) -> Allowlist {
+        Self::parse_with(file, text, true)
+    }
+
+    fn parse_with(file: &str, text: &str, line_keyed: bool) -> Allowlist {
         let mut entries = BTreeMap::new();
         let mut parse_errors = Vec::new();
         for (i, raw) in text.lines().enumerate() {
@@ -45,15 +67,39 @@ impl Allowlist {
             if line.is_empty() {
                 continue;
             }
-            match line.split_once(':') {
-                Some((path, why)) if !why.trim().is_empty() => {
-                    entries.insert(path.trim().to_string(), why.trim().to_string());
+            let parsed = line.split_once(':').map(|(path, rest)| {
+                // `path:line: reason` when the text between the first two
+                // colons is an integer; `path: reason` otherwise.
+                match rest.split_once(':') {
+                    Some((num, why)) if num.trim().parse::<usize>().is_ok() => (
+                        format!("{}:{}", path.trim(), num.trim()),
+                        why.trim().to_string(),
+                        true,
+                    ),
+                    _ => (path.trim().to_string(), rest.trim().to_string(), false),
+                }
+            });
+            match parsed {
+                Some((key, why, has_line)) if !why.is_empty() => {
+                    if line_keyed && !has_line {
+                        parse_errors.push(Violation::new(
+                            file,
+                            i + 1,
+                            "allowlist",
+                            format!(
+                                "entry `{key}` allows a whole file; this \
+                                 allowlist requires `path:line: justification`"
+                            ),
+                        ));
+                        continue;
+                    }
+                    entries.insert(key, AllowEntry { line: i + 1, why });
                 }
                 _ => parse_errors.push(Violation::new(
                     file,
                     i + 1,
                     "allowlist",
-                    format!("entry must be `path: justification`, got `{line}`"),
+                    format!("entry must be `path[:line]: justification`, got `{line}`"),
                 )),
             }
         }
@@ -64,22 +110,23 @@ impl Allowlist {
         }
     }
 
-    fn allows(&self, path: &str) -> bool {
-        self.entries.contains_key(path)
+    pub fn allows(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
     }
 
     /// Entries that never matched a finding: stale allowances are violations
-    /// too, so the allowlist can only shrink.
+    /// too, so the allowlist can only shrink. Reported at the entry's own
+    /// line in the allowlist file.
     pub fn unused(&self, used: &BTreeSet<String>) -> Vec<Violation> {
         self.entries
-            .keys()
-            .filter(|p| !used.contains(*p))
-            .map(|p| {
+            .iter()
+            .filter(|(k, _)| !used.contains(*k))
+            .map(|(k, e)| {
                 Violation::new(
                     &self.file,
-                    0,
+                    e.line,
                     "allowlist",
-                    format!("stale entry `{p}`: no finding at that path any more"),
+                    format!("stale entry `{k}`: no finding at that key any more"),
                 )
             })
             .collect()
@@ -90,7 +137,9 @@ impl Allowlist {
 ///
 /// Rationale: the vendored loom explorer verifies schedules under sequential
 /// consistency only, so every relaxed access is unverified by tooling and
-/// must carry a written justification.
+/// must carry a written justification. The allowlist is line-granular
+/// (`path:line` keys): each individual relaxed access needs its own
+/// justified entry, so a whole file can never be blanket-allowed.
 pub fn lint_relaxed_ordering(
     file: &SourceFile,
     allow: &Allowlist,
@@ -101,8 +150,9 @@ pub fn lint_relaxed_ordering(
         if !stripped.contains("Ordering::Relaxed") {
             continue;
         }
-        if allow.allows(&file.path) {
-            used.insert(file.path.clone());
+        let key = format!("{}:{ln}", file.path);
+        if allow.allows(&key) {
+            used.insert(key);
             continue;
         }
         out.push(Violation::new(
@@ -110,8 +160,8 @@ pub fn lint_relaxed_ordering(
             ln,
             "relaxed-ordering",
             "Ordering::Relaxed outside the audited allowlist; use \
-             Acquire/Release (or SeqCst) or add an allowlist entry with a \
-             justification"
+             Acquire/Release (or SeqCst) or add a `path:line:` allowlist \
+             entry with a justification"
                 .to_string(),
         ));
     }
@@ -507,19 +557,47 @@ mod tests {
     }
 
     #[test]
-    fn relaxed_in_allowlisted_file_passes_and_is_marked_used() {
-        let allow = Allowlist::parse(
+    fn relaxed_on_allowlisted_line_passes_and_is_marked_used() {
+        let allow = Allowlist::parse_line_keyed(
             "allow.txt",
-            "crates/core/src/stats.rs: monotone counter, read only for reporting\n",
+            "crates/core/src/stats.rs:1: monotone counter, read only for reporting\n",
         );
+        assert!(allow.parse_errors.is_empty());
         let f = file(
             "crates/core/src/stats.rs",
             "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n",
         );
         let mut used = BTreeSet::new();
         assert!(lint_relaxed_ordering(&f, &allow, &mut used).is_empty());
-        assert!(used.contains("crates/core/src/stats.rs"));
+        assert!(used.contains("crates/core/src/stats.rs:1"));
         assert!(allow.unused(&used).is_empty());
+    }
+
+    #[test]
+    fn relaxed_allowance_does_not_cover_other_lines_of_the_file() {
+        let allow = Allowlist::parse_line_keyed(
+            "allow.txt",
+            "crates/core/src/stats.rs:1: monotone counter, read only for reporting\n",
+        );
+        let f = file(
+            "crates/core/src/stats.rs",
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\nfn g(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n",
+        );
+        let mut used = BTreeSet::new();
+        let v = lint_relaxed_ordering(&f, &allow, &mut used);
+        assert_eq!(v.len(), 1, "only the un-allowlisted line fires");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn line_keyed_allowlist_rejects_whole_file_entries() {
+        let allow = Allowlist::parse_line_keyed(
+            "allow.txt",
+            "crates/core/src/stats.rs: would blanket-allow the file\n",
+        );
+        assert!(allow.entries.is_empty());
+        assert_eq!(allow.parse_errors.len(), 1);
+        assert!(allow.parse_errors[0].message.contains("whole file"));
     }
 
     #[test]
@@ -533,18 +611,36 @@ mod tests {
     }
 
     #[test]
-    fn stale_allowlist_entry_is_reported() {
-        let allow = Allowlist::parse("allow.txt", "crates/core/src/gone.rs: was needed once\n");
-        let used = BTreeSet::new();
+    fn stale_allowlist_entry_is_reported_at_its_own_line() {
+        let allow = Allowlist::parse(
+            "allow.txt",
+            "# header comment\ncrates/core/src/kept.rs: still matches\ncrates/core/src/gone.rs: was needed once\n",
+        );
+        let mut used = BTreeSet::new();
+        used.insert("crates/core/src/kept.rs".to_string());
         let v = allow.unused(&used);
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("stale"));
+        assert!(v[0].message.contains("gone.rs"));
+        assert_eq!(v[0].line, 3, "points at the entry's line in the allowlist");
+        assert_eq!(v[0].path, "allow.txt");
     }
 
     #[test]
     fn allowlist_entry_without_justification_is_an_error() {
         let allow = Allowlist::parse("allow.txt", "crates/core/src/runtime.rs\n");
         assert_eq!(allow.parse_errors.len(), 1);
+    }
+
+    #[test]
+    fn path_line_keys_parse_in_either_mode() {
+        let allow = Allowlist::parse(
+            "allow.txt",
+            "crates/dcs/src/chaos.rs:42: counter only read in stats()\n",
+        );
+        assert!(allow.parse_errors.is_empty());
+        assert!(allow.allows("crates/dcs/src/chaos.rs:42"));
+        assert!(!allow.allows("crates/dcs/src/chaos.rs"));
     }
 
     // ---- blocking calls ----

@@ -29,6 +29,8 @@
 //! trace (harness `PREMA_TRACE_OUT`) into the per-processor breakdown table
 //! plus forwarding-chain, begging-latency, and migration views.
 
+mod analyze;
+mod lex;
 mod lints;
 mod source;
 mod trace_report;
@@ -46,6 +48,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("analyze") => analyze_cmd(&args[1..]),
         Some("bench-json") => bench_json(),
         Some("trace-report") => trace_report_cmd(&args[1..]),
         Some(other) => {
@@ -61,7 +64,9 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask <lint | bench-json | trace-report <trace.jsonl> [stride]>");
+    eprintln!(
+        "usage: cargo xtask <lint | analyze [--json] | bench-json | trace-report <trace.jsonl> [stride]>"
+    );
 }
 
 /// `cargo xtask trace-report <trace.jsonl> [stride]`.
@@ -106,25 +111,15 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let allow_dir = root.join("crates/xtask/allow");
-    let relaxed_allow = load_allowlist(&allow_dir.join("relaxed-ordering.txt"));
-    let blocking_allow = load_allowlist(&allow_dir.join("blocking-calls.txt"));
-    let hygiene_allow = load_allowlist(&allow_dir.join("trace-hygiene.txt"));
-    let batch_allow = load_allowlist(&allow_dir.join("batch-hygiene.txt"));
-
-    // Everything under crates/*/src, plus tests/ and examples/ for the
-    // handler-id cross-reference (a registration in an integration test or
-    // example is a real dispatch site).
-    let mut src_files: Vec<SourceFile> = Vec::new();
-    let mut all_files: Vec<SourceFile> = Vec::new();
+/// Parse every workspace `.rs` file (crates + examples) into `SourceFile`s.
+fn load_workspace_files(root: &Path) -> Result<Vec<SourceFile>, ExitCode> {
+    let mut files = Vec::new();
     for path in rust_files(&root.join("crates"))
         .into_iter()
         .chain(rust_files(&root.join("examples")))
     {
         let rel = path
-            .strip_prefix(&root)
+            .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
@@ -132,15 +127,39 @@ fn lint() -> ExitCode {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("xtask: cannot read {rel}: {e}");
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
         };
-        let f = SourceFile::parse(&rel, &text);
-        if rel.contains("/src/") {
-            src_files.push(f);
-        } else {
-            all_files.push(f);
+        files.push(SourceFile::parse(&rel, &text));
+    }
+    Ok(files)
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let allow_dir = root.join("crates/xtask/allow");
+    // relaxed-ordering is line-granular: one justified entry per access.
+    let relaxed_allow = load_allowlist(&allow_dir.join("relaxed-ordering.txt"), true);
+    let blocking_allow = load_allowlist(&allow_dir.join("blocking-calls.txt"), false);
+    let hygiene_allow = load_allowlist(&allow_dir.join("trace-hygiene.txt"), false);
+    let batch_allow = load_allowlist(&allow_dir.join("batch-hygiene.txt"), false);
+
+    // Everything under crates/*/src, plus tests/ and examples/ for the
+    // handler-id cross-reference (a registration in an integration test or
+    // example is a real dispatch site).
+    let mut src_files: Vec<SourceFile> = Vec::new();
+    let mut all_files: Vec<SourceFile> = Vec::new();
+    match load_workspace_files(&root) {
+        Ok(files) => {
+            for f in files {
+                if f.path.contains("/src/") {
+                    src_files.push(f);
+                } else {
+                    all_files.push(f);
+                }
+            }
         }
+        Err(code) => return code,
     }
 
     let mut violations: Vec<Violation> = Vec::new();
@@ -229,6 +248,217 @@ fn lint() -> ExitCode {
     }
 }
 
+/// `cargo xtask analyze [--json]` — the four token-level protocol and
+/// concurrency analyses (see `analyze.rs`): handler graph, wire-schema
+/// pairing, atomics audit, trace-event coverage. Exit code gates on zero
+/// violations; `--json` emits a machine-readable report on stdout instead
+/// of the human tables.
+fn analyze_cmd(args: &[String]) -> ExitCode {
+    let json = args.iter().any(|a| a == "--json");
+    let root = workspace_root();
+    let files = match load_workspace_files(&root) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+
+    let atomics_allow = load_allowlist(
+        &root.join("crates/xtask/allow/atomics.txt"),
+        true, // line-granular, like relaxed-ordering
+    );
+    let mut atomics_used = BTreeSet::new();
+
+    let (handlers, hv) = analyze::handler_graph(&files);
+    let (wire_fns, wv) = analyze::wire_pairing(&files);
+    let (atomics, av) = analyze::atomics_audit(&files, &atomics_allow, &mut atomics_used);
+    let (events, tv) = analyze::trace_coverage(&files);
+
+    let mut violations: Vec<Violation> = Vec::new();
+    violations.extend(atomics_allow.parse_errors.iter().map(clone_violation));
+    violations.extend(hv);
+    violations.extend(wv);
+    violations.extend(av);
+    violations.extend(tv);
+    violations.extend(atomics_allow.unused(&atomics_used));
+    violations.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+
+    if json {
+        print!(
+            "{}",
+            analyze_json(&files, &handlers, &wire_fns, &atomics, &events, &violations)
+        );
+        return if violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    for v in &violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.lint, v.message);
+    }
+
+    // Audit table: every atomic with its orderings and how it is verified
+    // (allowlisted entries show their recorded justification).
+    println!("atomics audit ({} declarations):", atomics.len());
+    for d in &atomics {
+        let why = atomics_allow
+            .entries
+            .get(&format!("{}:{}", d.path, d.line))
+            .map(|e| format!(" — {}", e.why))
+            .unwrap_or_default();
+        println!(
+            "  {}:{}: {}.{} ({}) orderings=[{}] coverage={}{}",
+            d.path,
+            d.line,
+            d.container,
+            d.name,
+            d.ty,
+            d.orderings.iter().cloned().collect::<Vec<_>>().join("/"),
+            d.coverage.label(),
+            why
+        );
+    }
+    println!(
+        "handler graph: {} handlers ({} envelope-plane, {} node-plane), all routed",
+        handlers.len(),
+        handlers
+            .iter()
+            .filter(|h| h.plane == analyze::Plane::Envelope)
+            .count(),
+        handlers
+            .iter()
+            .filter(|h| h.plane == analyze::Plane::Node)
+            .count(),
+    );
+    println!(
+        "wire pairing: {} encode/decode fns checked; trace coverage: {} events",
+        wire_fns.len(),
+        events.len()
+    );
+    if violations.is_empty() {
+        println!(
+            "xtask analyze: OK ({} files, 4 analyses, 0 violations)",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask analyze: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Escape a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Hand-rolled `--json` report (xtask is pure std by design).
+fn analyze_json(
+    files: &[SourceFile],
+    handlers: &[analyze::HandlerInfo],
+    wire_fns: &[analyze::WireFn],
+    atomics: &[analyze::AtomicDecl],
+    events: &[analyze::TraceEventInfo],
+    violations: &[Violation],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"summary\": {{\"files\": {}, \"handlers\": {}, \"wire_fns\": {}, \
+         \"atomics\": {}, \"trace_events\": {}, \"violations\": {}}},\n",
+        files.len(),
+        handlers.len(),
+        wire_fns.len(),
+        atomics.len(),
+        events.len(),
+        violations.len()
+    ));
+    s.push_str("  \"violations\": [\n");
+    for (i, v) in violations.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"path\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}{}\n",
+            json_escape(&v.path),
+            v.line,
+            v.lint,
+            json_escape(&v.message),
+            if i + 1 < violations.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"handlers\": [\n");
+    for (i, h) in handlers.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"plane\": \"{}\", \"value\": {}, \"path\": \"{}\", \
+             \"line\": {}, \"sends\": {}, \"recvs\": {}}}{}\n",
+            json_escape(&h.name),
+            h.plane.label(),
+            h.value.map_or("null".to_string(), |v| v.to_string()),
+            json_escape(&h.path),
+            h.line,
+            h.sends,
+            h.recvs,
+            if i + 1 < handlers.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"wire_fns\": [\n");
+    for (i, w) in wire_fns.iter().enumerate() {
+        let ops: Vec<String> = w.ops.iter().map(|o| format!("\"{o}\"")).collect();
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ctx\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"ops\": [{}]}}{}\n",
+            json_escape(&w.name),
+            json_escape(&w.ctx),
+            json_escape(&w.path),
+            w.line,
+            ops.join(", "),
+            if i + 1 < wire_fns.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"atomics\": [\n");
+    for (i, d) in atomics.iter().enumerate() {
+        let ords: Vec<String> = d.orderings.iter().map(|o| format!("\"{o}\"")).collect();
+        s.push_str(&format!(
+            "    {{\"path\": \"{}\", \"line\": {}, \"container\": \"{}\", \"name\": \"{}\", \
+             \"type\": \"{}\", \"orderings\": [{}], \"coverage\": \"{}\"}}{}\n",
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.container),
+            json_escape(&d.name),
+            json_escape(&d.ty),
+            ords.join(", "),
+            d.coverage.label(),
+            if i + 1 < atomics.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"trace_events\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"variant\": \"{}\", \"name\": {}, \"emitted\": {}, \"consumed\": {}}}{}\n",
+            json_escape(&e.variant),
+            e.name
+                .as_ref()
+                .map_or("null".to_string(), |n| format!("\"{}\"", json_escape(n))),
+            e.emitted,
+            e.consumed,
+            if i + 1 < events.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// Benchmark targets feeding each checked-in baseline file: the substrate
 /// baseline carries both the microbenchmarks and the fast-path
 /// before/after comparison; the figure baseline carries the paper's
@@ -314,14 +544,18 @@ fn clone_violation(v: &Violation) -> Violation {
     }
 }
 
-fn load_allowlist(path: &Path) -> Allowlist {
+fn load_allowlist(path: &Path, line_keyed: bool) -> Allowlist {
     let rel = path
         .strip_prefix(workspace_root())
         .unwrap_or(path)
         .to_string_lossy()
         .replace('\\', "/");
     let text = std::fs::read_to_string(path).unwrap_or_default();
-    Allowlist::parse(&rel, &text)
+    if line_keyed {
+        Allowlist::parse_line_keyed(&rel, &text)
+    } else {
+        Allowlist::parse(&rel, &text)
+    }
 }
 
 /// All `.rs` files under `dir`, skipping build output.

@@ -1,10 +1,14 @@
-//! A deliberately simple model of a Rust source file for line/token lints.
+//! A lint-ready model of a Rust source file, built on the token lexer.
 //!
-//! No parser: we strip comments and string/char literals (preserving line
-//! structure so reported line numbers match the file), and mark the line
-//! spans of `#[cfg(test)]`-gated items and `#[test]` functions so lints can
-//! skip test code. This is a lint pass, not a compiler — the goal is zero
-//! false positives on idiomatic code, not full fidelity.
+//! [`SourceFile`] keeps three synchronized views of one file: the original
+//! lines, a "stripped" rendering (comments and literal contents blanked,
+//! line structure preserved — see [`crate::lex::strip_with`]), and the token
+//! stream itself. Line-oriented lints read the stripped lines; the protocol
+//! and concurrency analyses in [`crate::analyze`] walk the tokens. Both
+//! views agree on line numbers by construction because they come from the
+//! same lex.
+
+use crate::lex::{self, Token};
 
 /// A lint-ready view of one source file.
 pub struct SourceFile {
@@ -16,11 +20,14 @@ pub struct SourceFile {
     pub stripped: Vec<String>,
     /// `true` for lines inside `#[cfg(test)]` items or `#[test]` functions.
     pub is_test: Vec<bool>,
+    /// The full token stream (comments included; analyses filter).
+    pub tokens: Vec<Token>,
 }
 
 impl SourceFile {
     pub fn parse(path: &str, text: &str) -> SourceFile {
-        let stripped_text = strip(text);
+        let tokens = lex::lex(text);
+        let stripped_text = lex::strip_with(&tokens, text);
         let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
         let stripped: Vec<String> = stripped_text.lines().map(|l| l.to_string()).collect();
         let is_test = mark_test_lines(&stripped);
@@ -29,6 +36,7 @@ impl SourceFile {
             lines,
             stripped,
             is_test,
+            tokens,
         }
     }
 
@@ -52,176 +60,11 @@ impl SourceFile {
             .enumerate()
             .map(|(i, (s, o))| (i + 1, s.as_str(), o.as_str()))
     }
-}
 
-/// Replace comment bodies and string/char literal contents with spaces,
-/// keeping newlines so line/column positions survive.
-fn strip(text: &str) -> String {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-        Char,
+    /// Whether a 1-based line is inside test-gated code.
+    pub fn line_is_test(&self, line: usize) -> bool {
+        line >= 1 && self.is_test.get(line - 1).copied().unwrap_or(false)
     }
-    let b: Vec<char> = text.chars().collect();
-    let mut out = String::with_capacity(text.len());
-    let mut st = St::Code;
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        let next = b.get(i + 1).copied();
-        match st {
-            St::Code => match c {
-                '/' if next == Some('/') => {
-                    st = St::LineComment;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                }
-                '/' if next == Some('*') => {
-                    st = St::BlockComment(1);
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                }
-                '"' => {
-                    st = St::Str;
-                    out.push('"');
-                }
-                'r' if next == Some('"') || next == Some('#') => {
-                    // Possible raw string r"..." or r#"..."#.
-                    let mut j = i + 1;
-                    let mut hashes = 0u32;
-                    while b.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if b.get(j) == Some(&'"') {
-                        st = St::RawStr(hashes);
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        out.pop();
-                        out.push('"');
-                        i = j + 1;
-                        continue;
-                    }
-                    out.push(c);
-                }
-                '\'' => {
-                    // Char literal vs lifetime: 'x' / '\n' are literals;
-                    // 'a (no closing quote nearby) is a lifetime.
-                    let is_char = match next {
-                        Some('\\') => true,
-                        Some(_) => b.get(i + 2) == Some(&'\''),
-                        None => false,
-                    };
-                    if is_char {
-                        st = St::Char;
-                        out.push('\'');
-                    } else {
-                        out.push('\'');
-                    }
-                }
-                _ => out.push(c),
-            },
-            St::LineComment => {
-                if c == '\n' {
-                    st = St::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-            }
-            St::BlockComment(depth) => {
-                if c == '\n' {
-                    out.push('\n');
-                } else if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                } else if c == '*' && next == Some('/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::BlockComment(depth - 1)
-                    };
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    continue;
-                } else {
-                    out.push(' ');
-                }
-            }
-            St::Str => match c {
-                '\\' => {
-                    out.push(' ');
-                    if next.is_some() {
-                        out.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                }
-                '"' => {
-                    st = St::Code;
-                    out.push('"');
-                }
-                '\n' => out.push('\n'),
-                _ => out.push(' '),
-            },
-            St::RawStr(hashes) => {
-                if c == '"' {
-                    // Closing only if followed by `hashes` #s.
-                    let mut ok = true;
-                    for k in 0..hashes as usize {
-                        if b.get(i + 1 + k) != Some(&'#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        st = St::Code;
-                        out.push('"');
-                        for _ in 0..hashes {
-                            out.push(' ');
-                        }
-                        i += 1 + hashes as usize;
-                        continue;
-                    }
-                    out.push(' ');
-                } else if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-            }
-            St::Char => match c {
-                '\\' => {
-                    out.push(' ');
-                    if next.is_some() {
-                        out.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                }
-                '\'' => {
-                    st = St::Code;
-                    out.push('\'');
-                }
-                _ => out.push(' '),
-            },
-        }
-        i += 1;
-    }
-    out
 }
 
 /// Mark lines belonging to `#[cfg(test)]` items and `#[test]` functions.
@@ -308,6 +151,66 @@ mod tests {
         assert!(f.stripped[0].contains("code();"));
     }
 
+    // The old char-by-char stripper's edge cases, pinned against the lexer
+    // rebase. Each of these desynced (or risked desyncing) the literal state
+    // machine and thereby blanked or mis-attributed real code.
+
+    #[test]
+    fn loop_labels_and_lifetime_bounds_stay_code() {
+        let src =
+            "'outer: for x in 0..n {\n    break 'outer;\n}\nfn f<'a, T: Send + 'a>(v: &'a T) {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.stripped[0].contains("'outer: for x in 0..n {"));
+        assert!(f.stripped[1].contains("break 'outer;"));
+        assert!(f.stripped[3].contains("fn f<'a, T: Send + 'a>(v: &'a T) {}"));
+    }
+
+    #[test]
+    fn escaped_quote_and_backslash_char_literals_do_not_desync() {
+        // After '\'' and '\\' the stripper must be back in code state:
+        // the trailing call must survive, the literal contents must not.
+        let src = "let q = '\\''; let b = '\\\\'; keep_me();\nlet s = \"after\";\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.stripped[0].contains("keep_me();"));
+        assert!(!f.stripped[1].contains("after"));
+        assert!(f.stripped[1].contains("let s ="));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers() {
+        // A string continuation ("a\<newline>b") used to blank the newline,
+        // shifting every later line up by one — so lints reported wrong
+        // lines and test spans covered the wrong code.
+        let src = "let s = \"a\\\nb\";\nafter_the_string();\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.stripped.len(), f.lines.len(), "line structure preserved");
+        assert!(f.stripped[2].contains("after_the_string();"));
+        assert!(
+            !f.stripped[1].contains('b'),
+            "continuation contents blanked"
+        );
+    }
+
+    #[test]
+    fn unicode_escape_char_literal_stays_one_literal() {
+        let src = "let u = '\\u{1F600}'; tail();\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.stripped[0].contains("tail();"));
+        assert!(!f.stripped[0].contains("1F600"));
+    }
+
+    #[test]
+    fn byte_literals_are_blanked() {
+        let src = "let b = b'}'; let s = b\"}}\"; if depth == 0 { x(); }\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(
+            !f.stripped[0].contains('}') || f.stripped[0].rfind('}') > f.stripped[0].find("x()"),
+            "brace inside byte literals must be blanked: {}",
+            f.stripped[0]
+        );
+        assert!(f.stripped[0].contains("if depth == 0 { x(); }"));
+    }
+
     #[test]
     fn marks_cfg_test_mod() {
         let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn prod2() {}\n";
@@ -332,5 +235,18 @@ mod tests {
         let f = SourceFile::parse("t.rs", src);
         assert!(!f.is_test[5], "prod fn wrongly marked as test");
         assert!(f.is_test[2] && f.is_test[4]);
+    }
+
+    #[test]
+    fn tokens_carry_lines_matching_the_line_views() {
+        let src = "fn a() {}\n// comment\nfn b() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        let b = f
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("b"))
+            .expect("token for fn b");
+        assert_eq!(b.line, 3);
+        assert!(f.lines[b.line - 1].contains("fn b"));
     }
 }

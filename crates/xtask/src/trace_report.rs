@@ -319,6 +319,149 @@ fn render_begging_latency(recs: &[Rec]) -> String {
     s
 }
 
+/// Per-rank activity counters folded from the event stream. Together with
+/// the views above this consumes every `TraceEvent` variant — a property
+/// `cargo xtask analyze` enforces (trace-event coverage), so telemetry can
+/// not silently become write-only.
+#[derive(Default, Clone)]
+struct Activity {
+    /// `send` / `recv`: envelopes crossing this rank's transport.
+    sent: u64,
+    recvd: u64,
+    /// `exec_begin` / `exec_finish`: work units started and completed.
+    exec_begin: u64,
+    exec_finish: u64,
+    /// `poll` / `poll_system` / `poll_wake`: scheduler loop activity.
+    polls: u64,
+    sys_polls: u64,
+    wakes: u64,
+    /// `lb_request_recv` / `lb_grant` / `lb_nack_sent`: the victim side of
+    /// the begging protocol (the beggar side is in the latency view).
+    req_in: u64,
+    grants: u64,
+    nacks_out: u64,
+    /// `dcs_batch_flush` (+ coalesced message count) and the loss/recovery
+    /// counters `dcs_dropped` / `dcs_retry` / `dcs_duplicate`.
+    flushes: u64,
+    flush_msgs: u64,
+    dropped: u64,
+    retries: u64,
+    dups: u64,
+}
+
+fn fold_activity(recs: &[Rec]) -> Vec<Activity> {
+    let nprocs = recs.iter().map(|r| r.rank + 1).max().unwrap_or(0);
+    let mut acts = vec![Activity::default(); nprocs];
+    for r in recs {
+        let a = &mut acts[r.rank];
+        match r.ev.as_str() {
+            "send" => a.sent += 1,
+            "recv" => a.recvd += 1,
+            "exec_begin" => a.exec_begin += 1,
+            "exec_finish" => a.exec_finish += 1,
+            "poll" => a.polls += 1,
+            "poll_system" => a.sys_polls += 1,
+            "poll_wake" => a.wakes += 1,
+            "lb_request_recv" => a.req_in += 1,
+            "lb_grant" => a.grants += 1,
+            "lb_nack_sent" => a.nacks_out += 1,
+            "dcs_batch_flush" => {
+                a.flushes += 1;
+                a.flush_msgs += r.u64("msgs").unwrap_or(0);
+            }
+            "dcs_dropped" => a.dropped += 1,
+            "dcs_retry" => a.retries += 1,
+            "dcs_duplicate" => a.dups += 1,
+            _ => {}
+        }
+    }
+    acts
+}
+
+/// Activity-counter tables: messaging/scheduling per rank, then the LB
+/// victim side and substrate health. Rows that are entirely zero are
+/// skipped, like the empty-category columns of the breakdown table.
+fn render_activity(recs: &[Rec], stride: usize) -> String {
+    let stride = stride.max(1);
+    let acts = fold_activity(recs);
+    let mut s = String::from("== Activity counters ==\n");
+    let any = |f: fn(&Activity) -> u64| acts.iter().map(f).sum::<u64>() > 0;
+    if !any(|a| {
+        a.sent
+            + a.recvd
+            + a.exec_begin
+            + a.exec_finish
+            + a.polls
+            + a.sys_polls
+            + a.wakes
+            + a.req_in
+            + a.grants
+            + a.nacks_out
+            + a.flushes
+            + a.dropped
+            + a.retries
+            + a.dups
+    }) {
+        s.push_str("(no activity events in this trace)\n");
+        return s;
+    }
+    let _ = writeln!(
+        s,
+        "{:>5} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7}",
+        "proc", "sent", "recvd", "execs", "polls", "sys-polls", "wakes"
+    );
+    for (p, a) in acts.iter().enumerate().step_by(stride) {
+        let _ = writeln!(
+            s,
+            "{p:>5} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7}",
+            a.sent, a.recvd, a.exec_finish, a.polls, a.sys_polls, a.wakes
+        );
+    }
+    let begun: u64 = acts.iter().map(|a| a.exec_begin).sum();
+    let finished: u64 = acts.iter().map(|a| a.exec_finish).sum();
+    if begun != finished {
+        let _ = writeln!(
+            s,
+            "warning: {begun} exec_begin vs {finished} exec_finish (units cut off mid-run?)"
+        );
+    }
+    let _ = writeln!(
+        s,
+        "{:>5} {:>8} {:>8} {:>9} {:>8} {:>10} {:>8} {:>8} {:>5}",
+        "proc",
+        "req-in",
+        "grants",
+        "nacks-out",
+        "flushes",
+        "flush-msgs",
+        "dropped",
+        "retries",
+        "dups"
+    );
+    for (p, a) in acts.iter().enumerate().step_by(stride) {
+        let _ = writeln!(
+            s,
+            "{p:>5} {:>8} {:>8} {:>9} {:>8} {:>10} {:>8} {:>8} {:>5}",
+            a.req_in, a.grants, a.nacks_out, a.flushes, a.flush_msgs, a.dropped, a.retries, a.dups
+        );
+    }
+    let tot = |f: fn(&Activity) -> u64| acts.iter().map(f).sum::<u64>();
+    let _ = writeln!(
+        s,
+        "totals: {} sent, {} recvd, {} executed, {} flushed frames ({} msgs), \
+         {} dropped, {} retries, {} duplicates",
+        tot(|a| a.sent),
+        tot(|a| a.recvd),
+        tot(|a| a.exec_finish),
+        tot(|a| a.flushes),
+        tot(|a| a.flush_msgs),
+        tot(|a| a.dropped),
+        tot(|a| a.retries),
+        tot(|a| a.dups)
+    );
+    s
+}
+
 /// How many timeline rows to print before eliding the rest.
 const TIMELINE_LIMIT: usize = 20;
 
@@ -381,6 +524,8 @@ pub fn report(text: &str, stride: usize) -> Result<String, String> {
     s.push_str(&render_begging_latency(&recs));
     s.push('\n');
     s.push_str(&render_migration_timeline(&recs));
+    s.push('\n');
+    s.push_str(&render_activity(&recs, stride));
     Ok(s)
 }
 
@@ -402,12 +547,26 @@ mod tests {
 {"rank":1,"seq":7,"t":30,"ev":"forward_hop","home":0,"index":7,"next":1,"hops":1}
 {"rank":1,"seq":8,"t":40,"ev":"forward_hop","home":0,"index":7,"next":1,"hops":1}
 {"rank":1,"seq":9,"t":50,"ev":"forward_hop","home":0,"index":7,"next":1,"hops":2}
+{"rank":0,"seq":4,"t":60,"ev":"send","dst":1,"bytes":64}
+{"rank":1,"seq":10,"t":70,"ev":"recv","src":0,"bytes":64}
+{"rank":1,"seq":11,"t":80,"ev":"exec_begin","home":0,"index":7}
+{"rank":1,"seq":12,"t":90,"ev":"exec_finish","home":0,"index":7}
+{"rank":1,"seq":13,"t":95,"ev":"poll","events":3}
+{"rank":1,"seq":14,"t":96,"ev":"poll_system","events":1}
+{"rank":1,"seq":15,"t":97,"ev":"poll_wake","events":1}
+{"rank":0,"seq":5,"t":98,"ev":"lb_request_recv","src":1}
+{"rank":0,"seq":6,"t":99,"ev":"lb_grant","dst":1,"units":2}
+{"rank":0,"seq":7,"t":100,"ev":"lb_nack_sent","dst":1}
+{"rank":0,"seq":8,"t":101,"ev":"dcs_batch_flush","reason":"size","msgs":5,"bytes":320}
+{"rank":0,"seq":9,"t":102,"ev":"dcs_dropped","peer":1,"handler":7}
+{"rank":0,"seq":10,"t":103,"ev":"dcs_retry","peer":1,"frame":4,"attempt":1}
+{"rank":0,"seq":11,"t":104,"ev":"dcs_duplicate","peer":1,"handler":7}
 "#;
 
     #[test]
     fn parses_every_line_of_a_real_dump() {
         let recs = parse_dump(DUMP).expect("dump parses");
-        assert_eq!(recs.len(), 14);
+        assert_eq!(recs.len(), 28);
         assert_eq!(recs[0].ev, "span");
         assert_eq!(recs[0].u64("dur"), Some(2_000_000_000));
     }
@@ -478,13 +637,48 @@ mod tests {
     }
 
     #[test]
-    fn report_renders_all_four_sections() {
+    fn activity_counters_fold_per_rank() {
+        let recs = parse_dump(DUMP).expect("dump parses");
+        let out = render_activity(&recs, 1);
+        // Rank 0: 1 sent, victim-side LB (1 req-in, 1 grant, 1 nack-out),
+        // substrate (1 flush of 5 msgs, 1 dropped, 1 retry, 1 dup).
+        assert!(
+            out.contains(
+                "    0        1        1         1        1          5        1        1     1"
+            ),
+            "{out}"
+        );
+        // Rank 1: 1 recvd, 1 exec, 1 poll, 1 sys-poll, 1 wake.
+        assert!(
+            out.contains("    1        0        1        1        1         1       1"),
+            "{out}"
+        );
+        assert!(
+            out.contains("totals: 1 sent, 1 recvd, 1 executed, 1 flushed frames (5 msgs), 1 dropped, 1 retries, 1 duplicates"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn exec_imbalance_is_warned_about() {
+        let dump = "{\"rank\":0,\"seq\":0,\"t\":1,\"ev\":\"exec_begin\",\"home\":0,\"index\":1}\n";
+        let recs = parse_dump(dump).expect("dump parses");
+        let out = render_activity(&recs, 1);
+        assert!(
+            out.contains("warning: 1 exec_begin vs 0 exec_finish"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
         let out = report(DUMP, 1).expect("report renders");
         for heading in [
             "per-processor time breakdown",
             "Forwarding-chain length histogram",
             "Begging-round latency",
             "Migration timeline",
+            "Activity counters",
         ] {
             assert!(out.contains(heading), "missing {heading}:\n{out}");
         }
