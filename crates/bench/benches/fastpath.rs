@@ -4,11 +4,17 @@
 //! The paper's implicit mode wakes a polling thread every few hundred
 //! microseconds; almost every wake-up finds nothing (§4.2), so the cost of an
 //! *empty* poll is pure overhead multiplied by machine size × run length.
-//! [`ScanEndpoint`] below is a faithful copy of the workspace's previous
-//! transport — one channel per ordered (src → dst) pair, an O(n) scan per
-//! `try_recv` — kept here so `BENCH_substrate.json` always carries the
-//! before/after comparison for the current shared-inbox transport
-//! (`prema_dcs::transport`, O(1) per receive).
+//! Two retired transport designs are rebuilt here as faithful copies so
+//! `BENCH_substrate.json` always carries the full lineage: [`ScanEndpoint`]
+//! (one channel per ordered (src → dst) pair, O(n) scan per `try_recv`) and
+//! [`InboxEndpoint`] (one shared MPSC inbox per rank, O(1) probe — the
+//! design the `*_shared_*` ids have always measured). The current transport
+//! — the SPSC ring mesh in `prema_dcs::transport` — is benched on the same
+//! shapes under the `*_ring_*` ids in `benches/ring.rs`.
+//!
+//! The non-transport benches below (fan-out, pool, forwarding, migration)
+//! run on the current `LocalFabric`, whatever it is — they measure layers
+//! above the wire.
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -108,6 +114,53 @@ fn scan_fabric(n: usize) -> Vec<ScanEndpoint> {
         .collect()
 }
 
+// ---- the shared-inbox baseline (previous transport design) ---------------
+
+/// One endpoint of an [`inbox_fabric`]: every peer sends into this rank's
+/// single MPSC inbox, so receive is one channel probe regardless of machine
+/// size. A faithful copy of the transport the ring mesh replaced.
+struct InboxEndpoint {
+    rank: Rank,
+    peers: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+}
+
+impl Transport for InboxEndpoint {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn nprocs(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn send(&self, env: Envelope) {
+        let _ = self.peers[env.dst].send(env);
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        self.inbox.try_recv().ok()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+}
+
+/// Build the previous shared-inbox fabric: one MPSC channel per rank, every
+/// endpoint holding a clone of every sender.
+fn inbox_fabric(n: usize) -> Vec<InboxEndpoint> {
+    let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
+    rxs.into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| InboxEndpoint {
+            rank,
+            peers: txs.clone(),
+            inbox,
+        })
+        .collect()
+}
+
 // ---- benches -------------------------------------------------------------
 
 const EMPTY_POLLS: usize = 10_000;
@@ -127,7 +180,7 @@ fn bench_empty_poll(c: &mut Criterion) {
                 }
             })
         });
-        let shared = LocalFabric::new(n);
+        let shared = inbox_fabric(n);
         group.bench_function(format!("empty_poll_shared_ranks{n}_x10k"), |b| {
             b.iter(|| {
                 for _ in 0..EMPTY_POLLS {
@@ -176,16 +229,17 @@ fn bench_p2p_throughput(c: &mut Criterion) {
     });
     group.bench_function(format!("p2p_shared_2ranks_{P2P_MSGS}msgs"), |b| {
         b.iter(|| {
-            let mut eps = LocalFabric::new(2);
+            let mut eps = inbox_fabric(2);
             let rx = eps.pop().expect("fabric returns one endpoint per rank");
             let tx = eps.pop().expect("fabric returns one endpoint per rank");
             run_p2p(tx, &rx);
         })
     });
     // Same logical traffic, but through a pair of Communicators with
-    // coalescing on: the sender stages and flushes frames, the receiver's
-    // burst drain pulls a whole frame per channel op. The acceptance bar for
-    // the batching layer is this bench beating `p2p_shared` by ≥ 1.5×.
+    // coalescing on (over the current transport): the sender stages and
+    // flushes frames, the receiver's burst drain pulls a whole frame per
+    // wire op. The acceptance bar for the batching layer is this bench
+    // beating the unbatched p2p ids by ≥ 1.5×.
     group.bench_function(format!("p2p_batched_2ranks_{P2P_MSGS}msgs"), |b| {
         b.iter(|| {
             let mut eps = LocalFabric::new(2);

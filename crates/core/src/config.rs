@@ -81,6 +81,13 @@ pub struct PremaConfig {
     /// `PREMA_BATCH_MSGS` / `PREMA_BATCH_BYTES` environment knobs, when set,
     /// override this field so any run can be batched without code changes.
     pub batch: BatchConfig,
+    /// Pin each rank's application thread (and, in implicit mode, its
+    /// polling thread) to a fixed core, rank-round-robin over the machine's
+    /// cores — keeps each ring pair's cache lines bouncing between exactly
+    /// two cores (see `crate::affinity`). Off in every preset; the
+    /// `PREMA_PIN_CORES` environment variable (`1`/`true`/`on` to enable,
+    /// anything else to disable), when set, overrides this field at launch.
+    pub pin_cores: bool,
 }
 
 impl PremaConfig {
@@ -95,6 +102,7 @@ impl PremaConfig {
             policy: PolicyKind::WorkStealing { watermark: 1.0 },
             seed: 0xC0FFEE,
             batch: BatchConfig::off(),
+            pin_cores: false,
         }
     }
 
@@ -104,6 +112,15 @@ impl PremaConfig {
     pub fn with_batch(self, max_msgs: usize, max_bytes: usize) -> Self {
         PremaConfig {
             batch: BatchConfig::on(max_msgs, max_bytes),
+            ..self
+        }
+    }
+
+    /// This configuration with rank threads pinned to cores (see
+    /// [`PremaConfig::pin_cores`]).
+    pub fn with_pinning(self, on: bool) -> Self {
+        PremaConfig {
+            pin_cores: on,
             ..self
         }
     }
@@ -148,6 +165,20 @@ mod tests {
         let b = PremaConfig::implicit(4).with_batch(16, 4096).batch;
         assert!(b.is_on());
         assert_eq!(b, BatchConfig::on(16, 4096));
+    }
+
+    #[test]
+    fn pinning_is_off_in_every_preset() {
+        assert!(!PremaConfig::implicit(4).pin_cores);
+        assert!(!PremaConfig::explicit(4).pin_cores);
+        assert!(!PremaConfig::disabled(4).pin_cores);
+        assert!(PremaConfig::implicit(4).with_pinning(true).pin_cores);
+        assert!(
+            !PremaConfig::implicit(4)
+                .with_pinning(true)
+                .with_pinning(false)
+                .pin_cores
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod config;
 pub mod phases;
 pub mod runtime;

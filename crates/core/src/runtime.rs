@@ -174,6 +174,19 @@ impl<O: Migratable> Runtime<O> {
     }
 }
 
+/// Whether rank threads should be pinned: the `PREMA_PIN_CORES` environment
+/// variable, when set, wins over [`PremaConfig::pin_cores`] in either
+/// direction (`1`/`true`/`on`/`yes` enables, anything else disables).
+fn pinning_enabled(cfg: &PremaConfig) -> bool {
+    match std::env::var("PREMA_PIN_CORES") {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "1" | "true" | "on" | "yes"
+        ),
+        Err(_) => cfg.pin_cores,
+    }
+}
+
 /// Launch a PREMA machine: `cfg.nprocs` ranks, each running `main(runtime)`
 /// on its own thread. Returns each rank's result, in rank order.
 ///
@@ -270,6 +283,14 @@ where
     let stop = Arc::new(StopFlag::new());
     let main = Arc::new(main);
 
+    // Optional core pinning (see `crate::affinity`): each rank's threads go
+    // to core `rank % ncores`; the app thread and its poller share a core so
+    // a pair's ring lines stay between two caches.
+    let pin = pinning_enabled(&cfg);
+    let ncores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     // Message coalescing: the environment knobs (when set) win over the
     // config field, so any binary can be batched without a rebuild.
     let env_batch = prema_dcs::BatchConfig::from_env();
@@ -302,6 +323,9 @@ where
             let sched = sched.clone();
             let stop = stop.clone();
             poll_threads.push(std::thread::spawn(move || {
+                if pin {
+                    crate::affinity::pin_current_thread(rank % ncores);
+                }
                 run_poll_loop(&stop, || {
                     std::thread::sleep(poll_interval);
                     let events = sched.lock().poll_system();
@@ -316,6 +340,9 @@ where
         let main = main.clone();
         let nprocs = cfg.nprocs;
         app_threads.push(std::thread::spawn(move || {
+            if pin {
+                crate::affinity::pin_current_thread(rank % ncores);
+            }
             main(Runtime {
                 sched,
                 rank,

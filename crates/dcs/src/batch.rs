@@ -179,6 +179,12 @@ pub fn decode_frame(
         });
         appended += 1;
     }
+    // Receive-side half of the allocation-reuse loop: once every message is
+    // unpacked, hand the frame buffer back to the pool. Best-effort — it
+    // only reclaims when no decoded payload slice still shares the storage
+    // (e.g. the all-empty-payload frames system traffic favors); a miss
+    // just drops the buffer as before.
+    pool::recycle(r.into_inner());
     appended
 }
 
@@ -272,6 +278,40 @@ mod tests {
         };
         let mut out = VecDeque::new();
         assert_eq!(expand(hostile, &mut out), 0);
+    }
+
+    #[test]
+    fn decode_recycles_frame_buffer_when_payloads_are_empty() {
+        // Frames whose messages carry empty payloads (the shape system
+        // traffic favors) leave no slice sharing the frame storage, so the
+        // decode must hand the buffer back to the pool.
+        let msgs: Vec<_> = (0..8).map(|i| app(0, 1, i, b"")).collect();
+        let frame = encode_frame(0, 1, msgs);
+        let before = pool::stats();
+        let mut out = VecDeque::new();
+        assert_eq!(expand(frame, &mut out), 8);
+        let after = pool::stats();
+        assert_eq!(
+            after.recycled - before.recycled,
+            1,
+            "frame buffer must return to the pool"
+        );
+        assert!(out.iter().all(|e| e.payload.is_empty()));
+    }
+
+    #[test]
+    fn decode_with_live_payload_slices_skips_recycling_safely() {
+        let msgs = vec![app(0, 1, 1, b"abcd"), app(0, 1, 2, b"efgh")];
+        let frame = encode_frame(0, 1, msgs);
+        let before = pool::stats();
+        let mut out = VecDeque::new();
+        assert_eq!(expand(frame, &mut out), 2);
+        let after = pool::stats();
+        // The decoded payloads still share the frame storage: recycling is
+        // rejected, never unsound, and the data stays intact.
+        assert_eq!(after.recycled - before.recycled, 0);
+        assert_eq!(&out[0].payload[..], b"abcd");
+        assert_eq!(&out[1].payload[..], b"efgh");
     }
 
     #[test]

@@ -8,11 +8,15 @@
 //!
 //! Layering (bottom-up):
 //!
-//! * [`transport`] — the wire. [`transport::LocalFabric`] connects N ranks
-//!   (one OS thread each) through one shared MPSC inbox per rank: a real
-//!   concurrent message-passing machine inside one process, with O(1)
-//!   receive cost and structural per-pair FIFO (each producer's sends
-//!   enqueue atomically in order).
+//! * [`transport`] — the wire. [`transport::RingFabric`] connects N ranks
+//!   (one OS thread each) through a shared-nothing mesh of bounded SPSC
+//!   rings, one per ordered rank pair: a real concurrent message-passing
+//!   machine inside one process with a lock-free, allocation-free
+//!   steady-state path, O(1) empty polls via a readiness bitmask, and
+//!   structural per-pair FIFO (one sender, one ring, one receiver).
+//! * `ring` (crate-internal) — the lock-free building blocks under the
+//!   transport: the SPSC ring, the readiness bitmask, the parker eventcount
+//!   for blocking receives, and the unbounded overflow spill channel.
 //! * [`envelope`] — messages: handler id + [`envelope::Tag`] (application vs
 //!   system) + payload bytes.
 //! * [`comm`] — the per-rank endpoint: sends, polling receives, a sideline
@@ -51,6 +55,7 @@ pub mod fxmap;
 pub mod handler;
 pub mod pool;
 pub mod reliable;
+mod ring;
 pub mod transport;
 pub mod wire;
 
@@ -63,5 +68,5 @@ pub use envelope::{Envelope, HandlerId, Rank, Tag};
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use handler::{Handler, HandlerTable};
 pub use reliable::{ReliableStats, ReliableTransport, RetryConfig};
-pub use transport::{LocalEndpoint, LocalFabric, Transport};
+pub use transport::{LocalEndpoint, LocalFabric, RingEndpoint, RingFabric, Transport};
 pub use wire::{WireReader, WireWriter};

@@ -1,40 +1,60 @@
 //! Wire transports.
 //!
 //! The paper's PREMA sat on LAM/MPI. Here the wire is abstracted behind
-//! [`Transport`]; the provided [`LocalFabric`] connects N ranks (one OS thread
-//! each) through crossbeam channels, giving a real concurrent message-passing
-//! machine inside one process.
+//! [`Transport`]; the provided [`RingFabric`] connects N ranks (one OS
+//! thread each) through a shared-nothing mesh of bounded lock-free SPSC
+//! rings, giving a real concurrent message-passing machine inside one
+//! process.
 //!
-//! # The single-queue fast path
+//! # The shared-nothing ring mesh
 //!
-//! Each rank owns **one** shared MPSC inbox; every peer holds a clone of its
-//! sender. This makes the two operations the runtime performs constantly —
-//! the preemptive polling thread's empty poll and the blocking
-//! `recv_timeout` — O(1) in machine size: `try_recv` is a single channel
-//! probe (no scan over per-peer inboxes) and `recv_timeout` is a single
-//! condvar wait (no `Select` built per call). An earlier design used an n×n
-//! channel mesh, which paid an O(n) scan per *empty* poll — overhead that
-//! grew with machine size on exactly the path §4.2's implicit mode needs to
-//! be negligible (the inbox-scan baseline survives in
-//! `crates/bench/benches/fastpath.rs` so the win stays measured).
+//! Every ordered rank pair (including self-sends) owns a private
+//! single-producer/single-consumer ring (see [`crate::ring`]): the sender
+//! holds the producer end, the receiver the consumer end, and the
+//! steady-state path crosses **no** lock and **no** contended RMW — a send
+//! is a slot write plus three uncontended atomics (tail publish, readiness
+//! mark, parked-waiter probe), and it allocates nothing. Two earlier
+//! designs are retired by this one: the original n×n channel mesh paid an
+//! O(n) scan per *empty* poll, and the single shared MPSC inbox that
+//! replaced it made the empty poll O(1) but pushed every bulk send through
+//! one contended channel (BENCH_substrate.json: unbatched p2p *slower* than
+//! the scan it replaced). The ring mesh keeps both properties at once:
+//!
+//! - **Empty poll**: a receiver-side readiness bitmask (one bit per peer,
+//!   marked by senders after each push) lets `try_recv` answer "nothing
+//!   pending" from ⌈n/64⌉ relaxed word loads — no ring is touched.
+//! - **Blocking receive**: a per-rank [`ring::Parker`] eventcount gives
+//!   `recv_timeout` a sleep that senders can wake for the cost of one
+//!   atomic load on the no-waiter fast path, preserving the prompt-wake
+//!   and bounded-timeout behavior the model-checked shutdown relies on.
+//! - **Backpressure**: a full ring spills to that pair's unbounded
+//!   [`ring::Overflow`] side channel, so `send` keeps the never-blocks /
+//!   never-drops contract the decorators (`ReliableTransport`,
+//!   `ChaosTransport`) and [`crate::batch`] assume. Spill order invariant:
+//!   from the first spill until the receiver drains the overflow empty, the
+//!   sender keeps appending to the overflow — and every receive probes the
+//!   ring before the overflow — so everything in the ring predates
+//!   everything in the overflow and per-pair FIFO survives spill episodes.
 //!
 //! The per-pair FIFO guarantee of MPI — which the MOL's sequence-numbered
-//! delivery ordering builds on — is preserved *structurally*: the channel is
-//! multi-producer with each `send` enqueueing atomically, so the messages of
-//! any one producer appear in the queue in their send order. Interleaving
-//! *between* producers is arbitrary (it always was, even with per-pair
-//! channels), which is all the MOL assumes. A multi-sender proptest
-//! (`shared_queue_preserves_per_pair_fifo` in `tests/proptest_dcs.rs`) pins
-//! the guarantee under randomized thread interleavings.
+//! delivery ordering builds on — is now *structural per pair*: one sender,
+//! one ring, one receiver. Interleaving *between* pairs is arbitrary (it
+//! always was), which is all the MOL assumes; the receive sweep
+//! round-robins across ready peers so no pair starves behind another's
+//! backlog. A multi-sender proptest (`ring_mesh_preserves_per_pair_fifo` in
+//! `tests/proptest_dcs.rs`) pins the guarantee under randomized thread
+//! interleavings, and `tests/loom_ring.rs` model-checks the ring index
+//! handshake, the readiness clear-then-recheck, and the parker wakeup.
 
 use crate::batch;
 use crate::envelope::{Envelope, Rank};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::ring::{self, Consumer, Overflow, Parker, Producer, ReadySet};
 use prema_trace::{TraceEvent, Tracer};
+use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A node's connection to the machine.
 pub trait Transport: Send {
@@ -67,8 +87,8 @@ pub trait Transport: Send {
         }
     }
 
-    /// Non-blocking receive that expands a coalesced frame: **one** channel
-    /// probe (the empty poll stays O(1)), but a frame arrival appends every
+    /// Non-blocking receive that expands a coalesced frame: **one** probe
+    /// (the empty poll stays O(1)), but a frame arrival appends every
     /// constituent envelope to `out` in staging order. Returns the number of
     /// envelopes appended (0 = nothing pending).
     fn try_recv_batch(&self, out: &mut VecDeque<Envelope>) -> usize {
@@ -79,109 +99,297 @@ pub trait Transport: Send {
     }
 }
 
-/// One endpoint of a [`LocalFabric`].
-pub struct LocalEndpoint {
-    rank: Rank,
-    /// `peers[d]` delivers into rank `d`'s shared inbox (including self, for
-    /// uniformity).
-    peers: Vec<Sender<Envelope>>,
-    /// This rank's single shared inbox: every peer sends into it, so receive
-    /// cost is independent of machine size.
-    inbox: Receiver<Envelope>,
-    /// Fabric-wide count of sends into an already-torn-down inbox. Shared by
+/// Per-receiver state every sender needs a handle on: the readiness bits it
+/// marks, the parker it pokes, and the teardown latch it consults.
+struct RankShared {
+    /// Bit `s` set ⇒ pair (s → this rank) may hold traffic.
+    ready: ReadySet,
+    /// Eventcount for this rank's blocking receives.
+    parker: Parker,
+    /// Set when this rank's endpoint drops; senders then count the message
+    /// as undeliverable instead of writing into a ring nobody will drain.
+    closed: AtomicBool,
+}
+
+/// State shared by every endpoint of one fabric.
+struct FabricShared {
+    ranks: Vec<RankShared>,
+    /// Fabric-wide count of sends to an already-torn-down rank. Shared by
     /// every endpoint so a teardown race anywhere in the machine is visible
     /// from any surviving rank.
-    undeliverable: Arc<AtomicU64>,
+    undeliverable: AtomicU64,
+}
+
+/// Sender-side handle on one ordered pair: the ring's producer end plus the
+/// shared spill queue.
+struct TxPair {
+    prod: Producer,
+    overflow: Arc<Overflow>,
+}
+
+/// Receiver-side handle on one ordered pair.
+struct RxPair {
+    cons: Consumer,
+    overflow: Arc<Overflow>,
+}
+
+/// One endpoint of a [`RingFabric`].
+pub struct RingEndpoint {
+    rank: Rank,
+    /// `tx[d]` is this rank's private producer for the (rank → d) ring.
+    tx: Vec<TxPair>,
+    /// `rx[s]` is this rank's private consumer for the (s → rank) ring.
+    rx: Vec<RxPair>,
+    /// Round-robin sweep position, advanced past each delivering peer so no
+    /// pair starves behind another's backlog.
+    cursor: Cell<usize>,
+    shared: Arc<FabricShared>,
     /// Emits [`TraceEvent::DcsDropped`] for undeliverable sends.
     tracer: Tracer,
 }
 
-impl LocalEndpoint {
+/// Compatibility alias from the shared-inbox era; the ring mesh is the only
+/// local transport now.
+pub type LocalEndpoint = RingEndpoint;
+
+impl RingEndpoint {
     /// Attach a tracer so undeliverable sends show up in the event stream.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
     }
 
     /// Fabric-wide number of envelopes that could not be delivered because
-    /// the destination inbox had already been dropped.
+    /// the destination rank had already been torn down.
     pub fn undeliverable_count(&self) -> u64 {
-        self.undeliverable.load(Ordering::SeqCst)
+        self.shared.undeliverable.load(Ordering::SeqCst)
+    }
+
+    /// Probe the (src → self) pair: ring first, then spill queue — the
+    /// order the FIFO-across-spill invariant requires.
+    fn pop_pair(&self, src: usize) -> Option<Envelope> {
+        let pair = &self.rx[src];
+        pair.cons.pop().or_else(|| pair.overflow.pop())
+    }
+
+    /// One round-robin sweep over the ready peers at the caller's chosen
+    /// load strength: `Relaxed` for the polling fast path (a mark published
+    /// concurrently is caught by the next poll), `SeqCst` for the pre-park
+    /// double-check (a registered waiter must observe any send that
+    /// preceded its registration — see [`Parker`]).
+    fn sweep(&self, ord: Ordering) -> Option<Envelope> {
+        let ready = &self.shared.ranks[self.rank].ready;
+        if !ready.any(ord) {
+            return None;
+        }
+        let n = self.rx.len();
+        let start = self.cursor.get();
+        for k in 0..n {
+            let src = {
+                let s = start + k;
+                if s >= n {
+                    s - n
+                } else {
+                    s
+                }
+            };
+            if !ready.is_marked(src, ord) {
+                continue;
+            }
+            if let Some(env) = self.pop_pair(src) {
+                self.cursor.set(if src + 1 >= n { 0 } else { src + 1 });
+                return Some(env);
+            }
+            // Stale bit. Clear it, then re-probe: the clearing fetch_and is
+            // an AcqRel RMW, so if it observed a concurrent sender's mark
+            // the re-probe observes that sender's push too; if it did not,
+            // the mark lands after the clear and survives for the next
+            // sweep. Either way nothing is lost.
+            ready.clear(src);
+            if let Some(env) = self.pop_pair(src) {
+                ready.mark(src);
+                self.cursor.set(if src + 1 >= n { 0 } else { src + 1 });
+                return Some(env);
+            }
+        }
+        None
     }
 }
 
-impl Transport for LocalEndpoint {
+impl Transport for RingEndpoint {
     fn rank(&self) -> Rank {
         self.rank
     }
 
     fn nprocs(&self) -> usize {
-        self.peers.len()
+        self.tx.len()
     }
 
     fn send(&self, env: Envelope) {
         let dst = env.dst;
-        assert!(dst < self.peers.len(), "send to nonexistent rank {dst}");
-        // Unbounded channel: send never blocks; it fails only when the
-        // destination inbox receiver was already dropped (a teardown race).
-        // That loss must not be silent — count it and trace it so a vanished
+        assert!(dst < self.tx.len(), "send to nonexistent rank {dst}");
+        let peer = &self.shared.ranks[dst];
+        // A rank that already tore down will never drain its rings. That
+        // loss must not be silent — count it and trace it so a vanished
         // message is diagnosable instead of a mystery hang.
-        if let Err(e) = self.peers[dst].send(env) {
-            self.undeliverable.fetch_add(1, Ordering::SeqCst);
-            let handler = e.0.handler.0;
+        if peer.closed.load(Ordering::SeqCst) {
+            self.shared.undeliverable.fetch_add(1, Ordering::SeqCst);
+            let handler = env.handler.0;
             self.tracer
                 .emit(|| TraceEvent::DcsDropped { peer: dst, handler });
+            return;
         }
+        let pair = &self.tx[dst];
+        // Steady state: one slot write into the private ring, no lock, no
+        // allocation. Ring full — or an earlier spill not yet drained —
+        // diverts to the overflow queue (see the module docs for why this
+        // preserves per-pair FIFO).
+        if pair.overflow.is_empty() {
+            if let Err(env) = pair.prod.push(env) {
+                pair.overflow.push(env);
+            }
+        } else {
+            pair.overflow.push(env);
+        }
+        peer.ready.mark(self.rank);
+        peer.parker.unpark();
     }
 
     fn try_recv(&self) -> Option<Envelope> {
-        // O(1): one probe of the shared inbox, regardless of machine size.
-        self.inbox.try_recv().ok()
+        // Empty poll: ⌈n/64⌉ relaxed word loads and out. The relaxed
+        // strength is safe because polling repeats: a mark this poll
+        // misses, the next poll (or the SeqCst pre-park re-probe) sees.
+        self.sweep(Ordering::Relaxed)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
-        // O(1): a single blocking receive — no selector construction, no
-        // scan. A sender's enqueue wakes this directly via the channel's
-        // condvar.
-        self.inbox.recv_timeout(timeout).ok()
+        if let Some(env) = self.sweep(Ordering::Relaxed) {
+            return Some(env);
+        }
+        let deadline = Instant::now() + timeout;
+        let parker = &self.shared.ranks[self.rank].parker;
+        loop {
+            // Register-then-recheck (the eventcount protocol): after the
+            // waiter registration, a SeqCst sweep; only if that still finds
+            // nothing do we sleep on the generation we snapshotted. A
+            // sender either lands before the re-probe (we consume it) or
+            // after our registration (it advances the generation and the
+            // park returns immediately). See `ring::Parker`.
+            let epoch = parker.prepare();
+            if let Some(env) = self.sweep(Ordering::SeqCst) {
+                parker.cancel();
+                return Some(env);
+            }
+            let timed_out = parker.park(epoch, deadline);
+            if let Some(env) = self.sweep(Ordering::SeqCst) {
+                return Some(env);
+            }
+            if timed_out {
+                return None;
+            }
+        }
     }
 }
 
-/// Builds the shared-inbox fabric for `n` ranks.
-pub struct LocalFabric;
+impl Drop for RingEndpoint {
+    fn drop(&mut self) {
+        // Teardown latch: peers still holding producer ends switch to the
+        // undeliverable-accounting path instead of queueing into rings that
+        // will never be drained.
+        self.shared.ranks[self.rank]
+            .closed
+            .store(true, Ordering::SeqCst);
+    }
+}
 
-impl LocalFabric {
-    /// Create `n` endpoints. Endpoint `i` must be moved to the thread acting
-    /// as rank `i`. (Deliberately returns the endpoints rather than `Self`:
-    /// the fabric has no identity beyond its endpoints.)
+/// Builds the ring-mesh fabric for `n` ranks.
+pub struct RingFabric;
+
+/// Compatibility alias from the shared-inbox era (see [`RingFabric`]).
+pub type LocalFabric = RingFabric;
+
+/// Per-pair ring capacity: scaled down with machine size so the n² mesh
+/// stays affordable (n=2 → 4096 slots, n=128 → 64), overridable with
+/// `PREMA_RING_CAP`. Always rounded up to a power of two.
+fn default_ring_capacity(n: usize) -> usize {
+    std::env::var("PREMA_RING_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|cap| cap.max(2).next_power_of_two())
+        .unwrap_or_else(|| scaled_ring_capacity(n))
+}
+
+/// The env-independent default: `8192 / n` slots per pair, clamped.
+fn scaled_ring_capacity(n: usize) -> usize {
+    (8192 / n).clamp(32, 4096).next_power_of_two()
+}
+
+impl RingFabric {
+    /// Create `n` endpoints with the default per-pair ring capacity.
+    /// Endpoint `i` must be moved to the thread acting as rank `i`.
+    /// (Deliberately returns the endpoints rather than `Self`: the fabric
+    /// has no identity beyond its endpoints.)
     #[allow(clippy::new_ret_no_self)]
-    pub fn new(n: usize) -> Vec<LocalEndpoint> {
+    pub fn new(n: usize) -> Vec<RingEndpoint> {
+        Self::with_capacity(n, default_ring_capacity(n))
+    }
+
+    /// Create `n` endpoints whose per-pair rings hold `capacity` envelopes
+    /// (rounded up to a power of two, min 2). Tests use tiny capacities to
+    /// exercise the overflow spill path deterministically.
+    pub fn with_capacity(n: usize, capacity: usize) -> Vec<RingEndpoint> {
         assert!(n > 0, "fabric needs at least one rank");
-        // One channel per rank. Each endpoint gets a clone of every sender
-        // (its address table) and its own receiver: n channels total instead
-        // of the previous n² mesh, and no quadratic vector shuffling at
-        // construction.
-        let (txs, rxs): (Vec<Sender<Envelope>>, Vec<Receiver<Envelope>>) =
-            (0..n).map(|_| unbounded()).unzip();
-        let undeliverable = Arc::new(AtomicU64::new(0));
-        rxs.into_iter()
+        let shared = Arc::new(FabricShared {
+            ranks: (0..n)
+                .map(|_| RankShared {
+                    ready: ReadySet::new(n),
+                    parker: Parker::new(),
+                    closed: AtomicBool::new(false),
+                })
+                .collect(),
+            undeliverable: AtomicU64::new(0),
+        });
+        // Build the n² mesh: ring (s → d) hands its producer to endpoint s
+        // and its consumer to endpoint d; both share that pair's overflow.
+        // Outer loop over destinations, inner over sources, so txs[s] gains
+        // its dst-th entry and rx_row collects in src order — txs[s][d] and
+        // rxs[d][s] index the same wire.
+        let mut txs: Vec<Vec<TxPair>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut rxs: Vec<Vec<RxPair>> = Vec::with_capacity(n);
+        for _dst in 0..n {
+            let mut rx_row = Vec::with_capacity(n);
+            for tx_row in txs.iter_mut() {
+                let (prod, cons) = ring::spsc(capacity);
+                let overflow = Arc::new(Overflow::new());
+                tx_row.push(TxPair {
+                    prod,
+                    overflow: Arc::clone(&overflow),
+                });
+                rx_row.push(RxPair { cons, overflow });
+            }
+            rxs.push(rx_row);
+        }
+        txs.into_iter()
+            .zip(rxs)
             .enumerate()
-            .map(|(rank, inbox)| LocalEndpoint {
+            .map(|(rank, (tx, rx))| RingEndpoint {
                 rank,
-                peers: txs.clone(),
-                inbox,
-                undeliverable: Arc::clone(&undeliverable),
+                tx,
+                rx,
+                cursor: Cell::new(0),
+                shared: Arc::clone(&shared),
                 tracer: Tracer::off(),
             })
             .collect()
     }
 }
 
-// Senders/Receivers are Send, so endpoints can be moved to their rank's
-// thread. (The shared MPMC inbox would even tolerate concurrent receivers,
-// but the runtime never does that: sharing between the worker and the
-// polling thread happens above this layer, under a lock.)
+// Endpoints move to their rank's thread. They are deliberately !Sync (the
+// sweep cursor and the ring ends' cached indices are Cells): sharing between
+// the worker and the polling thread happens above this layer, under a lock,
+// which serializes all uses — the single-producer/single-consumer contract
+// each ring end requires.
 #[allow(unused)]
-fn _assert_endpoint_send(e: LocalEndpoint) -> impl Send {
+fn _assert_endpoint_send(e: RingEndpoint) -> impl Send {
     e
 }
 
@@ -203,7 +411,7 @@ mod tests {
 
     #[test]
     fn point_to_point_delivery() {
-        let mut eps = LocalFabric::new(2);
+        let mut eps = RingFabric::new(2);
         let b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
         assert_eq!(a.rank(), 0);
@@ -216,7 +424,7 @@ mod tests {
 
     #[test]
     fn per_pair_fifo_under_concurrency() {
-        let mut eps = LocalFabric::new(3);
+        let mut eps = RingFabric::new(3);
         let c = eps.pop().unwrap();
         let b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
@@ -251,7 +459,7 @@ mod tests {
 
     #[test]
     fn recv_timeout_times_out_when_empty() {
-        let eps = LocalFabric::new(1);
+        let eps = RingFabric::new(1);
         let a = &eps[0];
         let start = std::time::Instant::now();
         assert!(a.recv_timeout(Duration::from_millis(20)).is_none());
@@ -260,14 +468,14 @@ mod tests {
 
     #[test]
     fn self_send_works() {
-        let eps = LocalFabric::new(1);
+        let eps = RingFabric::new(1);
         eps[0].send(env(0, 0, 5));
         assert_eq!(eps[0].try_recv().unwrap().handler, HandlerId(5));
     }
 
     #[test]
     fn arrival_order_preserved_across_senders() {
-        let mut eps = LocalFabric::new(3);
+        let mut eps = RingFabric::new(3);
         let c = eps.pop().unwrap();
         let b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
@@ -275,8 +483,8 @@ mod tests {
             a.send(env(0, 2, i));
             b.send(env(1, 2, 100 + i));
         }
-        // The shared inbox preserves global arrival order, so no sender can
-        // be starved behind another's backlog: both sources show up
+        // The sweep round-robins across ready peers, so no sender can be
+        // starved behind another's backlog: both sources show up
         // immediately.
         let mut seen_src = Vec::new();
         for _ in 0..4 {
@@ -289,14 +497,59 @@ mod tests {
     }
 
     #[test]
+    fn ring_full_spills_to_overflow_and_preserves_fifo() {
+        // Capacity 4 and no receiver draining: sends 4.. spill. Everything
+        // must still arrive, in order, with nothing counted undeliverable.
+        let mut eps = RingFabric::with_capacity(2, 4);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..100 {
+            a.send(env(0, 1, i));
+        }
+        for i in 0..100 {
+            assert_eq!(b.try_recv().unwrap().handler, HandlerId(i), "at {i}");
+        }
+        assert!(b.try_recv().is_none());
+        assert_eq!(a.undeliverable_count(), 0);
+    }
+
+    #[test]
+    fn fifo_survives_interleaved_spill_episodes() {
+        // Drain partially between bursts so the pair oscillates between
+        // in-ring and spilled states; order must hold across the seams.
+        let mut eps = RingFabric::with_capacity(2, 2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let mut next = 0u32;
+        let mut sent = 0u32;
+        for round in 0..50 {
+            for _ in 0..(round % 5 + 1) {
+                a.send(env(0, 1, sent));
+                sent += 1;
+            }
+            for _ in 0..(round % 3) {
+                if let Some(e) = b.try_recv() {
+                    assert_eq!(e.handler, HandlerId(next));
+                    next += 1;
+                }
+            }
+        }
+        while let Some(e) = b.try_recv() {
+            assert_eq!(e.handler, HandlerId(next));
+            next += 1;
+        }
+        assert_eq!(next, sent);
+    }
+
+    #[test]
     fn send_to_torn_down_rank_is_counted_not_silent() {
-        let mut eps = LocalFabric::new(2);
+        let mut eps = RingFabric::new(2);
         let b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
         assert_eq!(a.undeliverable_count(), 0);
-        // Rank 1 tears down (its inbox receiver drops) while rank 0 still
-        // holds a sender — the shutdown race the runtime hits when a worker
-        // finishes before a straggler's last messages drain.
+        // Rank 1 tears down while rank 0 still holds its producer ends —
+        // the shutdown race the runtime hits when a worker finishes before
+        // a straggler's last messages drain.
         drop(b);
         a.send(env(0, 1, 3));
         a.send(env(0, 1, 4));
@@ -311,7 +564,7 @@ mod tests {
     fn undeliverable_send_emits_dropped_event() {
         use prema_trace::TraceSink;
         let sink = std::sync::Arc::new(TraceSink::new(2));
-        let mut eps = LocalFabric::new(2);
+        let mut eps = RingFabric::new(2);
         let b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         a.set_tracer(sink.tracer(0));
@@ -328,7 +581,7 @@ mod tests {
 
     #[test]
     fn default_batch_surface_roundtrips() {
-        let mut eps = LocalFabric::new(2);
+        let mut eps = RingFabric::new(2);
         let b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
         a.send_batch(1, vec![]); // zero envelopes: nothing hits the wire
@@ -346,7 +599,7 @@ mod tests {
 
     #[test]
     fn recv_timeout_wakes_on_concurrent_send() {
-        let mut eps = LocalFabric::new(2);
+        let mut eps = RingFabric::new(2);
         let b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
         let h = std::thread::spawn(move || {
@@ -358,5 +611,18 @@ mod tests {
         let got = b.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(got.handler, HandlerId(9));
         h.join().unwrap();
+    }
+
+    #[test]
+    fn ring_capacity_scales_down_with_machine_size() {
+        // Checked via the env-independent helper — mutating the process
+        // env in a multithreaded test harness is racy.
+        assert_eq!(scaled_ring_capacity(2), 4096);
+        assert_eq!(scaled_ring_capacity(8), 1024);
+        assert_eq!(scaled_ring_capacity(128), 64);
+        assert_eq!(scaled_ring_capacity(100_000), 32);
+        for n in [1, 2, 3, 7, 64, 1000] {
+            assert!(scaled_ring_capacity(n).is_power_of_two());
+        }
     }
 }

@@ -94,6 +94,13 @@ impl WireReader {
     pub fn bytes(&mut self) -> Bytes {
         let len = self.u32() as usize;
         assert!(self.buf.remaining() >= len, "wire underflow reading bytes");
+        if len == 0 {
+            // Hand out a detached empty `Bytes` instead of a zero-length
+            // slice of the backing buffer: a `split_to(0)` still clones the
+            // storage handle, which would keep the buffer shared and defeat
+            // the frame-recycling in `batch::decode_frame`.
+            return Bytes::new();
+        }
         self.buf.split_to(len)
     }
 
@@ -132,6 +139,11 @@ impl WireReader {
         if self.buf.remaining() < len {
             return None;
         }
+        if len == 0 {
+            // See `bytes`: keep zero-length reads from sharing the backing
+            // buffer so it stays reclaimable.
+            return Some(Bytes::new());
+        }
         Some(self.buf.split_to(len))
     }
 
@@ -145,6 +157,15 @@ impl WireReader {
     /// Bytes left unread.
     pub fn remaining(&self) -> usize {
         self.buf.remaining()
+    }
+
+    /// Consume the reader, returning whatever is left of the backing buffer.
+    ///
+    /// After a full decode this is a zero-length handle on the original
+    /// storage — exactly what [`crate::pool::recycle`] needs to reclaim the
+    /// allocation when no decoded slice still shares it.
+    pub fn into_inner(self) -> Bytes {
+        self.buf
     }
 }
 

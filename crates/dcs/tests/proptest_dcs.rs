@@ -79,15 +79,16 @@ proptest! {
     // cases give better interleaving coverage per second.
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// The single shared inbox replaced per-pair channels, so per-pair FIFO
-    /// is no longer geometric — it rests on each producer's sends enqueueing
-    /// atomically in order. Pin that under randomized multi-sender
-    /// interleavings: every sender's messages must reach the receiver in
-    /// send order (sequence numbers strictly increasing per sender), none
-    /// lost, none duplicated. Interleavings vary via per-sender message
-    /// counts and yield patterns drawn by proptest.
+    /// The ring mesh gives every ordered pair its own SPSC ring (plus an
+    /// overflow side channel when the ring fills), so per-pair FIFO rests on
+    /// the sender's single-producer push order and the receiver probing the
+    /// ring strictly before the overflow queue. Pin that under randomized
+    /// multi-sender interleavings: every sender's messages must reach the
+    /// receiver in send order (sequence numbers strictly increasing per
+    /// sender), none lost, none duplicated. Interleavings vary via
+    /// per-sender message counts and yield patterns drawn by proptest.
     #[test]
-    fn shared_queue_preserves_per_pair_fifo(
+    fn ring_mesh_preserves_per_pair_fifo(
         counts in proptest::collection::vec(1usize..120, 3..6),
         yield_mask in any::<u64>(),
     ) {
@@ -122,7 +123,7 @@ proptest! {
         let total: usize = counts.iter().sum();
         let mut next_seq = vec![0u32; senders];
         for _ in 0..total {
-            let env = rx.try_recv().expect("message lost in shared queue");
+            let env = rx.try_recv().expect("message lost in ring mesh");
             let src = env.src;
             // Any mismatch here is a per-pair FIFO violation for `src`.
             prop_assert_eq!(env.handler, HandlerId(next_seq[src]));
@@ -136,12 +137,12 @@ proptest! {
 
     /// The batched companion of the test above: per-pair FIFO must also hold
     /// when every sender stages messages through a coalescing Communicator,
-    /// with flushes injected at proptest-drawn points. Frames hit the shared
-    /// queue as single envelopes, so the property now additionally rests on
-    /// the framer preserving intra-frame order and the receiver's burst
-    /// drain preserving frame order.
+    /// with flushes injected at proptest-drawn points. Frames ride the
+    /// per-pair ring as single envelopes, so the property now additionally
+    /// rests on the framer preserving intra-frame order and the receiver's
+    /// burst drain preserving frame order.
     #[test]
-    fn shared_queue_preserves_per_pair_fifo_batched(
+    fn ring_mesh_preserves_per_pair_fifo_batched(
         counts in proptest::collection::vec(1usize..120, 3..6),
         yield_mask in any::<u64>(),
         flush_mask in any::<u64>(),
@@ -184,6 +185,64 @@ proptest! {
             let src = env.src;
             prop_assert_eq!(env.handler, HandlerId(next_seq[src]));
             next_seq[src] += 1;
+        }
+        prop_assert!(rx.try_recv().is_none(), "duplicate or phantom message");
+        for (&got, &want) in next_seq.iter().zip(&counts) {
+            prop_assert_eq!(got as usize, want);
+        }
+    }
+
+    /// Backpressure companion: with rings shrunk to two slots, almost every
+    /// send spills to the overflow side channel while the receiver drains
+    /// concurrently — messages bounce between ring and overflow across the
+    /// run. Per-pair FIFO and zero loss must survive arbitrarily interleaved
+    /// spill episodes, not just the all-in-ring fast path.
+    #[test]
+    fn ring_overflow_spill_preserves_per_pair_fifo(
+        counts in proptest::collection::vec(1usize..120, 3..6),
+        yield_mask in any::<u64>(),
+    ) {
+        let senders = counts.len();
+        let mut eps = prema_dcs::RingFabric::with_capacity(senders + 1, 2);
+        let rx = eps.pop().expect("fabric returns one endpoint per rank");
+        let dst = senders; // the receiver's rank (last one built)
+        let handles: Vec<_> = eps
+            .into_iter()
+            .zip(&counts)
+            .map(|(ep, &count)| {
+                std::thread::spawn(move || {
+                    for seq in 0..count {
+                        ep.send(prema_dcs::Envelope {
+                            src: ep.rank(),
+                            dst,
+                            handler: HandlerId(seq as u32),
+                            tag: Tag::App,
+                            payload: bytes::Bytes::new(),
+                        });
+                        if (yield_mask >> (seq % 64)) & 1 == 1 {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Drain while the senders are still pushing so ring slots free up
+        // mid-stream and later sends go back to the ring after a spill.
+        let total: usize = counts.iter().sum();
+        let mut next_seq = vec![0u32; senders];
+        let mut received = 0;
+        while received < total {
+            if let Some(env) = rx.try_recv() {
+                let src = env.src;
+                prop_assert_eq!(env.handler, HandlerId(next_seq[src]));
+                next_seq[src] += 1;
+                received += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().expect("sender thread panicked");
         }
         prop_assert!(rx.try_recv().is_none(), "duplicate or phantom message");
         for (&got, &want) in next_seq.iter().zip(&counts) {

@@ -307,6 +307,115 @@ pub fn lint_batch_hygiene(
     out
 }
 
+/// The transport files whose steady-state functions carry the ring mesh's
+/// zero-allocation guarantee (asserted at runtime by `benches/ring.rs`; this
+/// lint catches the regression at review time, before a bench ever runs).
+const RING_HOT_FILES: &[&str] = &["crates/dcs/src/transport.rs", "crates/dcs/src/ring.rs"];
+
+/// The steady-state function names within those files. Construction-time
+/// code (`new`, `with_capacity`, `spsc`, fabric building) may allocate
+/// freely; everything a message crosses per send/receive may not.
+const RING_HOT_FNS: &[&str] = &[
+    "send",
+    "send_batch",
+    "try_recv",
+    "try_recv_batch",
+    "recv_timeout",
+    "sweep",
+    "pop_pair",
+    "push",
+    "pop",
+    "mark",
+    "clear",
+    "is_marked",
+    "any",
+    "prepare",
+    "cancel",
+    "park",
+    "unpark",
+    "is_empty",
+];
+
+/// Tokens that put a heap allocation on the line that carries them.
+const RING_ALLOC_TOKENS: &[&str] = &[
+    "Box::new(",
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "vec![",
+    "VecDeque::new(",
+    "String::new(",
+    "String::from(",
+    ".to_vec(",
+    ".to_string(",
+    "format!(",
+    "BTreeMap::new(",
+    "HashMap::new(",
+];
+
+/// Forbid allocation tokens in the ring transport's steady-state functions
+/// (outside the line-keyed allowlist). The attribution is lexical: a line
+/// belongs to the most recently declared function, so cold constructors stay
+/// free while every line of `send`/`try_recv`/`sweep`/… is policed.
+pub fn lint_ring_hygiene(
+    file: &SourceFile,
+    allow: &Allowlist,
+    used: &mut BTreeSet<String>,
+) -> Vec<Violation> {
+    if !RING_HOT_FILES.contains(&file.path.as_str()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut in_hot_fn = false;
+    for (ln, stripped, _orig) in file.non_test_lines() {
+        if let Some(name) = fn_decl_name(stripped) {
+            in_hot_fn = RING_HOT_FNS.contains(&name.as_str());
+        }
+        if !in_hot_fn {
+            continue;
+        }
+        let Some(token) = RING_ALLOC_TOKENS.iter().find(|t| stripped.contains(*t)) else {
+            continue;
+        };
+        let key = format!("{}:{ln}", file.path);
+        if allow.allows(&key) {
+            used.insert(key);
+            continue;
+        }
+        out.push(Violation::new(
+            &file.path,
+            ln,
+            "ring-hygiene",
+            format!(
+                "`{token}` allocates inside a steady-state transport \
+                 function; the ring fast path must be allocation-free (move \
+                 the allocation to construction, or add a `path:line:` \
+                 allowlist entry with a justification)"
+            ),
+        ));
+    }
+    out
+}
+
+/// `[pub[(..)]] [unsafe] fn NAME` on one line -> NAME (the token after a
+/// whole-word `fn`, trimmed at its generics/argument list).
+fn fn_decl_name(stripped: &str) -> Option<String> {
+    let mut toks = stripped.split_whitespace().peekable();
+    while let Some(t) = toks.next() {
+        if t == "fn" {
+            let name: String = toks
+                .next()?
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                return None;
+            }
+            return Some(name);
+        }
+    }
+    None
+}
+
 /// Minimum words for an `.expect("...")` message to count as stating an
 /// invariant rather than restating the operation.
 const EXPECT_MIN_WORDS: usize = 3;
@@ -798,6 +907,76 @@ mod tests {
         let mut used = BTreeSet::new();
         assert!(lint_batch_hygiene(&f, &allow, &mut used).is_empty());
         assert!(used.contains("crates/dcs/src/collective.rs"));
+    }
+
+    // ---- ring hygiene ----
+
+    #[test]
+    fn allocation_in_steady_state_fn_fires() {
+        let f = file(
+            "crates/dcs/src/transport.rs",
+            "impl T {\n    fn send(&self, env: Envelope) {\n        let b = Box::new(env);\n    }\n}\n",
+        );
+        let mut used = BTreeSet::new();
+        let v = lint_ring_hygiene(&f, &empty_allow(), &mut used);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "ring-hygiene");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("Box::new("));
+    }
+
+    #[test]
+    fn allocation_in_constructor_passes() {
+        let f = file(
+            "crates/dcs/src/ring.rs",
+            "impl T {\n    pub fn with_capacity(n: usize) -> Self {\n        let v = Vec::with_capacity(n);\n        T { v }\n    }\n}\n",
+        );
+        let mut used = BTreeSet::new();
+        assert!(lint_ring_hygiene(&f, &empty_allow(), &mut used).is_empty());
+    }
+
+    #[test]
+    fn hot_fn_after_cold_fn_is_still_policed() {
+        let f = file(
+            "crates/dcs/src/ring.rs",
+            "impl T {\n    fn new() -> Self {\n        T { v: Vec::new() }\n    }\n    fn pop(&self) {\n        let s = format!(\"x\");\n    }\n}\n",
+        );
+        let mut used = BTreeSet::new();
+        let v = lint_ring_hygiene(&f, &empty_allow(), &mut used);
+        assert_eq!(v.len(), 1, "only the hot fn's allocation fires");
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn other_files_and_tests_are_exempt() {
+        let elsewhere = file(
+            "crates/dcs/src/comm.rs",
+            "fn send(&self) { let b = Box::new(1); }\n",
+        );
+        let test_code = file(
+            "crates/dcs/src/transport.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn send() { let b = Box::new(1); }\n}\n",
+        );
+        let mut used = BTreeSet::new();
+        for f in [elsewhere, test_code] {
+            assert!(lint_ring_hygiene(&f, &empty_allow(), &mut used).is_empty());
+        }
+    }
+
+    #[test]
+    fn allowlisted_hot_allocation_passes_and_is_marked_used() {
+        let allow = Allowlist::parse_line_keyed(
+            "allow.txt",
+            "crates/dcs/src/transport.rs:2: one-time lazy init, not per-message\n",
+        );
+        let f = file(
+            "crates/dcs/src/transport.rs",
+            "fn try_recv(&self) {\n    let v = Vec::new();\n}\n",
+        );
+        let mut used = BTreeSet::new();
+        assert!(lint_ring_hygiene(&f, &allow, &mut used).is_empty());
+        assert!(used.contains("crates/dcs/src/transport.rs:2"));
+        assert!(allow.unused(&used).is_empty());
     }
 
     // ---- unwrap/expect ----

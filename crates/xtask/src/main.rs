@@ -20,6 +20,10 @@
 //! * `batch-hygiene`    — no raw `Bytes::from(..)` /
 //!   `Bytes::copy_from_slice(..)` payload construction in dcs/mol hot paths
 //!   outside the pool module, outside `allow/batch-hygiene.txt`.
+//! * `ring-hygiene`     — no allocation tokens (`Box::new`, `Vec::new`,
+//!   `format!`, …) inside the ring transport's steady-state functions
+//!   (`crates/dcs/src/{transport,ring}.rs`), outside
+//!   `allow/ring-hygiene.txt`.
 //!
 //! `cargo xtask bench-json` runs the substrate and figure benchmarks and
 //! aggregates their per-benchmark JSON lines into the checked-in
@@ -143,6 +147,8 @@ fn lint() -> ExitCode {
     let blocking_allow = load_allowlist(&allow_dir.join("blocking-calls.txt"), false);
     let hygiene_allow = load_allowlist(&allow_dir.join("trace-hygiene.txt"), false);
     let batch_allow = load_allowlist(&allow_dir.join("batch-hygiene.txt"), false);
+    // ring-hygiene is line-granular: one justified entry per allocation.
+    let ring_allow = load_allowlist(&allow_dir.join("ring-hygiene.txt"), true);
 
     // Everything under crates/*/src, plus tests/ and examples/ for the
     // handler-id cross-reference (a registration in an integration test or
@@ -167,11 +173,13 @@ fn lint() -> ExitCode {
     violations.extend(blocking_allow.parse_errors.iter().map(clone_violation));
     violations.extend(hygiene_allow.parse_errors.iter().map(clone_violation));
     violations.extend(batch_allow.parse_errors.iter().map(clone_violation));
+    violations.extend(ring_allow.parse_errors.iter().map(clone_violation));
 
     let mut relaxed_used = BTreeSet::new();
     let mut blocking_used = BTreeSet::new();
     let mut hygiene_used = BTreeSet::new();
     let mut batch_used = BTreeSet::new();
+    let mut ring_used = BTreeSet::new();
     for f in &src_files {
         violations.extend(lints::lint_relaxed_ordering(
             f,
@@ -184,6 +192,7 @@ fn lint() -> ExitCode {
             &mut hygiene_used,
         ));
         violations.extend(lints::lint_batch_hygiene(f, &batch_allow, &mut batch_used));
+        violations.extend(lints::lint_ring_hygiene(f, &ring_allow, &mut ring_used));
         let crate_name = f
             .path
             .strip_prefix("crates/")
@@ -201,6 +210,7 @@ fn lint() -> ExitCode {
     violations.extend(blocking_allow.unused(&blocking_used));
     violations.extend(hygiene_allow.unused(&hygiene_used));
     violations.extend(batch_allow.unused(&batch_used));
+    violations.extend(ring_allow.unused(&ring_used));
 
     // handler-id sees every file (src + tests + examples).
     let mut everything = src_files;
@@ -238,7 +248,7 @@ fn lint() -> ExitCode {
     }
     if violations.is_empty() {
         println!(
-            "xtask lint: OK ({} files, 7 lints, 0 violations)",
+            "xtask lint: OK ({} files, 8 lints, 0 violations)",
             everything.len()
         );
         ExitCode::SUCCESS
@@ -464,7 +474,7 @@ fn analyze_json(
 /// before/after comparison; the figure baseline carries the paper's
 /// experiment reproductions.
 const BENCH_BASELINES: &[(&str, &[&str])] = &[
-    ("BENCH_substrate.json", &["substrates", "fastpath"]),
+    ("BENCH_substrate.json", &["substrates", "fastpath", "ring"]),
     ("BENCH_figures.json", &["figures"]),
 ];
 
