@@ -1,7 +1,10 @@
 //! PREMA runtime configuration.
 
 use prema_dcs::BatchConfig;
-use prema_ilb::{Diffusion, Gradient, LbPolicy, Multilist, WorkStealing};
+use prema_ilb::{
+    Anticipatory, CommAwareDiffusion, Diffusion, Gradient, LbPolicy, Multilist, StabilityConfig,
+    WorkStealing,
+};
 use std::time::Duration;
 
 /// When the load balancer gets control (§4.1 / §4.2 of the paper).
@@ -47,6 +50,21 @@ pub enum PolicyKind {
         /// Overload threshold for granting.
         high_weight: f64,
     },
+    /// Diffusion weighted by object-interaction affinity: flows grow toward
+    /// neighbors the local objects already talk to (DESIGN.md §14).
+    CommDiffusion {
+        /// Ignore load differences below this weight.
+        threshold: f64,
+        /// Affinity strength in `[0, 1]`; `0` degenerates to plain diffusion.
+        alpha: f64,
+    },
+    /// Diffusion driven by forecast load (EWMA + trend) instead of the
+    /// instantaneous weight, so ramping ranks shed work before the imbalance
+    /// materializes (DESIGN.md §14).
+    AnticipatoryDiffusion {
+        /// Ignore load differences below this weight.
+        threshold: f64,
+    },
 }
 
 impl PolicyKind {
@@ -60,6 +78,12 @@ impl PolicyKind {
                 low_weight,
                 high_weight,
             } => Box::new(Gradient::new(low_weight, high_weight)),
+            PolicyKind::CommDiffusion { threshold, alpha } => {
+                Box::new(CommAwareDiffusion::new(threshold, alpha))
+            }
+            PolicyKind::AnticipatoryDiffusion { threshold } => {
+                Box::new(Anticipatory::new(Box::new(Diffusion::new(threshold))))
+            }
         }
     }
 }
@@ -88,6 +112,12 @@ pub struct PremaConfig {
     /// `PREMA_PIN_CORES` environment variable (`1`/`true`/`on` to enable,
     /// anything else to disable), when set, overrides this field at launch.
     pub pin_cores: bool,
+    /// Migration stability governor (DESIGN.md §14): per-object minimum
+    /// residency, per-rank migration-rate cap, and grant hysteresis. On (at
+    /// the defaults) in every preset; the `PREMA_MIN_RESIDENCY` /
+    /// `PREMA_MIGRATION_CAP` environment knobs, when set, override the
+    /// corresponding fields at launch.
+    pub stability: StabilityConfig,
 }
 
 impl PremaConfig {
@@ -103,6 +133,7 @@ impl PremaConfig {
             seed: 0xC0FFEE,
             batch: BatchConfig::off(),
             pin_cores: false,
+            stability: StabilityConfig::default(),
         }
     }
 
@@ -123,6 +154,13 @@ impl PremaConfig {
             pin_cores: on,
             ..self
         }
+    }
+
+    /// This configuration with the given migration stability governor
+    /// settings (use [`StabilityConfig::off`] to reproduce the pre-governor
+    /// behavior).
+    pub fn with_stability(self, stability: StabilityConfig) -> Self {
+        PremaConfig { stability, ..self }
     }
 
     /// "PREMA with explicit load balancing".
@@ -204,5 +242,30 @@ mod tests {
             .name(),
             "gradient"
         );
+        assert_eq!(
+            PolicyKind::CommDiffusion {
+                threshold: 0.5,
+                alpha: 0.5
+            }
+            .build(1)
+            .name(),
+            "comm-diffusion"
+        );
+        assert_eq!(
+            PolicyKind::AnticipatoryDiffusion { threshold: 0.5 }
+                .build(1)
+                .name(),
+            "anticipatory"
+        );
+    }
+
+    #[test]
+    fn stability_defaults_on_and_builder_overrides() {
+        assert_eq!(
+            PremaConfig::implicit(4).stability,
+            StabilityConfig::default()
+        );
+        let off = PremaConfig::implicit(4).with_stability(StabilityConfig::off());
+        assert_eq!(off.stability, StabilityConfig::off());
     }
 }

@@ -72,7 +72,7 @@ pub use prema_mol as mol;
 pub use prema_trace as trace;
 
 // The types applications touch constantly.
-pub use prema_ilb::{HandlerCtx, LoadSnapshot};
+pub use prema_ilb::{HandlerCtx, LoadSnapshot, StabilityConfig};
 pub use prema_mol::{Migratable, MobilePtr, WorkItem};
 
 // The runtime-internal map flavor, for embedders extending the runtime.

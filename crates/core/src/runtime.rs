@@ -300,6 +300,11 @@ where
         cfg.batch
     };
 
+    // Migration stability governor: `PREMA_MIN_RESIDENCY` /
+    // `PREMA_MIGRATION_CAP` (when set) win over the config field, so any run
+    // can be tuned without a rebuild.
+    let stability = cfg.stability.from_env();
+
     let mut app_threads = Vec::with_capacity(cfg.nprocs);
     let mut poll_threads = Vec::new();
 
@@ -309,6 +314,7 @@ where
         let node: MolNode<O> = MolNode::new(comm);
         let policy = cfg.policy.build(cfg.seed.wrapping_add(rank as u64));
         let mut sched = ilb::Scheduler::new(node, policy);
+        sched.set_stability(stability);
         if cfg.mode == LbMode::Disabled {
             sched.set_lb_enabled(false);
         }

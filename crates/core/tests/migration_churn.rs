@@ -1,0 +1,97 @@
+//! Regression: migration churn stays bounded (DESIGN.md §14).
+//!
+//! The quickstart workload — every object born on rank 0, uneven per-object
+//! work, implicit preemptive balancing — used to thrash when the ranks
+//! time-slice few cores: objects ping-ponged between ranks tens of thousands
+//! of times per unit of useful work. The stability governor (minimum
+//! residency + migration-rate cap + grant hysteresis) must keep the total
+//! number of migrations within a small multiple of the unit count no matter
+//! how the OS schedules the rank threads.
+
+use bytes::Bytes;
+use prema::{launch, Completion, Migratable, PremaConfig};
+
+struct Bucket {
+    id: u64,
+    energy: f64,
+}
+
+impl Migratable for Bucket {
+    fn pack(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.id.to_le_bytes());
+        buf.extend_from_slice(&self.energy.to_le_bytes());
+    }
+    fn unpack(b: &[u8]) -> Self {
+        Bucket {
+            id: u64::from_le_bytes(b[..8].try_into().expect("bucket id bytes")),
+            energy: f64::from_le_bytes(b[8..16].try_into().expect("bucket energy bytes")),
+        }
+    }
+}
+
+const H_KICK: u32 = 1;
+const BUCKETS: usize = 16;
+const KICKS_PER_BUCKET: u64 = 25;
+const UNITS: u64 = BUCKETS as u64 * KICKS_PER_BUCKET;
+
+/// The quickstart shape at test size: 400 work units over 4 ranks, all work
+/// born on rank 0. Total `migrations_in` across the machine must stay under
+/// 10x the unit count — before the governor this blew past 10_000x on a
+/// single-core runner.
+#[test]
+fn quickstart_shaped_run_does_not_thrash() {
+    let cfg = PremaConfig::implicit(4);
+    let results = launch::<Bucket, (u64, u64), _>(cfg, |rt| {
+        rt.on_message(H_KICK, |_ctx, bucket, item| {
+            // A deliberately uneven, but test-sized, amount of "physics".
+            let spins = 2_000 * (1 + bucket.id % 7);
+            let mut x = bucket.energy + item.hint;
+            for i in 0..spins {
+                x = (x * 1.0000001 + i as f64).sin().abs() + 1.0;
+            }
+            bucket.energy = x;
+        });
+        let completion = Completion::install(&rt, UNITS);
+
+        if rt.rank() == 0 {
+            let ptrs: Vec<_> = (0..BUCKETS)
+                .map(|i| {
+                    rt.register(Bucket {
+                        id: i as u64,
+                        energy: 0.0,
+                    })
+                })
+                .collect();
+            for round in 0..KICKS_PER_BUCKET {
+                for &p in &ptrs {
+                    rt.message_with_hint(p, H_KICK, 1.0 + (round % 3) as f64, Bytes::new());
+                }
+            }
+        }
+
+        let mut executed_here = 0u64;
+        loop {
+            if rt.step() {
+                executed_here += 1;
+                completion.report(&rt, 1);
+            } else {
+                rt.poll();
+                if completion.is_done() {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        (executed_here, rt.mol_stats().migrations_in)
+    });
+
+    let total_executed: u64 = results.iter().map(|(e, _)| e).sum();
+    let total_migrations: u64 = results.iter().map(|(_, m)| m).sum();
+    assert_eq!(total_executed, UNITS, "all kicks must execute exactly once");
+    assert!(
+        total_migrations < 10 * UNITS,
+        "migration churn: {total_migrations} migrations for {UNITS} units \
+         (governor should bound this below {})",
+        10 * UNITS
+    );
+}

@@ -9,10 +9,18 @@
 //!
 //! Set `PREMA_TRACE_OUT=<path>` to additionally record the PREMA-implicit
 //! panel's run as a JSONL event trace, ready for `cargo xtask trace-report`.
+//!
+//! Two policy scenarios (DESIGN.md §14) ride along: `figure -- interact`
+//! compares weight-only against communication-aware diffusion on interacting
+//! mobile objects (metric: remote application messages), and `figure -- wave`
+//! compares reactive against anticipatory diffusion on a hotspot receiving
+//! escalating arrival waves (metric: makespan).
 
+use prema_harness::drivers::policy_drv::{run_interact, run_wave, InteractCfg, WaveCfg};
 use prema_harness::report::Config;
 use prema_harness::runner::run_figure_with_trace;
 use prema_harness::spec::BenchSpec;
+use prema_ilb::{Anticipatory, CommAwareDiffusion, Diffusion};
 use prema_sim::TraceSink;
 
 /// Ring capacity per simulated processor when tracing a full-scale figure.
@@ -20,10 +28,63 @@ use prema_sim::TraceSink;
 /// leaves generous headroom so `dropped()` stays 0.
 const TRACE_RING_CAPACITY: usize = 1 << 18;
 
+/// The `interact` scenario: weight-only vs communication-aware diffusion.
+fn scenario_interact() {
+    let cfg = InteractCfg::default();
+    let plain = run_interact(&cfg, &|_| Box::new(Diffusion::new(20.0)));
+    let comm = run_interact(&cfg, &|_| Box::new(CommAwareDiffusion::new(20.0, 1.0)));
+    println!("interact: {cfg:?}");
+    println!("policy          remote-app-msgs  total-app-msgs  migrations  makespan");
+    for (name, out) in [("diffusion", &plain), ("comm-diffusion", &comm)] {
+        println!(
+            "{name:<15} {:>16} {:>15} {:>11} {:>9}",
+            out.remote_app_msgs, out.total_app_msgs, out.migrations, out.report.makespan
+        );
+    }
+    let save = 1.0 - comm.remote_app_msgs as f64 / plain.remote_app_msgs.max(1) as f64;
+    println!(
+        "comm-aware diffusion sends {:.1}% fewer remote application messages",
+        save * 100.0
+    );
+}
+
+/// The `wave` scenario: reactive vs anticipatory diffusion.
+fn scenario_wave() {
+    let cfg = WaveCfg::default();
+    let reactive = run_wave(&cfg, &|_| Box::new(Diffusion::new(300.0)));
+    let ant = run_wave(&cfg, &|_| {
+        Box::new(Anticipatory::new(Box::new(Diffusion::new(300.0))))
+    });
+    println!("wave: {cfg:?}");
+    println!("policy          makespan  migrations");
+    for (name, out) in [("diffusion", &reactive), ("anticipatory", &ant)] {
+        println!(
+            "{name:<15} {:>8} {:>11}",
+            out.report.makespan, out.migrations
+        );
+    }
+    let save = 1.0 - ant.report.makespan.as_secs_f64() / reactive.report.makespan.as_secs_f64();
+    println!(
+        "anticipatory diffusion finishes {:.1}% sooner",
+        save * 100.0
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
     let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    match positional.first().map(|s| s.as_str()) {
+        Some("interact") => {
+            scenario_interact();
+            return;
+        }
+        Some("wave") => {
+            scenario_wave();
+            return;
+        }
+        _ => {}
+    }
     let fig: u32 = positional
         .first()
         .map(|s| s.parse().expect("figure number must be 3..=6"))

@@ -14,6 +14,12 @@
 //!   polling thread can keep balancing concurrently), answers work requests
 //!   by migrating mobile objects together with their queued messages, and
 //!   evaluates water-marks after every unit.
+//! * [`stability`] — the migration stability governor (DESIGN.md §14):
+//!   per-object minimum residency, a per-rank migration-rate cap, and grant
+//!   hysteresis, enforced at the mechanism layer so every policy benefits.
+//! * [`forecast`] — weight-history rings (EWMA + linear trend) whose
+//!   [`Forecast`]s the scheduler feeds to policies for anticipatory
+//!   balancing.
 //!
 //! Explicit vs. implicit invocation (§4.1/§4.2) is composed one level up, in
 //! the `prema` facade: explicit mode calls [`Scheduler::poll`] only from
@@ -22,13 +28,17 @@
 
 #![warn(missing_docs)]
 
+pub mod forecast;
 pub mod policy;
 pub mod scheduler;
+pub mod stability;
 
+pub use forecast::{Forecast, WeightHistory};
 pub use policy::{
-    diffusion_neighborhood, pair_partner, Diffusion, Gradient, LbPolicy, LoadMap, LoadSnapshot,
-    Multilist, WorkStealing,
+    diffusion_neighborhood, pair_partner, Anticipatory, CommAwareDiffusion, CommSummary, Diffusion,
+    Gradient, LbPolicy, LoadMap, LoadSnapshot, Multilist, WorkStealing,
 };
 pub use scheduler::{
     Execution, HandlerCtx, SchedStats, Scheduler, WorkHandler, NODE_HANDLER_LIMIT,
 };
+pub use stability::{Governor, StabilityConfig, VetoKind};

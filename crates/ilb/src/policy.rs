@@ -12,6 +12,7 @@
 //! objects drive both the real threaded runtime and the discrete-event
 //! evaluation harness.
 
+use crate::forecast::Forecast;
 use prema_dcs::{FxHashMap, Rank};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -30,6 +31,38 @@ pub struct LoadSnapshot {
 /// (ranks are runtime-internal keys) — the scheduler consults and updates this
 /// map on every poll.
 pub type LoadMap = FxHashMap<Rank, LoadSnapshot>;
+
+/// Object-interaction summary for communication-aware policies (DESIGN.md
+/// §14): how many messages this rank's resident objects have consumed from
+/// each peer rank. Fed from the MOL's per-sender sequence counters, so it
+/// piggybacks on existing traffic — no extra wire bytes.
+#[derive(Clone, Debug, Default)]
+pub struct CommSummary {
+    /// Messages consumed from each peer, summed over resident objects.
+    pub per_peer: FxHashMap<Rank, u64>,
+    /// Total across all peers.
+    pub total: u64,
+}
+
+impl CommSummary {
+    /// Accumulate `n` messages consumed from `peer`.
+    pub fn note(&mut self, peer: Rank, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.per_peer.entry(peer).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Fraction of all observed traffic that came from `peer`, in `[0, 1]`.
+    /// Zero when nothing has been observed.
+    pub fn affinity(&self, peer: Rank) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.per_peer.get(&peer).copied().unwrap_or(0) as f64 / self.total as f64
+    }
+}
 
 /// A load-balancing policy: decides when this processor is underloaded, whom
 /// to ask for work, and how much work to surrender to a requester.
@@ -63,6 +96,32 @@ pub trait LbPolicy: Send {
     /// policies implement this; the default pushes nothing.
     fn flows(&self, _me: Rank, _local: &LoadSnapshot, _known: &LoadMap) -> Vec<(Rank, f64)> {
         Vec::new()
+    }
+
+    /// Mechanism feedback hook: the scheduler samples its local load into a
+    /// weight-history ring every evaluation tick and reports the resulting
+    /// [`Forecast`] here before asking for flows or begging decisions.
+    /// Anticipatory policies cache it; the default ignores it.
+    fn note_forecast(&mut self, _tick: u64, _local: &LoadSnapshot, _forecast: &Forecast) {}
+
+    /// Whether this policy consumes the [`CommSummary`]. When `false` (the
+    /// default) the scheduler skips building the interaction summary and
+    /// calls [`LbPolicy::flows`] directly.
+    fn uses_comm(&self) -> bool {
+        false
+    }
+
+    /// Communication-aware variant of [`LbPolicy::flows`]: additionally sees
+    /// the local object-interaction summary. The default ignores it and
+    /// delegates to `flows`.
+    fn flows_comm(
+        &self,
+        me: Rank,
+        local: &LoadSnapshot,
+        known: &LoadMap,
+        _comm: &CommSummary,
+    ) -> Vec<(Rank, f64)> {
+        self.flows(me, local, known)
     }
 }
 
@@ -162,10 +221,15 @@ impl LbPolicy for WorkStealing {
                 return Some(p);
             }
         }
-        // After a refusal: prefer the heaviest known processor, else random.
+        // After a refusal: prefer the heaviest known processor with
+        // *grantable* weight, else random. Filtering on `units > 0` alone
+        // re-begged victims at or below their keep cushion, which refuse
+        // deterministically — a wasted round trip per attempt. (Cushions are
+        // homogeneous across ranks in every shipped configuration, so our
+        // own `keep` is the right estimate of theirs.)
         let best = known
             .iter()
-            .filter(|(&r, s)| r != me && s.units > 0)
+            .filter(|(&r, s)| r != me && s.units > 1 && s.weight > self.keep)
             .max_by(|a, b| a.1.weight.total_cmp(&b.1.weight));
         if let Some((&r, _)) = best {
             return Some(r);
@@ -230,8 +294,10 @@ impl LbPolicy for Diffusion {
 
     fn grant_units(&self, local: &LoadSnapshot, requester: &LoadSnapshot) -> usize {
         // Answer explicit requests generously anyway (hybrid operation) —
-        // but only from genuinely poorer processors.
-        if requester.units >= local.units {
+        // but only from genuinely poorer processors. Poorer is judged in
+        // *weight*, like `flows` and the threshold: gating on unit counts
+        // let a few heavy units out-grant many light ones.
+        if local.units <= 1 || requester.weight >= local.weight - self.threshold {
             0
         } else {
             local.units / 2
@@ -392,9 +458,20 @@ impl LbPolicy for Gradient {
             })
             .map(|(&r, _)| r);
         best.or_else(|| {
-            // No gradient information: widen the ring deterministically.
-            let step = 1 + attempt as usize;
-            let v = (me + step) % nprocs;
+            // No gradient information: widen the ring deterministically,
+            // alternating direction (+1, −1, +2, −2, …) so each attempt
+            // probes a *new* rank. The old `(me + step) % nprocs` walk
+            // revisited the same victims cyclically once `step` wrapped past
+            // `nprocs`; now the sweep terminates once the ring is covered.
+            let step = attempt as usize / 2 + 1;
+            if step > nprocs / 2 {
+                return None; // every rank has been probed this round
+            }
+            let v = if attempt.is_multiple_of(2) {
+                (me + step) % nprocs
+            } else {
+                (me + nprocs - step) % nprocs
+            };
             if v == me {
                 None
             } else {
@@ -411,6 +488,199 @@ impl LbPolicy for Gradient {
             return 0;
         }
         (local.units / 2).max(1)
+    }
+}
+
+/// **Communication-aware diffusion** (Taylor et al., PAPERS.md): Cybenko
+/// flows modulated by the object-interaction summary. A neighbor that sends
+/// this rank's objects most of their messages is a cheaper place for those
+/// objects to live, so affinity lowers the hysteresis gate toward it and
+/// boosts the flow — bounded by `diff/2` so a pair can never overshoot past
+/// balance. With `alpha = 0` (or no observed traffic) it degenerates to
+/// plain [`Diffusion`].
+pub struct CommAwareDiffusion {
+    /// Ignore weight differences below this (hysteresis), scaled down by
+    /// affinity.
+    pub threshold: f64,
+    /// How strongly communication affinity bends the flows, in `[0, 1]`.
+    pub alpha: f64,
+}
+
+impl CommAwareDiffusion {
+    /// Comm-aware diffusion with the given hysteresis threshold and affinity
+    /// weighting.
+    pub fn new(threshold: f64, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0, 1]");
+        CommAwareDiffusion { threshold, alpha }
+    }
+
+    fn flow_to(&self, local: &LoadSnapshot, their: f64, deg: usize, affinity: f64) -> Option<f64> {
+        let diff = local.weight - their;
+        if diff <= 0.0 {
+            return None; // never push uphill, however affine
+        }
+        let gate = self.threshold * (1.0 - self.alpha * affinity);
+        if diff <= gate {
+            return None;
+        }
+        let base = diff / (deg as f64 + 1.0);
+        Some((base * (1.0 + self.alpha * affinity)).min(diff / 2.0))
+    }
+}
+
+impl LbPolicy for CommAwareDiffusion {
+    fn name(&self) -> &'static str {
+        "comm-diffusion"
+    }
+
+    fn neighborhood(&self, me: Rank, nprocs: usize) -> Vec<Rank> {
+        diffusion_neighborhood(me, nprocs)
+    }
+
+    fn is_underloaded(&self, local: &LoadSnapshot) -> bool {
+        local.units == 0
+    }
+
+    fn choose_victim(
+        &mut self,
+        _me: Rank,
+        _nprocs: usize,
+        _known: &LoadMap,
+        _attempt: u32,
+    ) -> Option<Rank> {
+        None
+    }
+
+    fn grant_units(&self, local: &LoadSnapshot, requester: &LoadSnapshot) -> usize {
+        if local.units <= 1 || requester.weight >= local.weight - self.threshold {
+            0
+        } else {
+            local.units / 2
+        }
+    }
+
+    fn flows(&self, me: Rank, local: &LoadSnapshot, known: &LoadMap) -> Vec<(Rank, f64)> {
+        // Without a summary, behave as plain diffusion (affinity 0).
+        self.flows_comm(me, local, known, &CommSummary::default())
+    }
+
+    fn uses_comm(&self) -> bool {
+        true
+    }
+
+    fn flows_comm(
+        &self,
+        me: Rank,
+        local: &LoadSnapshot,
+        known: &LoadMap,
+        comm: &CommSummary,
+    ) -> Vec<(Rank, f64)> {
+        let nbrs: Vec<Rank> = known.keys().copied().filter(|&r| r != me).collect();
+        let deg = nbrs.len();
+        if deg == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for r in nbrs {
+            if let Some(flow) = self.flow_to(local, known[&r].weight, deg, comm.affinity(r)) {
+                out.push((r, flow));
+            }
+        }
+        out
+    }
+}
+
+/// **Anticipatory balancing** (Boulmier et al., PAPERS.md): a wrapper that
+/// feeds any inner policy a *forecast-adjusted* view of the local load. When
+/// the scheduler's weight-history trend predicts the queue growing, the
+/// inner policy sees `max(current, predicted)` weight and starts shedding
+/// work during the ramp — before the imbalance materializes — instead of
+/// reacting to it; symmetrically, a queue trending toward empty begs early.
+/// With a flat history the adjusted view equals the current one and the
+/// wrapper is transparent.
+pub struct Anticipatory {
+    inner: Box<dyn LbPolicy>,
+    latest: Forecast,
+}
+
+impl Anticipatory {
+    /// Wrap `inner` with forecast-adjusted load views.
+    pub fn new(inner: Box<dyn LbPolicy>) -> Self {
+        Anticipatory {
+            inner,
+            latest: Forecast::default(),
+        }
+    }
+
+    /// The most recent forecast the scheduler reported.
+    pub fn latest(&self) -> Forecast {
+        self.latest
+    }
+
+    /// Local load as the inner policy should see it: the heavier of now and
+    /// the predicted near future (trends need two samples to be trusted).
+    fn adjusted(&self, local: &LoadSnapshot) -> LoadSnapshot {
+        let mut adj = *local;
+        if self.latest.samples >= 2 && self.latest.predicted > adj.weight {
+            adj.weight = self.latest.predicted;
+        }
+        adj
+    }
+}
+
+impl LbPolicy for Anticipatory {
+    fn name(&self) -> &'static str {
+        "anticipatory"
+    }
+
+    fn neighborhood(&self, me: Rank, nprocs: usize) -> Vec<Rank> {
+        self.inner.neighborhood(me, nprocs)
+    }
+
+    fn is_underloaded(&self, local: &LoadSnapshot) -> bool {
+        // Beg early when the trend says we run dry within the horizon.
+        let draining = self.latest.samples >= 2 && self.latest.predicted <= 0.0 && local.units > 0;
+        self.inner.is_underloaded(local) || draining
+    }
+
+    fn choose_victim(
+        &mut self,
+        me: Rank,
+        nprocs: usize,
+        known: &LoadMap,
+        attempt: u32,
+    ) -> Option<Rank> {
+        self.inner.choose_victim(me, nprocs, known, attempt)
+    }
+
+    fn grant_units(&self, local: &LoadSnapshot, requester: &LoadSnapshot) -> usize {
+        // A rank ramping up sheds eagerly: the inner policy judges the
+        // requester against the predicted (heavier) local load.
+        self.inner.grant_units(&self.adjusted(local), requester)
+    }
+
+    fn flows(&self, me: Rank, local: &LoadSnapshot, known: &LoadMap) -> Vec<(Rank, f64)> {
+        self.inner.flows(me, &self.adjusted(local), known)
+    }
+
+    fn note_forecast(&mut self, tick: u64, local: &LoadSnapshot, forecast: &Forecast) {
+        self.latest = *forecast;
+        self.inner.note_forecast(tick, local, forecast);
+    }
+
+    fn uses_comm(&self) -> bool {
+        self.inner.uses_comm()
+    }
+
+    fn flows_comm(
+        &self,
+        me: Rank,
+        local: &LoadSnapshot,
+        known: &LoadMap,
+        comm: &CommSummary,
+    ) -> Vec<(Rank, f64)> {
+        self.inner
+            .flows_comm(me, &self.adjusted(local), known, comm)
     }
 }
 
@@ -478,6 +748,27 @@ mod tests {
         known.insert(2, snap(10, 50.0));
         known.insert(3, snap(4, 4.0));
         assert_eq!(p.choose_victim(0, 8, &known, 1), Some(2));
+    }
+
+    #[test]
+    fn stealing_retries_skip_victims_without_grantable_weight() {
+        let mut p = WorkStealing::new(2.0, 1);
+        let mut known = LoadMap::default();
+        // At the keep cushion (weight == keep): would refuse deterministically.
+        known.insert(2, snap(5, 2.0));
+        // A single queued unit: grant_units refuses regardless of weight.
+        known.insert(3, snap(1, 50.0));
+        // The only rank that can actually grant.
+        known.insert(4, snap(4, 3.0));
+        assert_eq!(p.choose_victim(0, 8, &known, 1), Some(4));
+        // With no grantable candidate the retry falls back to random
+        // victims rather than re-begging a known refuser.
+        known.remove(&4);
+        for attempt in 1..10 {
+            let v = p.choose_victim(0, 8, &known, attempt).unwrap();
+            assert_ne!(v, 0);
+            assert!(v < 8);
+        }
     }
 
     #[test]
@@ -557,6 +848,165 @@ mod tests {
     }
 
     #[test]
+    fn diffusion_grants_compare_weight_not_units() {
+        let d = Diffusion::new(0.5);
+        // Requester holds *more units* but far less weight: must be granted.
+        assert_eq!(d.grant_units(&snap(4, 40.0), &snap(6, 1.0)), 2);
+        // Requester holds fewer units but more weight: refuse — granting on
+        // unit counts let a few heavy units out-grant many light ones.
+        assert_eq!(d.grant_units(&snap(6, 1.0), &snap(4, 40.0)), 0);
+        // Equal weight refuses (no gap to close), as does a bare queue.
+        assert_eq!(d.grant_units(&snap(4, 4.0), &snap(2, 4.0)), 0);
+        assert_eq!(d.grant_units(&snap(1, 9.0), &snap(0, 0.0)), 0);
+    }
+
+    #[test]
+    fn comm_summary_tracks_affinity_fractions() {
+        let mut c = CommSummary::default();
+        assert_eq!(c.affinity(1), 0.0, "no traffic, no affinity");
+        c.note(1, 30);
+        c.note(2, 10);
+        c.note(1, 0); // zero counts are ignored entirely
+        assert_eq!(c.total, 40);
+        assert!((c.affinity(1) - 0.75).abs() < 1e-12);
+        assert!((c.affinity(2) - 0.25).abs() < 1e-12);
+        assert_eq!(c.affinity(7), 0.0);
+    }
+
+    #[test]
+    fn comm_aware_without_traffic_degenerates_to_diffusion() {
+        let plain = Diffusion::new(0.5);
+        let comm = CommAwareDiffusion::new(0.5, 0.8);
+        let mut known = LoadMap::default();
+        known.insert(1, snap(2, 2.0));
+        known.insert(2, snap(20, 20.0));
+        let local = snap(10, 10.0);
+        let a = plain.flows(0, &local, &known);
+        let b = comm.flows_comm(0, &local, &known, &CommSummary::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comm_aware_boosts_flow_toward_affine_neighbors() {
+        let p = CommAwareDiffusion::new(0.5, 1.0);
+        let mut known = LoadMap::default();
+        known.insert(1, snap(2, 2.0));
+        known.insert(2, snap(2, 2.0));
+        let local = snap(10, 10.0);
+        let mut comm = CommSummary::default();
+        comm.note(1, 100); // all observed traffic comes from rank 1
+        let flows = p.flows_comm(0, &local, &known, &comm);
+        let to = |r: Rank| flows.iter().find(|f| f.0 == r).map(|f| f.1);
+        let (f1, f2) = (to(1).unwrap(), to(2).unwrap());
+        assert!(
+            f1 > f2,
+            "equal imbalance but all affinity at rank 1: {f1} <= {f2}"
+        );
+        // The boost is capped at half the gap so a pair cannot overshoot.
+        assert!(f1 <= (10.0 - 2.0) / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn comm_aware_never_pushes_uphill() {
+        let p = CommAwareDiffusion::new(0.5, 1.0);
+        let mut known = LoadMap::default();
+        known.insert(1, snap(50, 50.0));
+        let mut comm = CommSummary::default();
+        comm.note(1, 1000);
+        assert!(
+            p.flows_comm(0, &snap(2, 2.0), &known, &comm).is_empty(),
+            "affinity must never push load at a heavier rank"
+        );
+    }
+
+    #[test]
+    fn comm_aware_affinity_lowers_the_hysteresis_gate() {
+        let p = CommAwareDiffusion::new(2.0, 1.0);
+        let mut known = LoadMap::default();
+        known.insert(1, snap(2, 2.0));
+        let local = snap(3, 3.5); // diff 1.5: below the plain threshold
+        assert!(p.flows(0, &local, &known).is_empty());
+        let mut comm = CommSummary::default();
+        comm.note(1, 10);
+        assert_eq!(
+            p.flows_comm(0, &local, &known, &comm).len(),
+            1,
+            "full affinity scales the gate to zero, releasing the flow"
+        );
+    }
+
+    #[test]
+    fn anticipatory_is_transparent_on_a_flat_history() {
+        use crate::forecast::WeightHistory;
+        let mut a = Anticipatory::new(Box::new(Diffusion::new(0.5)));
+        let mut h = WeightHistory::new(8, 0.5);
+        let local = snap(4, 4.0);
+        for t in 0..6u64 {
+            h.record(t, local.weight);
+            let f = h.forecast(8);
+            a.note_forecast(t, &local, &f);
+        }
+        let mut known = LoadMap::default();
+        known.insert(1, snap(2, 2.0));
+        let plain = Diffusion::new(0.5).flows(0, &local, &known);
+        assert_eq!(a.flows(0, &local, &known), plain);
+        assert_eq!(a.name(), "anticipatory");
+        assert!(!a.is_underloaded(&local));
+    }
+
+    #[test]
+    fn anticipatory_sheds_during_a_ramp_before_imbalance_materializes() {
+        use crate::forecast::WeightHistory;
+        let mut a = Anticipatory::new(Box::new(Diffusion::new(2.0)));
+        let mut h = WeightHistory::new(8, 0.5);
+        // Local load climbing 1.0/tick; neighbor flat at the same level.
+        let mut local = snap(3, 3.0);
+        for t in 0..6u64 {
+            local.weight = 3.0 + t as f64;
+            local.units = local.weight as usize;
+            h.record(t, local.weight);
+            let f = h.forecast(8);
+            a.note_forecast(t, &local, &f);
+        }
+        let mut known = LoadMap::default();
+        known.insert(1, snap(8, 8.0)); // equal to current local weight
+        assert!(
+            Diffusion::new(2.0).flows(0, &local, &known).is_empty(),
+            "reactive diffusion sees no imbalance yet"
+        );
+        let flows = a.flows(0, &local, &known);
+        assert_eq!(flows.len(), 1, "anticipatory acts on the predicted gap");
+        assert_eq!(flows[0].0, 1);
+        // Grants shed eagerly too: reactive diffusion refuses this requester
+        // (the current gap is under the threshold), anticipatory grants.
+        assert_eq!(Diffusion::new(2.0).grant_units(&local, &snap(2, 7.0)), 0);
+        assert!(a.grant_units(&local, &snap(2, 7.0)) > 0);
+    }
+
+    #[test]
+    fn anticipatory_begs_early_when_draining() {
+        use crate::forecast::Forecast;
+        let mut a = Anticipatory::new(Box::new(WorkStealing::new(1.0, 9)));
+        let local = snap(3, 6.0); // well above the inner watermark
+        assert!(!a.is_underloaded(&local));
+        a.note_forecast(
+            5,
+            &local,
+            &Forecast {
+                ewma: 6.0,
+                slope: -2.0,
+                predicted: -1.0,
+                horizon: 4,
+                samples: 5,
+            },
+        );
+        assert!(
+            a.is_underloaded(&local),
+            "trend says the queue runs dry within the horizon"
+        );
+    }
+
+    #[test]
     fn single_processor_policies_are_inert() {
         let mut ws = WorkStealing::new(1.0, 1);
         assert!(ws.choose_victim(0, 1, &LoadMap::default(), 0).is_none());
@@ -594,11 +1044,42 @@ mod gradient_tests {
     }
 
     #[test]
-    fn gradient_ring_fallback_widens() {
+    fn gradient_ring_fallback_alternates_and_terminates() {
         let mut g = Gradient::new(1.0, 4.0);
         let known = LoadMap::default();
+        // The sweep probes +1, −1, +2, −2, … so every attempt in a round
+        // reaches a fresh rank instead of cycling once the step wraps.
         assert_eq!(g.choose_victim(0, 8, &known, 0), Some(1));
-        assert_eq!(g.choose_victim(0, 8, &known, 3), Some(4));
+        assert_eq!(g.choose_victim(0, 8, &known, 1), Some(7));
+        assert_eq!(g.choose_victim(0, 8, &known, 2), Some(2));
+        assert_eq!(g.choose_victim(0, 8, &known, 3), Some(6));
+        assert_eq!(g.choose_victim(0, 8, &known, 6), Some(4));
+        // Ring covered: later attempts stop probing rather than revisit.
+        assert_eq!(g.choose_victim(0, 8, &known, 8), None);
+        assert_eq!(g.choose_victim(0, 8, &known, 100), None);
+    }
+
+    #[test]
+    fn gradient_fallback_covers_the_whole_ring_exactly_once_going_out() {
+        let mut g = Gradient::new(1.0, 4.0);
+        let known = LoadMap::default();
+        for n in [2usize, 3, 5, 8, 9] {
+            for me in 0..n {
+                let mut seen = std::collections::BTreeSet::new();
+                let mut attempt = 0u32;
+                while let Some(v) = g.choose_victim(me, n, &known, attempt) {
+                    assert_ne!(v, me);
+                    seen.insert(v);
+                    attempt += 1;
+                    assert!(attempt < 64, "sweep failed to terminate");
+                }
+                assert_eq!(
+                    seen.len(),
+                    n - 1,
+                    "sweep from {me} of {n} missed ranks: {seen:?}"
+                );
+            }
+        }
     }
 
     #[test]

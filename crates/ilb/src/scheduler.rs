@@ -10,7 +10,9 @@
 //! facade composes it with OS threads and, in implicit mode, a preemptive
 //! polling thread that calls [`Scheduler::poll_system`] concurrently.
 
-use crate::policy::{LbPolicy, LoadMap, LoadSnapshot};
+use crate::forecast::{Forecast, WeightHistory};
+use crate::policy::{CommSummary, LbPolicy, LoadMap, LoadSnapshot};
+use crate::stability::{Governor, StabilityConfig, VetoKind};
 use bytes::Bytes;
 use prema_dcs::{FxHashMap, Rank, Tag, WireReader, WireWriter};
 use prema_mol::{Migratable, MobilePtr, MolEvent, MolNode, WorkItem};
@@ -117,6 +119,14 @@ pub struct SchedStats {
     /// Begging rounds abandoned because the victim never answered (lost
     /// request or lost grant); the round re-issues to another victim.
     pub request_timeouts: u64,
+    /// Work requests refused by grant hysteresis: the weight gap to the
+    /// requester did not clear the stability governor's band.
+    pub hysteresis_refusals: u64,
+    /// Object migrations vetoed by the minimum-residency guard (the object
+    /// arrived too recently and has not executed yet).
+    pub residency_vetoes: u64,
+    /// Object migrations vetoed by the per-window migration-rate cap.
+    pub rate_cap_vetoes: u64,
 }
 
 /// A rank-targeted message handler.
@@ -149,6 +159,15 @@ pub struct Scheduler<O: Migratable> {
     last_published: Option<LoadSnapshot>,
     stats: SchedStats,
     lb_enabled: bool,
+    /// Monotone poll counter: the governor's and forecaster's clock (never
+    /// wall time — polls keep the scheduler deterministic).
+    polls: u64,
+    /// Migration stability governor (DESIGN.md §14).
+    governor: Governor,
+    /// Local weight-history ring feeding `LbPolicy::note_forecast`.
+    history: WeightHistory,
+    /// Ticks (polls) ahead the forecast extrapolates.
+    forecast_horizon: u64,
     tracer: Tracer,
 }
 
@@ -170,8 +189,37 @@ impl<O: Migratable> Scheduler<O> {
             last_published: None,
             stats: SchedStats::default(),
             lb_enabled: true,
+            polls: 0,
+            governor: Governor::new(StabilityConfig::default()),
+            history: WeightHistory::new(32, 0.25),
+            forecast_horizon: 32,
             tracer: Tracer::off(),
         }
+    }
+
+    /// Replace the stability governor's limits (see [`StabilityConfig`]).
+    /// Existing residency holds and window budgets are reset.
+    pub fn set_stability(&mut self, cfg: StabilityConfig) {
+        self.governor = Governor::new(cfg);
+    }
+
+    /// The stability limits currently enforced.
+    pub fn stability(&self) -> StabilityConfig {
+        self.governor.config()
+    }
+
+    /// How many polls ahead the local load forecast extrapolates (the
+    /// horizon handed to `LbPolicy::note_forecast`).
+    pub fn set_forecast_horizon(&mut self, polls: u64) {
+        assert!(polls > 0, "forecast horizon must be at least one poll");
+        self.forecast_horizon = polls;
+    }
+
+    /// The current local load forecast: EWMA + linear trend over the recent
+    /// weight history, extrapolated `forecast_horizon` polls ahead. This is
+    /// the same forecast the policy sees via `note_forecast`.
+    pub fn forecast(&self) -> Forecast {
+        self.history.forecast(self.forecast_horizon)
     }
 
     /// Attach a trace recorder. Propagates down through the MOL node to the
@@ -264,6 +312,7 @@ impl<O: Migratable> Scheduler<O> {
     /// handle system load-balancing traffic, and evaluate the local work
     /// level. Returns the number of protocol events handled.
     pub fn poll(&mut self) -> usize {
+        self.polls += 1;
         let events = self.node.pump();
         let n = events.len();
         self.tracer.emit(|| TraceEvent::Poll { events: n as u32 });
@@ -283,6 +332,7 @@ impl<O: Migratable> Scheduler<O> {
     /// application messages. In implicit mode the `prema` facade calls this
     /// from the polling thread while a work unit executes (§4.2).
     pub fn poll_system(&mut self) -> usize {
+        self.polls += 1;
         let events = self.node.poll_system();
         let n = events.len();
         self.tracer
@@ -329,6 +379,9 @@ impl<O: Migratable> Scheduler<O> {
             };
             self.executing = Some(item.ptr);
             self.executing_weight = item.hint;
+            // Execution earns residency: the object did real work here, so
+            // the governor's anti-ping-pong hold no longer applies.
+            self.governor.note_executed(item.ptr);
             self.tracer.emit(|| TraceEvent::ExecBegin {
                 home: item.ptr.home,
                 index: item.ptr.index,
@@ -472,6 +525,12 @@ impl<O: Migratable> Scheduler<O> {
                     let stale = self.outstanding != Some(src);
                     self.tracer.emit(|| TraceEvent::LbNackRecv { src, stale });
                     if !stale {
+                        // Burn the refuser's load report: whatever snapshot
+                        // made it look like a victim is evidently stale, and
+                        // keeping it would re-beg the same deterministic
+                        // refuser on every retry. Its next real status
+                        // re-inserts it.
+                        self.known.remove(&src);
                         self.outstanding = None;
                         self.attempt += 1;
                     }
@@ -492,8 +551,11 @@ impl<O: Migratable> Scheduler<O> {
                     }
                 }
             },
-            MolEvent::Installed { .. } => {
-                // Work arrived: the begging round (if any) succeeded.
+            MolEvent::Installed { ptr, .. } => {
+                // Work arrived: the begging round (if any) succeeded. The
+                // governor starts the object's minimum-residency hold so it
+                // cannot be granted straight back out (migration ping-pong).
+                self.governor.note_install(ptr, self.polls);
                 self.outstanding = None;
                 self.attempt = 0;
             }
@@ -536,6 +598,20 @@ impl<O: Migratable> Scheduler<O> {
     /// to the requester, or send a refusal.
     fn handle_request(&mut self, src: Rank, requester: LoadSnapshot) {
         let local = self.local_load();
+        // Grant hysteresis (stability governor): refuse outright unless the
+        // weight gap clears the band. On an oversubscribed host near-equal
+        // ranks otherwise trade the same objects endlessly.
+        if !self.governor.hysteresis_ok(local.weight, requester.weight) {
+            self.stats.hysteresis_refusals += 1;
+            self.tracer.emit(|| TraceEvent::LbVeto {
+                peer: src,
+                kind: VetoKind::Hysteresis.code(),
+            });
+            self.tracer.emit(|| TraceEvent::LbNackSent { dst: src });
+            self.node
+                .node_message(src, LB_NACK, Tag::System, Bytes::new());
+            return;
+        }
         let want = self.policy.grant_units(&local, &requester);
         if want == 0 {
             self.tracer.emit(|| TraceEvent::LbNackSent { dst: src });
@@ -556,13 +632,55 @@ impl<O: Migratable> Scheduler<O> {
         }
     }
 
+    /// Per-object grant candidates for a migration toward `dst`: the ready
+    /// summary (heaviest first), re-sorted by communication affinity with
+    /// `dst` when the policy is communication-aware — objects that receive
+    /// most of their messages from `dst` move first.
+    fn grant_candidates(&self, dst: Rank) -> Vec<(MobilePtr, usize, f64)> {
+        let mut summary = self.node.ready_summary();
+        if self.policy.uses_comm() {
+            summary.sort_by(|a, b| {
+                self.node
+                    .interactions_from(b.0, dst)
+                    .cmp(&self.node.interactions_from(a.0, dst))
+                    .then(b.2.total_cmp(&a.2))
+            });
+        }
+        summary
+    }
+
+    /// Governor check common to grants and flows: `true` if `ptr` may leave
+    /// for `dst` right now. Counts and traces vetoes; `rate_exhausted` is
+    /// latched so callers can stop iterating once the window budget is gone.
+    fn may_migrate(&mut self, ptr: MobilePtr, dst: Rank, rate_exhausted: &mut bool) -> bool {
+        if self.governor.residency_held(ptr, self.polls) {
+            self.stats.residency_vetoes += 1;
+            self.tracer.emit(|| TraceEvent::LbVeto {
+                peer: dst,
+                kind: VetoKind::Residency.code(),
+            });
+            return false;
+        }
+        if !self.governor.migration_allowed(self.polls) {
+            self.stats.rate_cap_vetoes += 1;
+            self.tracer.emit(|| TraceEvent::LbVeto {
+                peer: dst,
+                kind: VetoKind::RateCap.code(),
+            });
+            *rate_exhausted = true;
+            return false;
+        }
+        true
+    }
+
     /// Migrate objects covering roughly `want_units` queued messages to
     /// `dst`. Returns the number of units actually covered.
     fn grant_objects(&mut self, dst: Rank, want_units: usize, requester_idle: bool) -> usize {
-        let summary = self.node.ready_summary();
+        let summary = self.grant_candidates(dst);
         let mut covered = 0usize;
+        let mut rate_exhausted = false;
         for (ptr, units, _weight) in summary {
-            if covered >= want_units {
+            if covered >= want_units || rate_exhausted {
                 break;
             }
             if Some(ptr) == self.executing {
@@ -575,7 +693,12 @@ impl<O: Migratable> Scheduler<O> {
             if self.node.ready_len() <= units && !requester_idle {
                 break;
             }
+            if !self.may_migrate(ptr, dst, &mut rate_exhausted) {
+                continue;
+            }
             if self.node.migrate(ptr, dst) {
+                self.governor.note_departed(ptr);
+                self.governor.note_migration();
                 covered += units;
                 self.stats.granted += 1;
             }
@@ -591,6 +714,21 @@ impl<O: Migratable> Scheduler<O> {
         let me = self.rank();
         let n = self.nprocs();
 
+        // Sample the weight history and report the forecast to the policy
+        // before any decision this evaluation makes (anticipatory policies
+        // cache it). Sampled at the poll tick; a re-evaluation within the
+        // same poll (unit finish) overwrites the tick's sample.
+        self.history.record(self.polls, local.weight);
+        let fc = self.history.forecast(self.forecast_horizon);
+        self.policy.note_forecast(self.polls, &local, &fc);
+        if self.polls.is_multiple_of(64) {
+            self.tracer.emit(|| TraceEvent::LbForecast {
+                weight_milli: (local.weight * 1000.0) as u64,
+                predicted_milli: (fc.predicted.max(0.0) * 1000.0) as u64,
+                rising: fc.rising(1e-9),
+            });
+        }
+
         // Publish status to the neighborhood when it changed.
         if self.last_published != Some(local) {
             let status = Self::encode_snapshot(&local);
@@ -605,15 +743,35 @@ impl<O: Migratable> Scheduler<O> {
         // Sender-initiated flows (diffusive policies). Ship only objects
         // that fit wholly within the prescribed flow: overshooting ships the
         // last object back and forth between near-balanced neighbors.
-        let flows = self.policy.flows(me, &local, &self.known);
+        // Communication-aware policies additionally see the local
+        // object-interaction summary, and their flows prefer the objects
+        // most affine with each destination.
+        let flows = if self.policy.uses_comm() {
+            let comm = self.comm_summary();
+            self.policy.flows_comm(me, &local, &self.known, &comm)
+        } else {
+            self.policy.flows(me, &local, &self.known)
+        };
+        let mut rate_exhausted = false;
         for (dst, weight) in flows {
+            if rate_exhausted {
+                break;
+            }
             let mut remaining = weight;
-            let summary = self.node.ready_summary();
+            let summary = self.grant_candidates(dst);
             for (ptr, _units, w) in summary {
                 if Some(ptr) == self.executing || w > remaining {
                     continue;
                 }
+                if !self.may_migrate(ptr, dst, &mut rate_exhausted) {
+                    if rate_exhausted {
+                        break;
+                    }
+                    continue;
+                }
                 if self.node.migrate(ptr, dst) {
+                    self.governor.note_departed(ptr);
+                    self.governor.note_migration();
                     remaining -= w.max(1e-9);
                     self.stats.granted += 1;
                 }
@@ -661,6 +819,22 @@ impl<O: Migratable> Scheduler<O> {
                 self.stats.requests_sent += 1;
             }
         }
+    }
+
+    /// The local object-interaction summary for communication-aware
+    /// policies: messages consumed per peer rank, summed over resident
+    /// objects (self-traffic excluded — it says nothing about remote
+    /// affinity). Derived from the MOL's per-sender sequence counters, so it
+    /// costs no extra wire traffic.
+    fn comm_summary(&self) -> CommSummary {
+        let me = self.rank();
+        let mut cs = CommSummary::default();
+        for (peer, n) in self.node.interaction_summary() {
+            if peer != me {
+                cs.note(peer, n);
+            }
+        }
+        cs
     }
 
     /// Maximum consecutive refusals before a begging round gives up (until

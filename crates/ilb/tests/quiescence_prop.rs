@@ -1,0 +1,141 @@
+//! Property: two ranks carrying *equal* load must reach migration
+//! quiescence — zero grants, zero migrations — under every shipped policy.
+//!
+//! This is the anti-thrash contract of DESIGN.md §14: when there is nothing
+//! to gain from moving work, no policy may move any. Before the stability
+//! governor, near-equal loads could trade objects back and forth forever
+//! (each side seeing the other as marginally richer through stale status
+//! reports).
+
+use bytes::Bytes;
+use prema_dcs::{Communicator, LocalFabric};
+use prema_ilb::{
+    Anticipatory, CommAwareDiffusion, Diffusion, Gradient, LbPolicy, Multilist, Scheduler,
+    WorkStealing,
+};
+use prema_mol::{Migratable, MolNode};
+use proptest::prelude::*;
+
+#[derive(Debug, PartialEq)]
+struct Counter {
+    value: i64,
+}
+
+impl Migratable for Counter {
+    fn pack(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.value.to_le_bytes());
+    }
+    fn unpack(b: &[u8]) -> Self {
+        Counter {
+            value: i64::from_le_bytes(b[..8].try_into().unwrap()),
+        }
+    }
+}
+
+const H_TICK: u32 = 1;
+
+/// Every policy the framework ships, in one place so the property cannot
+/// silently skip a newcomer.
+fn shipped_policies(seed: u64) -> Vec<Box<dyn LbPolicy>> {
+    vec![
+        Box::new(WorkStealing::new(1.0, seed)),
+        Box::new(Diffusion::new(0.5)),
+        Box::new(Multilist::new(1, seed)),
+        Box::new(Gradient::new(1.0, 2.0)),
+        Box::new(CommAwareDiffusion::new(0.5, 0.5)),
+        Box::new(Anticipatory::new(Box::new(Diffusion::new(0.5)))),
+    ]
+}
+
+fn two_equal_ranks(
+    mk_policy: &dyn Fn(usize) -> Box<dyn LbPolicy>,
+    units: usize,
+    weight: f64,
+) -> Vec<Scheduler<Counter>> {
+    let mut scheds: Vec<Scheduler<Counter>> = LocalFabric::new(2)
+        .into_iter()
+        .enumerate()
+        .map(|(r, ep)| {
+            let node: MolNode<Counter> = MolNode::new(Communicator::new(Box::new(ep)));
+            let mut s = Scheduler::new(node, mk_policy(r));
+            s.on_message(H_TICK, |_ctx, c: &mut Counter, _item| c.value += 1);
+            s
+        })
+        .collect();
+    for s in scheds.iter_mut() {
+        let ptrs: Vec<_> = (0..units)
+            .map(|_| s.node_mut().register(Counter { value: 0 }))
+            .collect();
+        for p in ptrs {
+            s.node_mut()
+                .message_with_hint(p, H_TICK, weight, Bytes::new());
+        }
+    }
+    scheds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Equal loads, any unit count, any per-unit weight, any shipped policy:
+    /// after a long polling phase and a full lockstep drain, no rank ever
+    /// granted or received an object.
+    #[test]
+    fn equal_loads_reach_migration_quiescence(
+        units in 1usize..6,
+        weight in 0.25f64..4.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let n_policies = shipped_policies(seed).len();
+        for idx in 0..n_policies {
+            let mk = |_r: usize| {
+                shipped_policies(seed)
+                    .into_iter()
+                    .nth(idx)
+                    .expect("policy index in range")
+            };
+            let name = mk(0).name();
+            let mut scheds = two_equal_ranks(&mk, units, weight);
+
+            // Phase 1: pure polling — statuses exchange, beggars beg, every
+            // grant path must refuse because the weight gap is zero.
+            for _ in 0..24 {
+                for s in scheds.iter_mut() {
+                    s.poll();
+                }
+            }
+            // Phase 2: lockstep drain — loads stay equal after every round,
+            // so quiescence must hold all the way down to empty.
+            loop {
+                let mut progress = false;
+                for s in scheds.iter_mut() {
+                    s.poll();
+                    if s.step() {
+                        progress = true;
+                    }
+                }
+                if !progress {
+                    break;
+                }
+            }
+            for _ in 0..8 {
+                for s in scheds.iter_mut() {
+                    s.poll();
+                }
+            }
+
+            for s in scheds.iter() {
+                prop_assert!(
+                    s.stats().granted == 0,
+                    "policy {} granted objects between equal-load ranks",
+                    name
+                );
+                prop_assert!(
+                    s.node().stats().migrations_in == 0,
+                    "policy {} migrated objects between equal-load ranks",
+                    name
+                );
+            }
+        }
+    }
+}

@@ -891,6 +891,42 @@ impl<O: Migratable> MolNode<O> {
         out.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
         out
     }
+
+    /// Messages the resident object `ptr` has consumed from rank `src` over
+    /// its lifetime — the object-interaction counter behind
+    /// communication-aware load balancing (DESIGN.md §14). Read straight off
+    /// the per-sender sequence state that already travels with the object on
+    /// migration, so it costs no extra bookkeeping or wire bytes. Zero for
+    /// non-resident objects.
+    pub fn interactions_from(&self, ptr: MobilePtr, src: Rank) -> u64 {
+        self.directory
+            .get(&ptr)
+            .and_then(|d| d.entry.as_ref())
+            .and_then(|e| e.expected.get(&src))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Per-peer interaction totals across all resident objects: how many
+    /// messages this rank's objects have consumed from each sender rank
+    /// (including this rank itself — callers filter as needed). The load
+    /// balancer folds this into its communication-affinity summary.
+    pub fn interaction_summary(&self) -> Vec<(Rank, u64)> {
+        let mut acc: FxHashMap<Rank, u64> = FxHashMap::default();
+        for d in self.directory.values() {
+            let Some(entry) = d.entry.as_ref() else {
+                continue;
+            };
+            for (&src, &consumed) in &entry.expected {
+                if consumed > 0 {
+                    *acc.entry(src).or_insert(0) += consumed;
+                }
+            }
+        }
+        let mut out: Vec<(Rank, u64)> = acc.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
 }
 
 /// A unit of queued work: one in-order message for one local object.

@@ -160,6 +160,26 @@ pub enum TraceEvent {
         /// and was ignored rather than cancelling the current round.
         stale: bool,
     },
+    /// The migration stability governor vetoed a grant or flow migration
+    /// (DESIGN.md §14).
+    LbVeto {
+        /// The would-be destination (flows/grants) or requester (hysteresis).
+        peer: usize,
+        /// Veto cause: `prema_ilb::VetoKind::code()` — 0 = hysteresis band,
+        /// 1 = minimum residency, 2 = migration-rate cap.
+        kind: u32,
+    },
+    /// Periodic sample of the scheduler's local-load forecast (every 64th
+    /// poll): the weight-history trend extrapolated one horizon ahead.
+    LbForecast {
+        /// Current local weight, in milli-weight units.
+        weight_milli: u64,
+        /// Predicted weight one horizon ahead, clamped at zero, in
+        /// milli-weight units.
+        predicted_milli: u64,
+        /// Whether the fitted trend is rising.
+        rising: bool,
+    },
     /// A message was dropped rather than delivered. Emitted by any layer
     /// that discards traffic: the chaos transport (injected loss or a
     /// partitioned pair), a send into a torn-down rank's inbox, or a
@@ -234,6 +254,8 @@ impl TraceEvent {
             TraceEvent::LbGrantRecv { .. } => "lb_grant_recv",
             TraceEvent::LbNackSent { .. } => "lb_nack_sent",
             TraceEvent::LbNackRecv { .. } => "lb_nack_recv",
+            TraceEvent::LbVeto { .. } => "lb_veto",
+            TraceEvent::LbForecast { .. } => "lb_forecast",
             TraceEvent::DcsDropped { .. } => "dcs_dropped",
             TraceEvent::DcsBatchFlush { .. } => "dcs_batch_flush",
             TraceEvent::DcsRetry { .. } => "dcs_retry",
@@ -322,6 +344,19 @@ impl TraceEvent {
             }
             TraceEvent::LbNackRecv { src, stale } => {
                 let _ = write!(out, ",\"src\":{src},\"stale\":{stale}");
+            }
+            TraceEvent::LbVeto { peer, kind } => {
+                let _ = write!(out, ",\"peer\":{peer},\"kind\":{kind}");
+            }
+            TraceEvent::LbForecast {
+                weight_milli,
+                predicted_milli,
+                rising,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"weight_milli\":{weight_milli},\"predicted_milli\":{predicted_milli},\"rising\":{rising}"
+                );
             }
             TraceEvent::DcsDropped { peer, handler }
             | TraceEvent::DcsDuplicate { peer, handler } => {
@@ -751,6 +786,34 @@ mod tests {
         assert_eq!(
             dup.to_jsonl(),
             "{\"rank\":0,\"seq\":2,\"t\":9,\"ev\":\"dcs_duplicate\",\"peer\":4,\"handler\":1}"
+        );
+    }
+
+    #[test]
+    fn governor_events_serialize_flat() {
+        let veto = Record {
+            rank: 1,
+            seq: 0,
+            t: 4,
+            ev: TraceEvent::LbVeto { peer: 3, kind: 1 },
+        };
+        assert_eq!(
+            veto.to_jsonl(),
+            "{\"rank\":1,\"seq\":0,\"t\":4,\"ev\":\"lb_veto\",\"peer\":3,\"kind\":1}"
+        );
+        let fc = Record {
+            rank: 0,
+            seq: 1,
+            t: 5,
+            ev: TraceEvent::LbForecast {
+                weight_milli: 1500,
+                predicted_milli: 2750,
+                rising: true,
+            },
+        };
+        assert_eq!(
+            fc.to_jsonl(),
+            "{\"rank\":0,\"seq\":1,\"t\":5,\"ev\":\"lb_forecast\",\"weight_milli\":1500,\"predicted_milli\":2750,\"rising\":true}"
         );
     }
 

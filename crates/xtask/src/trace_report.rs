@@ -510,6 +510,108 @@ fn render_migration_timeline(recs: &[Rec]) -> String {
     s
 }
 
+/// Veto-kind labels, indexed by the `"kind"` field of `lb_veto` records
+/// (`prema_trace::TraceEvent::LbVeto` order).
+const VETO_LABELS: [&str; 3] = ["hysteresis", "residency", "rate-cap"];
+
+/// Migration churn: how often each object moved, and what the stability
+/// governor did about it. Folds three streams:
+///
+/// * `migrate` — per-object move counts, presented as a histogram (how many
+///   objects moved exactly k times) so thrash shows up as a long tail;
+/// * `lb_veto` — migrations the governor refused, by kind; kind 1 is a
+///   residency violation averted (the object had not yet served its
+///   minimum residency when a policy tried to move it again);
+/// * `lb_forecast` — the anticipatory sampler's periodic load predictions.
+fn render_migration_churn(recs: &[Rec]) -> String {
+    let mut s = String::from("== Migration churn ==\n");
+    let mut per_obj: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for r in recs.iter().filter(|r| r.ev == "migrate") {
+        *per_obj
+            .entry((r.u64("home").unwrap_or(0), r.u64("index").unwrap_or(0)))
+            .or_insert(0) += 1;
+    }
+    if per_obj.is_empty() {
+        s.push_str("(no migrations)\n");
+    } else {
+        let mut hist: BTreeMap<u64, u64> = BTreeMap::new();
+        for &c in per_obj.values() {
+            *hist.entry(c).or_insert(0) += 1;
+        }
+        let _ = writeln!(s, "{:>6} {:>8}", "moves", "objects");
+        for (moves, objects) in &hist {
+            let _ = writeln!(s, "{moves:>6} {objects:>8}");
+        }
+        let moves: u64 = per_obj.values().sum();
+        let ((home, index), worst) = per_obj
+            .iter()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(k, &c)| (*k, c))
+            .expect("per_obj checked non-empty above");
+        let _ = writeln!(
+            s,
+            "{moves} moves across {} objects, busiest {home}:{index} with {worst}",
+            per_obj.len()
+        );
+    }
+    let nprocs = recs.iter().map(|r| r.rank + 1).max().unwrap_or(0);
+    let mut vetoes = vec![[0u64; 3]; nprocs];
+    for r in recs.iter().filter(|r| r.ev == "lb_veto") {
+        let kind = r.u64("kind").unwrap_or(u64::MAX) as usize;
+        if kind < 3 {
+            vetoes[r.rank][kind] += 1;
+        }
+    }
+    if vetoes.iter().flatten().copied().sum::<u64>() == 0 {
+        s.push_str("(no governor vetoes)\n");
+    } else {
+        let _ = writeln!(
+            s,
+            "{:>5} {:>11} {:>10} {:>9}",
+            "proc", VETO_LABELS[0], VETO_LABELS[1], VETO_LABELS[2]
+        );
+        for (p, v) in vetoes.iter().enumerate() {
+            if v.iter().sum::<u64>() > 0 {
+                let _ = writeln!(s, "{p:>5} {:>11} {:>10} {:>9}", v[0], v[1], v[2]);
+            }
+        }
+    }
+    // Forecast stream: per-rank sample count, how often the trend pointed
+    // up, and the last weight -> prediction pair (in load units).
+    let mut fc = vec![(0u64, 0u64, 0u64, 0u64); nprocs];
+    for r in recs.iter().filter(|r| r.ev == "lb_forecast") {
+        let f = &mut fc[r.rank];
+        f.0 += 1;
+        if r.fields.get("rising").map(String::as_str) == Some("true") {
+            f.1 += 1;
+        }
+        f.2 = r.u64("weight_milli").unwrap_or(0);
+        f.3 = r.u64("predicted_milli").unwrap_or(0);
+    }
+    if fc.iter().map(|f| f.0).sum::<u64>() == 0 {
+        s.push_str("(no forecasts)\n");
+    } else {
+        let _ = writeln!(
+            s,
+            "{:>5} {:>9} {:>7} {:>11} {:>11}",
+            "proc", "forecasts", "rising", "last-load", "last-pred"
+        );
+        for (p, f) in fc.iter().enumerate() {
+            if f.0 > 0 {
+                let _ = writeln!(
+                    s,
+                    "{p:>5} {:>9} {:>7} {:>11.3} {:>11.3}",
+                    f.0,
+                    f.1,
+                    f.2 as f64 / 1e3,
+                    f.3 as f64 / 1e3
+                );
+            }
+        }
+    }
+    s
+}
+
 /// Entry point for the subcommand: render every view of one dump.
 pub fn report(text: &str, stride: usize) -> Result<String, String> {
     let recs = parse_dump(text)?;
@@ -524,6 +626,8 @@ pub fn report(text: &str, stride: usize) -> Result<String, String> {
     s.push_str(&render_begging_latency(&recs));
     s.push('\n');
     s.push_str(&render_migration_timeline(&recs));
+    s.push('\n');
+    s.push_str(&render_migration_churn(&recs));
     s.push('\n');
     s.push_str(&render_activity(&recs, stride));
     Ok(s)
@@ -561,12 +665,18 @@ mod tests {
 {"rank":0,"seq":9,"t":102,"ev":"dcs_dropped","peer":1,"handler":7}
 {"rank":0,"seq":10,"t":103,"ev":"dcs_retry","peer":1,"frame":4,"attempt":1}
 {"rank":0,"seq":11,"t":104,"ev":"dcs_duplicate","peer":1,"handler":7}
+{"rank":0,"seq":12,"t":105,"ev":"lb_veto","peer":1,"kind":0}
+{"rank":0,"seq":13,"t":106,"ev":"lb_veto","peer":1,"kind":1}
+{"rank":0,"seq":14,"t":107,"ev":"lb_veto","peer":1,"kind":1}
+{"rank":0,"seq":15,"t":108,"ev":"lb_veto","peer":1,"kind":2}
+{"rank":1,"seq":16,"t":109,"ev":"lb_forecast","weight_milli":1500,"predicted_milli":2750,"rising":true}
+{"rank":1,"seq":17,"t":110,"ev":"lb_forecast","weight_milli":2750,"predicted_milli":2600,"rising":false}
 "#;
 
     #[test]
     fn parses_every_line_of_a_real_dump() {
         let recs = parse_dump(DUMP).expect("dump parses");
-        assert_eq!(recs.len(), 28);
+        assert_eq!(recs.len(), 34);
         assert_eq!(recs[0].ev, "span");
         assert_eq!(recs[0].u64("dur"), Some(2_000_000_000));
     }
@@ -671,6 +781,39 @@ mod tests {
     }
 
     #[test]
+    fn migration_churn_folds_moves_vetoes_and_forecasts() {
+        let recs = parse_dump(DUMP).expect("dump parses");
+        let out = render_migration_churn(&recs);
+        // One object (0:7) moved once.
+        assert!(out.contains("     1        1"), "{out}");
+        assert!(
+            out.contains("1 moves across 1 objects, busiest 0:7 with 1"),
+            "{out}"
+        );
+        // Rank 0 vetoes: 1 hysteresis, 2 residency, 1 rate-cap.
+        assert!(out.contains("residency"), "{out}");
+        assert!(
+            out.contains("    0           1          2         1"),
+            "{out}"
+        );
+        // Rank 1 forecasts: 2 samples, 1 rising, last pair 2.75 -> 2.60.
+        assert!(
+            out.contains("    1         2       1       2.750       2.600"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn migration_churn_handles_a_quiet_trace() {
+        let dump = "{\"rank\":0,\"seq\":0,\"t\":0,\"ev\":\"span\",\"cat\":0,\"dur\":5}\n";
+        let recs = parse_dump(dump).expect("dump parses");
+        let out = render_migration_churn(&recs);
+        assert!(out.contains("(no migrations)"), "{out}");
+        assert!(out.contains("(no governor vetoes)"), "{out}");
+        assert!(out.contains("(no forecasts)"), "{out}");
+    }
+
+    #[test]
     fn report_renders_all_sections() {
         let out = report(DUMP, 1).expect("report renders");
         for heading in [
@@ -678,6 +821,7 @@ mod tests {
             "Forwarding-chain length histogram",
             "Begging-round latency",
             "Migration timeline",
+            "Migration churn",
             "Activity counters",
         ] {
             assert!(out.contains(heading), "missing {heading}:\n{out}");
