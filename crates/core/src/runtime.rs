@@ -176,15 +176,11 @@ impl<O: Migratable> Runtime<O> {
 
 /// Whether rank threads should be pinned: the `PREMA_PIN_CORES` environment
 /// variable, when set, wins over [`PremaConfig::pin_cores`] in either
-/// direction (`1`/`true`/`on`/`yes` enables, anything else disables).
+/// direction (`1`/`true`/`on`/`yes` enables, `0`/`false`/`off`/`no` — or,
+/// with a warning, anything else — disables). Parsed via
+/// [`prema_dcs::env`].
 fn pinning_enabled(cfg: &PremaConfig) -> bool {
-    match std::env::var("PREMA_PIN_CORES") {
-        Ok(v) => matches!(
-            v.trim().to_ascii_lowercase().as_str(),
-            "1" | "true" | "on" | "yes"
-        ),
-        Err(_) => cfg.pin_cores,
-    }
+    prema_dcs::env::flag_var("PREMA_PIN_CORES").unwrap_or(cfg.pin_cores)
 }
 
 /// Launch a PREMA machine: `cfg.nprocs` ranks, each running `main(runtime)`
@@ -309,38 +305,20 @@ where
     let mut poll_threads = Vec::new();
 
     for (rank, transport) in transports.into_iter().enumerate() {
-        let mut comm = Communicator::new(transport);
-        comm.set_batch_config(batch);
-        let node: MolNode<O> = MolNode::new(comm);
-        let policy = cfg.policy.build(cfg.seed.wrapping_add(rank as u64));
-        let mut sched = ilb::Scheduler::new(node, policy);
-        sched.set_stability(stability);
-        if cfg.mode == LbMode::Disabled {
-            sched.set_lb_enabled(false);
-        }
         let tracer = trace
             .as_ref()
             .map(|s| s.tracer(rank))
             .unwrap_or_else(prema_trace::Tracer::off);
-        sched.set_tracer(tracer.clone());
-        let sched = Arc::new(Mutex::new(sched));
+        let sched = build_rank_scheduler(&cfg, rank, transport, batch, stability, tracer.clone());
 
         if let LbMode::Implicit { poll_interval } = cfg.mode {
-            let sched = sched.clone();
-            let stop = stop.clone();
-            poll_threads.push(std::thread::spawn(move || {
-                if pin {
-                    crate::affinity::pin_current_thread(rank % ncores);
-                }
-                run_poll_loop(&stop, || {
-                    std::thread::sleep(poll_interval);
-                    let events = sched.lock().poll_system();
-                    tracer.emit(|| prema_trace::TraceEvent::PollWake {
-                        events: events as u32,
-                    });
-                    true
-                });
-            }));
+            poll_threads.push(spawn_poller(
+                sched.clone(),
+                stop.clone(),
+                poll_interval,
+                tracer,
+                pin.then_some(rank % ncores),
+            ));
         }
 
         let main = main.clone();
@@ -369,4 +347,128 @@ where
         t.join().expect("polling thread panicked");
     }
     results
+}
+
+/// Run **one** rank of a multi-process machine on the calling thread: the
+/// entry point for out-of-process deployments (`prema-launch` spawns one OS
+/// process per rank, each of which calls this with a socket transport such
+/// as [`prema_dcs::UdpTransport`]). `cfg.nprocs` is the *whole machine's*
+/// size; `transport.nprocs()` must agree. Environment knobs
+/// (`PREMA_BATCH_*`, `PREMA_MIN_RESIDENCY`, `PREMA_MIGRATION_CAP`,
+/// `PREMA_PIN_CORES`) apply exactly as in [`launch_with_transports`]; in
+/// [`LbMode::Implicit`] mode the rank gets its preemptive polling thread,
+/// reaped before this returns.
+pub fn launch_single_rank<O, R, F>(
+    cfg: PremaConfig,
+    rank: usize,
+    transport: Box<dyn Transport>,
+    trace: Option<std::sync::Arc<prema_trace::TraceSink>>,
+    main: F,
+) -> R
+where
+    O: Migratable,
+    F: FnOnce(Runtime<O>) -> R,
+{
+    assert!(rank < cfg.nprocs, "rank {rank} outside 0..{}", cfg.nprocs);
+    assert_eq!(
+        transport.nprocs(),
+        cfg.nprocs,
+        "transport world size disagrees with cfg.nprocs"
+    );
+    assert_eq!(
+        transport.rank(),
+        rank,
+        "transport bound to a different rank"
+    );
+    let stop = Arc::new(StopFlag::new());
+    let pin = pinning_enabled(&cfg);
+    let ncores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let env_batch = prema_dcs::BatchConfig::from_env();
+    let batch = if env_batch.is_on() {
+        env_batch
+    } else {
+        cfg.batch
+    };
+    let stability = cfg.stability.from_env();
+    let tracer = trace
+        .as_ref()
+        .map(|s| s.tracer(rank))
+        .unwrap_or_else(prema_trace::Tracer::off);
+    let sched = build_rank_scheduler(&cfg, rank, transport, batch, stability, tracer.clone());
+
+    let poller = match cfg.mode {
+        LbMode::Implicit { poll_interval } => Some(spawn_poller(
+            sched.clone(),
+            stop.clone(),
+            poll_interval,
+            tracer,
+            pin.then_some(rank % ncores),
+        )),
+        _ => None,
+    };
+    if pin {
+        crate::affinity::pin_current_thread(rank % ncores);
+    }
+    let result = main(Runtime {
+        sched,
+        rank,
+        nprocs: cfg.nprocs,
+    });
+    stop.request_stop();
+    if let Some(t) = poller {
+        t.join().expect("polling thread panicked");
+    }
+    result
+}
+
+/// Assemble one rank's scheduler stack (communicator → MOL node → ILB
+/// scheduler, with batching, stability governor, policy, and tracer
+/// applied) — the construction shared by every launch path.
+fn build_rank_scheduler<O: Migratable>(
+    cfg: &PremaConfig,
+    rank: usize,
+    transport: Box<dyn Transport>,
+    batch: prema_dcs::BatchConfig,
+    stability: prema_ilb::StabilityConfig,
+    tracer: prema_trace::Tracer,
+) -> Arc<Mutex<ilb::Scheduler<O>>> {
+    let mut comm = Communicator::new(transport);
+    comm.set_batch_config(batch);
+    let node: MolNode<O> = MolNode::new(comm);
+    let policy = cfg.policy.build(cfg.seed.wrapping_add(rank as u64));
+    let mut sched = ilb::Scheduler::new(node, policy);
+    sched.set_stability(stability);
+    if cfg.mode == LbMode::Disabled {
+        sched.set_lb_enabled(false);
+    }
+    sched.set_tracer(tracer);
+    Arc::new(Mutex::new(sched))
+}
+
+/// Spawn one rank's preemptive polling thread ([`LbMode::Implicit`]):
+/// wakes every `poll_interval`, processes system messages, emits a
+/// `PollWake` trace event. `pin_core` pins the poller next to its app
+/// thread (see `crate::affinity`).
+fn spawn_poller<O: Migratable>(
+    sched: Arc<Mutex<ilb::Scheduler<O>>>,
+    stop: Arc<StopFlag>,
+    poll_interval: std::time::Duration,
+    tracer: prema_trace::Tracer,
+    pin_core: Option<usize>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        if let Some(core) = pin_core {
+            crate::affinity::pin_current_thread(core);
+        }
+        run_poll_loop(&stop, || {
+            std::thread::sleep(poll_interval);
+            let events = sched.lock().poll_system();
+            tracer.emit(|| prema_trace::TraceEvent::PollWake {
+                events: events as u32,
+            });
+            true
+        });
+    })
 }

@@ -99,8 +99,8 @@ impl BatchConfig {
     }
 
     fn from_env_values(msgs: Option<&str>, bytes: Option<&str>) -> Self {
-        let msgs = msgs.and_then(|v| v.trim().parse::<usize>().ok());
-        let bytes = bytes.and_then(|v| v.trim().parse::<usize>().ok());
+        let msgs = crate::env::parse_usize("PREMA_BATCH_MSGS", msgs);
+        let bytes = crate::env::parse_usize("PREMA_BATCH_BYTES", bytes);
         if msgs.is_none() && bytes.is_none() {
             return Self::off();
         }

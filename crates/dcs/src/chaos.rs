@@ -96,23 +96,25 @@ impl ChaosConfig {
     /// * `PREMA_CHAOS_REORDER` — reorder probability (default `loss / 2`)
     /// * `PREMA_CHAOS_DELAY` — delay probability (default `loss / 2`)
     /// * `PREMA_CHAOS_DELAY_TICKS` — delay length in polls (default `3`)
+    ///
+    /// All knobs are validated via [`crate::env`]: malformed values warn
+    /// once and read as unset, and the probabilities are range-checked to
+    /// `[0, 1]` (an out-of-range rate previously saturated the fate dice
+    /// silently).
     pub fn from_env() -> Option<Self> {
-        fn parse<T: std::str::FromStr>(key: &str) -> Option<T> {
-            std::env::var(key).ok()?.parse().ok()
-        }
-        let seed: u64 = parse("PREMA_CHAOS_SEED")?;
-        let loss: f64 = parse("PREMA_CHAOS_LOSS").unwrap_or(0.01);
+        let seed = crate::env::u64_var("PREMA_CHAOS_SEED")?;
+        let loss = crate::env::prob_var("PREMA_CHAOS_LOSS").unwrap_or(0.01);
         let mut cfg = Self::adversarial(seed, loss);
-        if let Some(dup) = parse("PREMA_CHAOS_DUP") {
+        if let Some(dup) = crate::env::prob_var("PREMA_CHAOS_DUP") {
             cfg.dup_p = dup;
         }
-        if let Some(re) = parse("PREMA_CHAOS_REORDER") {
+        if let Some(re) = crate::env::prob_var("PREMA_CHAOS_REORDER") {
             cfg.reorder_p = re;
         }
-        if let Some(delay) = parse("PREMA_CHAOS_DELAY") {
+        if let Some(delay) = crate::env::prob_var("PREMA_CHAOS_DELAY") {
             cfg.delay_p = delay;
         }
-        if let Some(ticks) = parse("PREMA_CHAOS_DELAY_TICKS") {
+        if let Some(ticks) = crate::env::u32_var("PREMA_CHAOS_DELAY_TICKS") {
             cfg.delay_ticks = ticks;
         }
         Some(cfg)
@@ -444,7 +446,7 @@ impl<T: Transport> Transport for ChaosTransport<T> {
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
-        let deadline = Instant::now() + timeout;
+        let deadline = crate::transport::saturating_deadline(timeout);
         loop {
             if let Some(env) = self.try_recv() {
                 return Some(env);

@@ -77,7 +77,7 @@ impl<T: Transport> Transport for DelayTransport<T> {
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
-        let deadline = Instant::now() + timeout;
+        let deadline = crate::transport::saturating_deadline(timeout);
         loop {
             if let Some(env) = self.try_recv() {
                 return Some(env);

@@ -40,6 +40,11 @@
 //! * [`reliable`] — an opt-in ack/retry/backoff reliable-delivery decorator
 //!   (sequence-deduped, per-pair FIFO) that restores the MPI-grade wire
 //!   contract above an adversarial transport.
+//! * [`udp`] — the out-of-process wire: one UDP socket per rank with batched
+//!   `sendmmsg`/`recvmmsg` I/O, a versioned header, and a join handshake, so
+//!   ranks run as separate OS processes (see `prema-launch`).
+//! * [`env`] — validated `PREMA_*` environment-knob parsing (warn-once on
+//!   malformed values, range-checked probabilities), shared by every layer.
 //! * [`fxmap`] — Fx-hashed map aliases for runtime-internal keys (fast,
 //!   deterministic, not DoS-resistant).
 
@@ -50,6 +55,7 @@ pub mod chaos;
 pub mod collective;
 pub mod comm;
 pub mod delay;
+pub mod env;
 pub mod envelope;
 pub mod fxmap;
 pub mod handler;
@@ -57,6 +63,7 @@ pub mod pool;
 pub mod reliable;
 mod ring;
 pub mod transport;
+pub mod udp;
 pub mod wire;
 
 pub use batch::{BatchConfig, H_DCS_BATCH};
@@ -69,4 +76,5 @@ pub use fxmap::{FxHashMap, FxHashSet};
 pub use handler::{Handler, HandlerTable};
 pub use reliable::{ReliableStats, ReliableTransport, RetryConfig};
 pub use transport::{LocalEndpoint, LocalFabric, RingEndpoint, RingFabric, Transport};
+pub use udp::{UdpBuilder, UdpError, UdpStats, UdpTransport};
 pub use wire::{WireReader, WireWriter};

@@ -21,6 +21,17 @@
 //! advance whenever the rank is making progress, and the retransmit schedule
 //! is independent of wall-clock jitter.
 //!
+//! Tick time has one failure mode a real lossy socket exposes: a rank
+//! blocked in one long `recv_timeout` would advance **no** ticks until
+//! unrelated traffic arrived, so a lost frame would never be retransmitted
+//! under silence — precisely when retransmission is the only way forward.
+//! `recv_timeout` therefore never sleeps longer than [`RETRY_SLICE`] while
+//! any frame is unacknowledged: each expired slice advances the tick count
+//! explicitly, converting silent wall-clock time into ticks at a bounded
+//! rate (`RETRY_SLICE` per tick) so backoff fires even when the wire is
+//! one-way dead. Once everything is acknowledged the sleep reverts to the
+//! full remaining timeout (event-driven, no polling tax).
+//!
 //! ACK frames are sent raw (not themselves sequence-numbered): a lost ACK
 //! merely causes a retransmission, which the dedup layer absorbs.
 
@@ -80,6 +91,14 @@ fn encode_ack(expected: u64) -> bytes::Bytes {
 fn decode_ack(payload: bytes::Bytes) -> Option<u64> {
     WireReader::new(payload).try_u64()
 }
+
+/// Upper bound on one `recv_timeout` sleep while any frame is
+/// unacknowledged: each expired slice advances one tick, so under total
+/// silence the retry clock runs at one tick per `RETRY_SLICE` of wall time
+/// (e.g. the default [`RetryConfig`]'s 64-tick first retransmit fires after
+/// ~32 ms of silence). Irrelevant once all-acked — the sleep then spans the
+/// whole remaining timeout.
+pub const RETRY_SLICE: Duration = Duration::from_micros(500);
 
 /// Retransmission schedule, in receive-poll ticks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -390,7 +409,7 @@ impl<T: Transport> Transport for ReliableTransport<T> {
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
-        let deadline = Instant::now() + timeout;
+        let deadline = crate::transport::saturating_deadline(timeout);
         loop {
             if let Some(env) = self.try_recv() {
                 return Some(env);
@@ -399,18 +418,32 @@ impl<T: Transport> Transport for ReliableTransport<T> {
             if now >= deadline {
                 return None;
             }
-            // Wait in slices so ticks keep advancing and due retransmissions
-            // fire even while this rank is otherwise idle. Arrivals (data or
-            // ACK) cut the slice short via the inner condvar.
+            // Wait in bounded slices while frames are unacknowledged, so
+            // ticks keep advancing and due retransmissions fire even under
+            // total silence (see the module docs: a partitioned peer sends
+            // no ACKs and no data, so *only* the slice expiry can drive the
+            // retry clock). Arrivals (data or ACK) cut the slice short via
+            // the inner condvar; once all-acked, sleep the full remainder.
             let outstanding = !self.all_acked_locked();
             let wait = if outstanding {
-                (deadline - now).min(Duration::from_micros(500))
+                (deadline - now).min(RETRY_SLICE)
             } else {
                 deadline - now
             };
-            if let Some(env) = self.inner.recv_timeout(wait) {
-                let mut state = self.state.borrow_mut();
-                self.handle_incoming(&mut state, env);
+            match self.inner.recv_timeout(wait) {
+                Some(env) => {
+                    let mut state = self.state.borrow_mut();
+                    self.handle_incoming(&mut state, env);
+                }
+                // Slice expired with nothing on the wire: advance the tick
+                // explicitly (and fire any due retransmissions) right here,
+                // so the retry clock never depends on the next `try_recv`
+                // happening — the guarantee the module docs promise.
+                None if outstanding => {
+                    let mut state = self.state.borrow_mut();
+                    self.tick(&mut state);
+                }
+                None => {}
             }
         }
     }
@@ -618,6 +651,54 @@ mod tests {
         }
         assert_eq!(got, (0..5).collect::<Vec<_>>());
         assert!(a.all_acked());
+    }
+
+    /// Regression: retransmission must fire *inside* a single long
+    /// `recv_timeout` with a silent (partitioned) peer. Tick time used to
+    /// advance only on receive polls, so a rank parked in one blocking
+    /// receive never retried — over a real socket, a lost frame stayed lost
+    /// until unrelated traffic happened to arrive. The bounded
+    /// [`RETRY_SLICE`] sleep now converts silence into ticks.
+    #[test]
+    fn retransmit_fires_during_one_long_recv_timeout() {
+        let (a, _b, handle) = reliable_pair(ChaosConfig::quiet(13));
+        handle.partition(0, 1);
+        for i in 0..5 {
+            a.send(env(0, 1, i));
+        }
+        assert_eq!(a.stats().retries, 0);
+        // One blocking call, no other polls: the peer is severed, so no
+        // data and no ACKs can cut the wait short. 200 ms ≫ the first
+        // retry point (8 ticks × 500 µs slices = 4 ms with the test
+        // RetryConfig), so backoff must have fired several times.
+        assert!(a.recv_timeout(Duration::from_millis(200)).is_none());
+        let stats = a.stats();
+        assert!(
+            stats.retries >= 5,
+            "a silent peer must not stall the retry clock: {stats:?}"
+        );
+        assert!(!a.all_acked(), "partitioned frames stay unacked");
+    }
+
+    #[test]
+    fn recv_timeout_duration_max_returns_on_arrival() {
+        // Saturating-deadline regression (`Instant::now() + Duration::MAX`
+        // panicked): the reliable layer must accept "block forever".
+        let (a, b, _) = reliable_pair(ChaosConfig::quiet(14));
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            a.send(env(0, 1, 3));
+            // Drain ACKs until the frame is acknowledged.
+            for _ in 0..20_000 {
+                let _ = a.try_recv();
+                if a.all_acked() {
+                    break;
+                }
+            }
+        });
+        let got = b.recv_timeout(Duration::MAX).expect("must deliver");
+        assert_eq!(got.handler, HandlerId(3));
+        h.join().expect("sender thread");
     }
 
     #[test]

@@ -265,7 +265,7 @@ impl Transport for RingEndpoint {
         if let Some(env) = self.sweep(Ordering::Relaxed) {
             return Some(env);
         }
-        let deadline = Instant::now() + timeout;
+        let deadline = saturating_deadline(timeout);
         let parker = &self.shared.ranks[self.rank].parker;
         loop {
             // Register-then-recheck (the eventcount protocol): after the
@@ -307,13 +307,24 @@ pub struct RingFabric;
 /// Compatibility alias from the shared-inbox era (see [`RingFabric`]).
 pub type LocalFabric = RingFabric;
 
+/// `Instant::now() + timeout` without the overflow panic: a timeout too
+/// large to represent (e.g. `Duration::MAX`, the idiomatic "block forever")
+/// saturates to a deadline ~30 years out, which is "never" for any PREMA
+/// run. Every `recv_timeout` implementation in this crate routes through
+/// here.
+pub(crate) fn saturating_deadline(timeout: Duration) -> Instant {
+    let now = Instant::now();
+    now.checked_add(timeout)
+        .unwrap_or_else(|| now + Duration::from_secs(60 * 60 * 24 * 365 * 30))
+}
+
 /// Per-pair ring capacity: scaled down with machine size so the n² mesh
 /// stays affordable (n=2 → 4096 slots, n=128 → 64), overridable with
-/// `PREMA_RING_CAP`. Always rounded up to a power of two.
+/// `PREMA_RING_CAP` (validated via [`crate::env`]; malformed values warn
+/// once and fall back to the scaled default). Always rounded up to a power
+/// of two.
 fn default_ring_capacity(n: usize) -> usize {
-    std::env::var("PREMA_RING_CAP")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
+    crate::env::usize_var("PREMA_RING_CAP")
         .map(|cap| cap.max(2).next_power_of_two())
         .unwrap_or_else(|| scaled_ring_capacity(n))
 }
@@ -407,6 +418,34 @@ mod tests {
             tag: Tag::App,
             payload: Bytes::new(),
         }
+    }
+
+    #[test]
+    fn saturating_deadline_survives_duration_max() {
+        // `Instant::now() + Duration::MAX` panics; the saturating helper
+        // must not, and must land far enough out to mean "never".
+        let d = saturating_deadline(Duration::MAX);
+        assert!(d > Instant::now() + Duration::from_secs(60 * 60 * 24 * 365));
+        // Representable timeouts are exact (within scheduling slop).
+        let exact = saturating_deadline(Duration::from_secs(5));
+        assert!(exact <= Instant::now() + Duration::from_secs(5));
+    }
+
+    #[test]
+    fn recv_timeout_accepts_duration_max() {
+        // The classic foot-gun: "block forever" spelled as Duration::MAX.
+        // Must compute a saturated deadline (not panic) and still wake on
+        // arrival.
+        let mut eps = RingFabric::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            a.send(env(0, 1, 9));
+        });
+        let got = b.recv_timeout(Duration::MAX).unwrap();
+        assert_eq!(got.handler, HandlerId(9));
+        h.join().unwrap();
     }
 
     #[test]

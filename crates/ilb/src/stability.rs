@@ -62,22 +62,19 @@ impl StabilityConfig {
 
     /// This configuration with the `PREMA_MIN_RESIDENCY` (polls) and
     /// `PREMA_MIGRATION_CAP` (objects per window) environment knobs applied
-    /// on top, when set and parseable. Unset or malformed values leave the
-    /// corresponding field unchanged.
+    /// on top, when set and parseable. Unset values leave the corresponding
+    /// field unchanged; malformed values warn once (via
+    /// [`prema_dcs::env`]) and also leave it unchanged.
     pub fn from_env(self) -> Self {
         let mut cfg = self;
-        if let Some(v) = read_env_u64("PREMA_MIN_RESIDENCY") {
+        if let Some(v) = prema_dcs::env::u64_var("PREMA_MIN_RESIDENCY") {
             cfg.min_residency_polls = v;
         }
-        if let Some(v) = read_env_u64("PREMA_MIGRATION_CAP") {
-            cfg.migration_cap = v.min(u32::MAX as u64) as u32;
+        if let Some(v) = prema_dcs::env::u32_var("PREMA_MIGRATION_CAP") {
+            cfg.migration_cap = v;
         }
         cfg
     }
-}
-
-fn read_env_u64(key: &str) -> Option<u64> {
-    std::env::var(key).ok()?.trim().parse().ok()
 }
 
 /// Why the governor vetoed a migration or a grant; carried in the

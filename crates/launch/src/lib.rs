@@ -1,0 +1,304 @@
+//! Support library for `prema-launch`: argument parsing, the line-oriented
+//! parent↔child rendezvous protocol, and the exactly-once report aggregator.
+//!
+//! The launcher runs each rank as a separate OS process over the
+//! [`prema_dcs::UdpTransport`] loopback wire (DESIGN.md §15). Because every
+//! rank must learn every peer's bound port before anyone can join, startup
+//! is a two-phase rendezvous brokered over the children's stdio:
+//!
+//! 1. Each child binds an ephemeral UDP socket and prints
+//!    `PREMA-ADDR <rank> <addr>` on stdout.
+//! 2. The parent collects all `N` addresses and writes the full map —
+//!    `PREMA-MAP <addr0> <addr1> …` — to every child's stdin.
+//! 3. Children connect (version/epoch handshake), run the workload, and
+//!    report `PREMA-COUNT <unit-id> <n>` lines for every unit they
+//!    executed, then exit.
+//! 4. The parent sums the per-unit counts across ranks and checks the work
+//!    conservation oracle: every unit exactly once, globally.
+//!
+//! Everything here is plain string plumbing so it can be unit-tested
+//! without spawning processes; `main.rs` owns the process handling.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+/// Parsed command-line options for the parent process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LaunchOpts {
+    /// World size: one OS process per rank.
+    pub ranks: usize,
+    /// Seeded chaos loss probability applied inside each rank's receive
+    /// path (`0.0` disables the chaos layer entirely).
+    pub loss: f64,
+    /// Chaos fate seed (shared by all ranks; each rank's transport draws
+    /// its own deterministic stream from it).
+    pub seed: u64,
+    /// Work units seeded per rank (Fig. 3 shape: heavy block on rank 0).
+    pub units_per_proc: usize,
+    /// Directory for per-rank `rank-<r>.jsonl` trace files, if requested.
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl Default for LaunchOpts {
+    fn default() -> Self {
+        LaunchOpts {
+            ranks: 4,
+            loss: 0.0,
+            seed: 0xC0FFEE,
+            units_per_proc: 20,
+            trace_dir: None,
+        }
+    }
+}
+
+/// Parse `prema-launch` arguments (everything after `argv[0]`).
+pub fn parse_args(args: &[String]) -> Result<LaunchOpts, String> {
+    let mut opts = LaunchOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--ranks" => {
+                opts.ranks = value("--ranks")?
+                    .parse()
+                    .map_err(|e| format!("--ranks: {e}"))?;
+            }
+            "--loss" => {
+                opts.loss = value("--loss")?
+                    .parse()
+                    .map_err(|e| format!("--loss: {e}"))?;
+                if !(0.0..=1.0).contains(&opts.loss) {
+                    return Err(format!("--loss must be in [0, 1], got {}", opts.loss));
+                }
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--units-per-proc" => {
+                opts.units_per_proc = value("--units-per-proc")?
+                    .parse()
+                    .map_err(|e| format!("--units-per-proc: {e}"))?;
+            }
+            "--trace-dir" => {
+                opts.trace_dir = Some(PathBuf::from(value("--trace-dir")?));
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.ranks == 0 {
+        return Err("--ranks must be at least 1".into());
+    }
+    if opts.units_per_proc == 0 {
+        return Err("--units-per-proc must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+/// Child → parent: this rank's bound UDP address.
+pub fn addr_line(rank: usize, addr: SocketAddr) -> String {
+    format!("PREMA-ADDR {rank} {addr}")
+}
+
+/// Parse a [`addr_line`] string back into `(rank, addr)`.
+pub fn parse_addr_line(line: &str) -> Result<(usize, SocketAddr), String> {
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some("PREMA-ADDR"), Some(rank), Some(addr), None) => {
+            let rank = rank.parse().map_err(|e| format!("bad rank: {e}"))?;
+            let addr = addr.parse().map_err(|e| format!("bad addr: {e}"))?;
+            Ok((rank, addr))
+        }
+        _ => Err(format!("expected `PREMA-ADDR <rank> <addr>`, got {line:?}")),
+    }
+}
+
+/// Parent → child: the full rank → address map, in rank order.
+pub fn map_line(addrs: &[SocketAddr]) -> String {
+    let mut line = String::from("PREMA-MAP");
+    for addr in addrs {
+        let _ = write!(line, " {addr}");
+    }
+    line
+}
+
+/// Parse a [`map_line`] string back into the address vector.
+pub fn parse_map_line(line: &str) -> Result<Vec<SocketAddr>, String> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("PREMA-MAP") {
+        return Err(format!("expected `PREMA-MAP <addr>…`, got {line:?}"));
+    }
+    let addrs: Result<Vec<SocketAddr>, _> = parts.map(|p| p.parse()).collect();
+    addrs.map_err(|e| format!("bad addr in map: {e}"))
+}
+
+/// Child → parent: this rank executed unit `id` `count` times.
+pub fn count_line(id: u32, count: u64) -> String {
+    format!("PREMA-COUNT {id} {count}")
+}
+
+/// Parse a [`count_line`] string, or `None` for unrelated output lines
+/// (children may print diagnostics the aggregator should skip).
+pub fn parse_count_line(line: &str) -> Option<(u32, u64)> {
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some("PREMA-COUNT"), Some(id), Some(count), None) => {
+            Some((id.parse().ok()?, count.parse().ok()?))
+        }
+        _ => None,
+    }
+}
+
+/// The parent's verdict over all ranks' count reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Outcome {
+    /// Units that no rank executed (work lost on the wire).
+    pub lost: Vec<u32>,
+    /// Units executed more than once globally (retransmit leaked a dup).
+    pub doubled: Vec<u32>,
+    /// Total executions summed over all ranks and units.
+    pub executed: u64,
+}
+
+impl Outcome {
+    /// Work conservation: every unit exactly once, globally.
+    pub fn exactly_once(&self) -> bool {
+        self.lost.is_empty() && self.doubled.is_empty()
+    }
+}
+
+/// Sum per-unit counts across all ranks and check each of `total_units`
+/// global unit ids executed exactly once.
+pub fn aggregate(reports: &[Vec<(u32, u64)>], total_units: usize) -> Outcome {
+    let mut totals: BTreeMap<u32, u64> = BTreeMap::new();
+    for rank_counts in reports {
+        for &(id, n) in rank_counts {
+            *totals.entry(id).or_insert(0) += n;
+        }
+    }
+    let mut lost = Vec::new();
+    let mut doubled = Vec::new();
+    for id in 0..total_units as u32 {
+        match totals.get(&id).copied().unwrap_or(0) {
+            0 => lost.push(id),
+            1 => {}
+            _ => doubled.push(id),
+        }
+    }
+    let executed = totals.values().sum();
+    Outcome {
+        lost,
+        doubled,
+        executed,
+    }
+}
+
+/// The deterministic run report the parent prints: depends only on the
+/// configuration and the aggregated outcome, never on scheduling order, so
+/// repeated runs of a correct configuration are bit-identical.
+pub fn render_report(opts: &LaunchOpts, total_units: usize, outcome: &Outcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "PREMA-LAUNCH ranks={} units={} loss={} seed={}",
+        opts.ranks, total_units, opts.loss, opts.seed
+    );
+    if outcome.exactly_once() {
+        let _ = writeln!(out, "exactly-once: ok ({} units, each once)", total_units);
+    } else {
+        let _ = writeln!(
+            out,
+            "exactly-once: FAILED lost={:?} doubled={:?} executed={}",
+            outcome.lost, outcome.doubled, outcome.executed
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn args_roundtrip_and_validate() {
+        let opts = parse_args(&[
+            "--ranks".into(),
+            "4".into(),
+            "--loss".into(),
+            "0.02".into(),
+            "--seed".into(),
+            "7".into(),
+            "--units-per-proc".into(),
+            "10".into(),
+        ])
+        .unwrap();
+        assert_eq!(opts.ranks, 4);
+        assert_eq!(opts.loss, 0.02);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.units_per_proc, 10);
+        assert!(parse_args(&["--ranks".into(), "0".into()]).is_err());
+        assert!(parse_args(&["--loss".into(), "1.5".into()]).is_err());
+        assert!(parse_args(&["--loss".into()]).is_err(), "missing value");
+        assert!(parse_args(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn rendezvous_lines_roundtrip() {
+        let line = addr_line(3, addr(9000));
+        assert_eq!(parse_addr_line(&line).unwrap(), (3, addr(9000)));
+        assert!(parse_addr_line("PREMA-ADDR nope").is_err());
+
+        let map = map_line(&[addr(9000), addr(9001)]);
+        assert_eq!(parse_map_line(&map).unwrap(), vec![addr(9000), addr(9001)]);
+        assert!(parse_map_line("PREMA-ADDR 0 1.2.3.4:5").is_err());
+
+        assert_eq!(parse_count_line(&count_line(17, 1)), Some((17, 1)));
+        assert_eq!(parse_count_line("random child chatter"), None);
+    }
+
+    #[test]
+    fn aggregate_flags_lost_and_doubled_units() {
+        // Units 0..4; unit 2 never ran, unit 3 ran on two ranks.
+        let reports = vec![vec![(0, 1), (3, 1)], vec![(1, 1), (3, 1)]];
+        let outcome = aggregate(&reports, 4);
+        assert_eq!(outcome.lost, vec![2]);
+        assert_eq!(outcome.doubled, vec![3]);
+        assert_eq!(outcome.executed, 4);
+        assert!(!outcome.exactly_once());
+
+        let clean = aggregate(&[vec![(0, 1), (1, 1)], vec![(2, 1), (3, 1)]], 4);
+        assert!(clean.exactly_once());
+        assert_eq!(clean.executed, 4);
+    }
+
+    #[test]
+    fn report_is_a_pure_function_of_config_and_outcome() {
+        let opts = LaunchOpts::default();
+        let outcome = Outcome {
+            lost: vec![],
+            doubled: vec![],
+            executed: 80,
+        };
+        let a = render_report(&opts, 80, &outcome);
+        let b = render_report(&opts, 80, &outcome);
+        assert_eq!(a, b);
+        assert!(a.contains("exactly-once: ok"));
+        let bad = Outcome {
+            lost: vec![5],
+            doubled: vec![],
+            executed: 79,
+        };
+        assert!(render_report(&opts, 80, &bad).contains("FAILED"));
+    }
+}

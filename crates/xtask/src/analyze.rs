@@ -1350,6 +1350,40 @@ fn decode_ping(payload: &[u8]) -> Option<(u64, Bytes)> {
         assert!(v.is_empty(), "{v:?}");
     }
 
+    /// The UDP wire schema (crates/dcs/src/udp.rs) must stay under this
+    /// analysis: both the fixed header pair and the DATA-fields pair are
+    /// discovered from the real source and checked drift-free. Guards
+    /// against a refactor renaming the fns out of the `encode_`/`decode_`
+    /// convention and silently losing coverage.
+    #[test]
+    fn udp_wire_schema_is_discovered_and_paired() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let path = root.join("crates/dcs/src/udp.rs");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let files = [sf("crates/dcs/src/udp.rs", &text)];
+        let (fns, v) = wire_pairing(&files);
+        assert!(v.is_empty(), "udp.rs wire schema drifted: {v:?}");
+        let ops_of = |name: &str| -> &[String] {
+            &fns.iter()
+                .find(|f| f.name == name && f.ctx.is_empty())
+                .unwrap_or_else(|| panic!("`{name}` not discovered as a wire fn"))
+                .ops
+        };
+        assert_eq!(
+            ops_of("encode_header"),
+            ["u32", "u32", "u32", "u32", "u64"],
+            "header layout changed — bump PROTO_VERSION and update this test"
+        );
+        assert_eq!(ops_of("encode_header"), ops_of("decode_header"));
+        assert_eq!(
+            ops_of("encode_dgram"),
+            ["u32", "u32", "u32", "bytes"],
+            "DATA layout changed — bump PROTO_VERSION and update this test"
+        );
+        assert_eq!(ops_of("encode_dgram"), ops_of("decode_dgram"));
+    }
+
     #[test]
     fn orphan_writer_is_flagged() {
         let src = sf(

@@ -310,7 +310,11 @@ pub fn lint_batch_hygiene(
 /// The transport files whose steady-state functions carry the ring mesh's
 /// zero-allocation guarantee (asserted at runtime by `benches/ring.rs`; this
 /// lint catches the regression at review time, before a bench ever runs).
-const RING_HOT_FILES: &[&str] = &["crates/dcs/src/transport.rs", "crates/dcs/src/ring.rs"];
+const RING_HOT_FILES: &[&str] = &[
+    "crates/dcs/src/transport.rs",
+    "crates/dcs/src/ring.rs",
+    "crates/dcs/src/udp.rs",
+];
 
 /// The steady-state function names within those files. Construction-time
 /// code (`new`, `with_capacity`, `spsc`, fabric building) may allocate
@@ -334,6 +338,10 @@ const RING_HOT_FNS: &[&str] = &[
     "park",
     "unpark",
     "is_empty",
+    // udp.rs steady state: the syscall batchers reuse preallocated
+    // scatter/gather scaffolding and pool-backed datagram buffers.
+    "flush_tx",
+    "drain_rx",
 ];
 
 /// Tokens that put a heap allocation on the line that carries them.

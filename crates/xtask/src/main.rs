@@ -474,7 +474,10 @@ fn analyze_json(
 /// before/after comparison; the figure baseline carries the paper's
 /// experiment reproductions.
 const BENCH_BASELINES: &[(&str, &[&str])] = &[
-    ("BENCH_substrate.json", &["substrates", "fastpath", "ring"]),
+    (
+        "BENCH_substrate.json",
+        &["substrates", "fastpath", "ring", "udp"],
+    ),
     ("BENCH_figures.json", &["figures"]),
 ];
 
