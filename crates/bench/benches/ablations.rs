@@ -188,6 +188,10 @@ fn ablate_forwarding(c: &mut Criterion) {
                 update_home_on_install: false,
                 update_sender_on_forward: false,
                 broadcast_on_install: false,
+                // Keep the ablation about the legacy teaching paths: the
+                // sharded directory would mask what this axis measures.
+                sharded_directory: false,
+                ..MolConfig::default()
             },
         ),
         (

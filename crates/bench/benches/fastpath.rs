@@ -350,10 +350,14 @@ fn bench_pool_hit_rate(c: &mut Criterion) {
 /// every message exercises the full chase.
 fn bench_forwarding_chain(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate-fastpath");
+    // Legacy home-forwarding with every teaching path off: the chain stays
+    // 3 hops long on every chase instead of collapsing after the first.
     let no_updates = MolConfig {
         update_home_on_install: false,
         update_sender_on_forward: false,
         broadcast_on_install: false,
+        sharded_directory: false,
+        ..MolConfig::default()
     };
     let mut nodes: Vec<MolNode<Blob>> = LocalFabric::new(4)
         .into_iter()

@@ -16,7 +16,9 @@
 //! compares reactive against anticipatory diffusion on a hotspot receiving
 //! escalating arrival waves (metric: makespan).
 
-use prema_harness::drivers::policy_drv::{run_interact, run_wave, InteractCfg, WaveCfg};
+use prema_harness::drivers::policy_drv::{
+    run_interact, run_interact_routed, run_wave, InteractCfg, RouteMode, WaveCfg, MODELED_MAX_CHAIN,
+};
 use prema_harness::report::Config;
 use prema_harness::runner::run_figure_with_trace;
 use prema_harness::spec::BenchSpec;
@@ -45,6 +47,37 @@ fn scenario_interact() {
     println!(
         "comm-aware diffusion sends {:.1}% fewer remote application messages",
         save * 100.0
+    );
+
+    // Directory comparison (DESIGN.md §16): the same comm-aware run with
+    // realistic location resolution — classic home-forwarding vs the
+    // sharded directory with sender caches.
+    let hf = run_interact_routed(&cfg, RouteMode::HomeForward, &|_| {
+        Box::new(CommAwareDiffusion::new(20.0, 1.0))
+    });
+    let sh = run_interact_routed(&cfg, RouteMode::Sharded, &|_| {
+        Box::new(CommAwareDiffusion::new(20.0, 1.0))
+    });
+    println!();
+    println!("directory       remote-app-msgs  dir-msgs  remote-total  chain-p99  chain-max");
+    for (name, out) in [("home-forward", &hf), ("sharded-cache", &sh)] {
+        println!(
+            "{name:<15} {:>16} {:>9} {:>13} {:>10} {:>10}",
+            out.remote_app_msgs,
+            out.dir_msgs,
+            out.remote_total(),
+            out.chain_percentile(0.99),
+            out.max_chain(),
+        );
+    }
+    let save = 1.0 - sh.remote_total() as f64 / hf.remote_total().max(1) as f64;
+    println!(
+        "sharded directory sends {:.1}% fewer remote messages (cache hit rate {:.1}%, \
+         p99 chain {} ≤ bound {})",
+        save * 100.0,
+        sh.cache_hit_rate() * 100.0,
+        sh.chain_percentile(0.99),
+        MODELED_MAX_CHAIN
     );
 }
 

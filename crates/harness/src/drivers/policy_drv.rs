@@ -34,6 +34,29 @@ use std::rc::Rc;
 const K_STATUS: u32 = 10;
 const K_PUSH: u32 = 11;
 const K_APP: u32 = 12;
+const K_TEACH: u32 = 13;
+
+/// The modeled steady-state forwarding bound — the driver-side mirror of
+/// `prema_mol::MAX_CHAIN` (asserted equal in the tests below): with sender
+/// caches and piggybacked teaching, no delivery should ride more than this
+/// many forward hops once the schedule settles.
+pub const MODELED_MAX_CHAIN: u32 = 4;
+
+/// How each processor resolves a mobile object's location when addressing
+/// application messages (DESIGN.md §16 models).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteMode {
+    /// Ground-truth addressing (the pre-directory drivers' idealization):
+    /// every sender reads a magically consistent location table.
+    Oracle,
+    /// PREMA's classic scheme: senders only know the birth rank; messages
+    /// go home and chase per-processor forward pointers from there.
+    HomeForward,
+    /// The sharded directory: per-processor location caches consulted
+    /// first; misses pay a lookup round trip to the id-hashed home shard;
+    /// forwarded deliveries teach the original sender.
+    Sharded,
+}
 
 /// Timer token: the per-processor polling round.
 const T_NEXT: u64 = 1;
@@ -87,21 +110,50 @@ struct Push {
 }
 struct AppMsg {
     to: u64,
+    /// Rank that originated the message (forwarders preserve it so the
+    /// interaction counters and teaching target the true sender).
+    orig: usize,
+    /// Wire legs travelled so far; `hops - 1` is the forwarding chain.
+    hops: u32,
+}
+/// Sharded mode: a delivery that arrived via forwards tells the original
+/// sender where the object lives now (the piggybacked `DirAnswer`).
+struct Teach {
+    obj: u64,
+    rank: usize,
+    epoch: u64,
 }
 
 /// State shared by every processor of one scenario run (the simulation is
 /// single-threaded, so `Rc<Cell>` is the established idiom — see the other
 /// drivers).
 struct Shared {
-    /// Object id → current rank. Stands in for the MOL directory; updated at
-    /// push time by the sender, consulted for message addressing.
+    /// Object id → current rank: ground truth, updated at push time by the
+    /// sender. `Oracle` mode addresses from it directly; the other modes
+    /// consult it only to detect in-flight pushes (the `pending` buffer).
     directory: RefCell<Vec<usize>>,
+    /// Object id → birth rank (the PREMA home).
+    home: Vec<usize>,
+    /// Object id → migration epoch (bumped at each push).
+    epoch: RefCell<Vec<u64>>,
+    /// Sharded mode: the shard authority's view, `(rank, epoch)` per object.
+    /// Kept synchronously coherent for model simplicity; the *cost* of each
+    /// publish and lookup is still charged as directory messages.
+    authority: RefCell<Vec<(usize, u64)>>,
     /// Unexecuted tasks machine-wide (application-level completion).
     units_left: Cell<u64>,
     /// Application messages that crossed ranks (includes forwards).
     remote_app: Cell<u64>,
     /// All application messages, local deliveries included.
     total_app: Cell<u64>,
+    /// Directory control traffic: publishes, lookup round trips, teaches.
+    dir_msgs: Cell<u64>,
+    /// Location-cache consultations at send time (sharded mode).
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+    /// Forwarding chain lengths at delivery: bucket `c` counts deliveries
+    /// that rode `c` forward hops (last bucket saturates).
+    chain_hist: RefCell<[u64; 17]>,
     /// Objects pushed between ranks.
     migrations: Cell<u64>,
 }
@@ -118,8 +170,16 @@ struct PolicyProc {
     next_exec: usize,
     /// Local load changed since the last status broadcast.
     dirty: bool,
-    /// App messages that raced ahead of the push carrying their target.
-    pending: Vec<(u64, usize)>,
+    /// How this processor resolves object locations at send time.
+    route: RouteMode,
+    /// Sharded mode: this processor's location cache, `(rank, epoch)`.
+    loc_cache: HashMap<u64, (usize, u64)>,
+    /// Forward pointer left behind for every object pushed away from here,
+    /// `(rank, epoch)` — the per-processor trail the non-oracle modes chase.
+    fwd: HashMap<u64, (usize, u64)>,
+    /// App messages that raced ahead of the push carrying their target:
+    /// `(object, original sender, hops so far)`.
+    pending: Vec<(u64, usize, u32)>,
     /// Future work injections (the wave scenario's hotspot arrivals).
     waves: VecDeque<(SimTime, Vec<Obj>)>,
     /// This processor's clock at the top of the current round (waves are
@@ -150,20 +210,109 @@ impl PolicyProc {
         sum
     }
 
-    fn deliver_or_forward(&mut self, ctx: &mut Ctx, to: u64, src: usize) {
+    /// Receive (or locally inject, `hops == 0`) an application message:
+    /// deliver if the target is resident, otherwise chase the trail.
+    fn deliver_or_forward(&mut self, ctx: &mut Ctx, to: u64, orig: usize, hops: u32) {
+        let me = ctx.pid();
         if let Some(o) = self.objects.iter_mut().find(|o| o.id == to) {
-            *o.from.entry(src).or_insert(0) += 1;
+            *o.from.entry(orig).or_insert(0) += 1;
+            if hops > 0 {
+                let mut hist = self.shared.chain_hist.borrow_mut();
+                let last = hist.len() - 1;
+                hist[((hops - 1) as usize).min(last)] += 1;
+            }
+            // A forwarded delivery in sharded mode teaches the original
+            // sender where the object lives now (piggybacked DirAnswer).
+            if self.route == RouteMode::Sharded && hops > 1 && orig != me {
+                self.shared.dir_msgs.set(self.shared.dir_msgs.get() + 1);
+                let epoch = self.shared.epoch.borrow()[to as usize];
+                ctx.send(
+                    orig,
+                    K_TEACH,
+                    CTRL_BYTES,
+                    Box::new(Teach {
+                        obj: to,
+                        rank: me,
+                        epoch,
+                    }),
+                );
+            }
             return;
         }
-        let dst = self.shared.directory.borrow()[to as usize];
-        if dst == ctx.pid() {
+        if self.shared.directory.borrow()[to as usize] == me {
             // The push carrying the target is still in flight to us: buffer
             // and retry next round (the MOL would do the same reordering).
-            self.pending.push((to, src));
+            self.pending.push((to, orig, hops));
+            return;
+        }
+        // Forward. Oracle mode reads ground truth; the realistic modes chase
+        // the forward pointer this processor left when it pushed the object
+        // away (every non-oracle arrival here targeted a past residence).
+        let next = match self.route {
+            RouteMode::Oracle => self.shared.directory.borrow()[to as usize],
+            RouteMode::HomeForward | RouteMode::Sharded => self
+                .fwd
+                .get(&to)
+                .map(|&(r, _)| r)
+                .unwrap_or_else(|| self.shared.directory.borrow()[to as usize]),
+        };
+        self.shared.remote_app.set(self.shared.remote_app.get() + 1);
+        ctx.send(
+            next,
+            K_APP,
+            CTRL_BYTES,
+            Box::new(AppMsg {
+                to,
+                orig,
+                hops: hops + 1,
+            }),
+        );
+    }
+
+    /// Originate an application message to `to` (not resident here): pick
+    /// the first wire destination according to the routing mode.
+    fn send_app(&mut self, ctx: &mut Ctx, to: u64) {
+        let me = ctx.pid();
+        let first = match self.route {
+            RouteMode::Oracle => self.shared.directory.borrow()[to as usize],
+            RouteMode::HomeForward => self.shared.home[to as usize],
+            RouteMode::Sharded => {
+                if let Some(&(rank, _)) = self.loc_cache.get(&to) {
+                    self.shared.cache_hits.set(self.shared.cache_hits.get() + 1);
+                    rank
+                } else {
+                    // Miss: one lookup round trip to the id-hashed shard,
+                    // answered from the authority; the answer primes the
+                    // cache so each (sender, object) pair misses once.
+                    self.shared
+                        .cache_misses
+                        .set(self.shared.cache_misses.get() + 1);
+                    let shard = to as usize % ctx.num_procs();
+                    if shard != me {
+                        self.shared.dir_msgs.set(self.shared.dir_msgs.get() + 2);
+                    }
+                    let (rank, epoch) = self.shared.authority.borrow()[to as usize];
+                    self.loc_cache.insert(to, (rank, epoch));
+                    rank
+                }
+            }
+        };
+        if first == me {
+            // Local knowledge (or ground truth) says "here": inject into the
+            // receive path, which delivers, buffers, or starts the chase.
+            self.deliver_or_forward(ctx, to, me, 0);
         } else {
-            // Forward along the directory, like MOL message forwarding.
             self.shared.remote_app.set(self.shared.remote_app.get() + 1);
-            ctx.send(dst, K_APP, CTRL_BYTES, Box::new(AppMsg { to }));
+            ctx.send(
+                first,
+                K_APP,
+                CTRL_BYTES,
+                Box::new(AppMsg {
+                    to,
+                    orig: me,
+                    hops: 1,
+                }),
+            );
         }
     }
 
@@ -189,14 +338,23 @@ impl PolicyProc {
                 }
                 K_APP => {
                     let m = msg.take::<AppMsg>();
-                    self.deliver_or_forward(ctx, m.to, src);
+                    self.deliver_or_forward(ctx, m.to, m.orig, m.hops);
+                }
+                K_TEACH => {
+                    let t = msg.take::<Teach>();
+                    // Fresher epoch wins; a stale teach never regresses the
+                    // cache (answers can arrive out of order).
+                    let e = self.loc_cache.entry(t.obj).or_insert((t.rank, t.epoch));
+                    if t.epoch >= e.1 {
+                        *e = (t.rank, t.epoch);
+                    }
                 }
                 other => panic!("policy driver got unknown message kind {other}"),
             }
         }
         let pending = std::mem::take(&mut self.pending);
-        for (to, src) in pending {
-            self.deliver_or_forward(ctx, to, src);
+        for (to, orig, hops) in pending {
+            self.deliver_or_forward(ctx, to, orig, hops);
         }
     }
 
@@ -282,6 +440,23 @@ impl PolicyProc {
             let obj = self.objects.swap_remove(pick);
             sent += obj.weight();
             self.shared.directory.borrow_mut()[obj.id as usize] = dst;
+            // Leave a forward pointer here and bump the migration epoch —
+            // the non-oracle modes route by these.
+            let epoch = {
+                let mut epochs = self.shared.epoch.borrow_mut();
+                epochs[obj.id as usize] += 1;
+                epochs[obj.id as usize]
+            };
+            self.fwd.insert(obj.id, (dst, epoch));
+            if self.route == RouteMode::Sharded {
+                // Publish the new location to the object's home shard (one
+                // directory message unless we *are* the shard).
+                self.shared.authority.borrow_mut()[obj.id as usize] = (dst, epoch);
+                let shard = obj.id as usize % ctx.num_procs();
+                if shard != ctx.pid() {
+                    self.shared.dir_msgs.set(self.shared.dir_msgs.get() + 1);
+                }
+            }
             staged.push(obj);
         }
         if staged.is_empty() {
@@ -324,17 +499,22 @@ impl PolicyProc {
         self.shared.units_left.set(self.shared.units_left.get() - 1);
         self.dirty = true;
 
-        // Post-task communication: one message to every partner object.
+        // Post-task communication: one message to every partner object,
+        // addressed by the run's routing mode.
         let partners = self.objects[pick].partners.clone();
-        let me = ctx.pid();
         for p in partners {
             self.shared.total_app.set(self.shared.total_app.get() + 1);
-            let dst = self.shared.directory.borrow()[p as usize];
-            if dst == me {
-                self.deliver_or_forward(ctx, p, me);
+            if self.objects.iter().any(|o| o.id == p) {
+                // Resident partner: local delivery, no routing needed.
+                let me = ctx.pid();
+                let o = self
+                    .objects
+                    .iter_mut()
+                    .find(|o| o.id == p)
+                    .expect("checked resident");
+                *o.from.entry(me).or_insert(0) += 1;
             } else {
-                self.shared.remote_app.set(self.shared.remote_app.get() + 1);
-                ctx.send(dst, K_APP, CTRL_BYTES, Box::new(AppMsg { to: p }));
+                self.send_app(ctx, p);
             }
         }
         true
@@ -378,8 +558,62 @@ pub struct ScenarioOutcome {
     pub remote_app_msgs: u64,
     /// All application messages sent, local deliveries included.
     pub total_app_msgs: u64,
+    /// Directory control traffic: publishes, lookup round trips, teaches.
+    pub dir_msgs: u64,
+    /// Location-cache hits at send time (sharded mode only).
+    pub cache_hits: u64,
+    /// Location-cache misses at send time (sharded mode only).
+    pub cache_misses: u64,
+    /// Deliveries by forwarding-chain length (bucket = forward hops; the
+    /// last bucket saturates).
+    pub chain_hist: [u64; 17],
     /// Objects migrated between ranks.
     pub migrations: u64,
+}
+
+impl ScenarioOutcome {
+    /// Everything that crossed ranks: application legs plus directory
+    /// control traffic — the fair basis for comparing routing modes.
+    pub fn remote_total(&self) -> u64 {
+        self.remote_app_msgs + self.dir_msgs
+    }
+
+    /// Send-time location-cache hit rate (1.0 when the mode never consults
+    /// a cache).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Forwarding-chain length at quantile `q` (e.g. 0.99), from the
+    /// delivery histogram.
+    pub fn chain_percentile(&self, q: f64) -> u32 {
+        let total: u64 = self.chain_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let want = (q * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (chain, &n) in self.chain_hist.iter().enumerate() {
+            seen += n;
+            if seen >= want {
+                return chain as u32;
+            }
+        }
+        (self.chain_hist.len() - 1) as u32
+    }
+
+    /// Longest forwarding chain observed at delivery.
+    pub fn max_chain(&self) -> u32 {
+        self.chain_hist
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |c| c as u32)
+    }
 }
 
 /// The interacting-objects scenario (DESIGN.md §14).
@@ -444,6 +678,7 @@ fn run_scenario(
     born: Vec<Vec<Obj>>,
     waves0: Vec<(SimTime, Vec<Obj>)>,
     total_tasks: u64,
+    route: RouteMode,
     mk_policy: &dyn Fn(usize) -> Box<dyn LbPolicy>,
 ) -> ScenarioOutcome {
     let n_objects: usize = born.iter().map(Vec::len).sum::<usize>()
@@ -455,11 +690,20 @@ fn run_scenario(
         }
     }
     // Wave objects are born on processor 0 when their wave lands.
+    let home = directory.clone();
+    let authority: Vec<(usize, u64)> = directory.iter().map(|&r| (r, 0)).collect();
     let shared = Rc::new(Shared {
         directory: RefCell::new(directory),
+        home,
+        epoch: RefCell::new(vec![0; n_objects]),
+        authority: RefCell::new(authority),
         units_left: Cell::new(total_tasks),
         remote_app: Cell::new(0),
         total_app: Cell::new(0),
+        dir_msgs: Cell::new(0),
+        cache_hits: Cell::new(0),
+        cache_misses: Cell::new(0),
+        chain_hist: RefCell::new([0; 17]),
         migrations: Cell::new(0),
     });
     let born = RefCell::new(born);
@@ -479,6 +723,9 @@ fn run_scenario(
             tick: 0,
             next_exec: 0,
             dirty: false,
+            route,
+            loc_cache: HashMap::new(),
+            fwd: HashMap::new(),
             pending: Vec::new(),
             waves: waves.into(),
             shared: shared.clone(),
@@ -486,10 +733,15 @@ fn run_scenario(
         })
     })
     .run();
+    let chain_hist = *shared.chain_hist.borrow();
     ScenarioOutcome {
         report,
         remote_app_msgs: shared.remote_app.get(),
         total_app_msgs: shared.total_app.get(),
+        dir_msgs: shared.dir_msgs.get(),
+        cache_hits: shared.cache_hits.get(),
+        cache_misses: shared.cache_misses.get(),
+        chain_hist,
         migrations: shared.migrations.get(),
     }
 }
@@ -501,6 +753,16 @@ fn run_scenario(
 /// can see the grouping.
 pub fn run_interact(
     cfg: &InteractCfg,
+    mk_policy: &dyn Fn(usize) -> Box<dyn LbPolicy>,
+) -> ScenarioOutcome {
+    run_interact_routed(cfg, RouteMode::Oracle, mk_policy)
+}
+
+/// [`run_interact`] with an explicit location-resolution mode — the basis
+/// for the home-forwarding vs sharded-directory comparison (DESIGN.md §16).
+pub fn run_interact_routed(
+    cfg: &InteractCfg,
+    route: RouteMode,
     mk_policy: &dyn Fn(usize) -> Box<dyn LbPolicy>,
 ) -> ScenarioOutcome {
     let n_objects = cfg.groups * cfg.group_size;
@@ -521,7 +783,7 @@ pub fn run_interact(
     let mut born: Vec<Vec<Obj>> = (0..cfg.procs).map(|_| Vec::new()).collect();
     born[0] = objs;
     let total = (n_objects as u64) * u64::from(cfg.tasks_per_object);
-    run_scenario(cfg.procs, born, Vec::new(), total, mk_policy)
+    run_scenario(cfg.procs, born, Vec::new(), total, route, mk_policy)
 }
 
 /// Run the escalating-waves scenario under `mk_policy`. Wave `w` lands at
@@ -551,7 +813,7 @@ pub fn run_wave(cfg: &WaveCfg, mk_policy: &dyn Fn(usize) -> Box<dyn LbPolicy>) -
         waves.push((at, objs));
     }
     let born: Vec<Vec<Obj>> = (0..cfg.procs).map(|_| Vec::new()).collect();
-    run_scenario(cfg.procs, born, waves, total, mk_policy)
+    run_scenario(cfg.procs, born, waves, total, RouteMode::Oracle, mk_policy)
 }
 
 #[cfg(test)]
@@ -582,6 +844,54 @@ mod tests {
             "comm-aware sent {} remote msgs, weight-only {}",
             comm.remote_app_msgs,
             plain.remote_app_msgs
+        );
+    }
+
+    #[test]
+    fn sharded_directory_beats_home_forwarding_on_interact() {
+        // The modeled bound must track the real protocol's constant.
+        assert_eq!(MODELED_MAX_CHAIN, prema::mol::MAX_CHAIN);
+        let cfg = InteractCfg::default();
+        let hf = run_interact_routed(&cfg, RouteMode::HomeForward, &|_| {
+            Box::new(CommAwareDiffusion::new(20.0, 1.0))
+        });
+        let sh = run_interact_routed(&cfg, RouteMode::Sharded, &|_| {
+            Box::new(CommAwareDiffusion::new(20.0, 1.0))
+        });
+        eprintln!(
+            "interact routing: home-forward remote {} (+{} dir), sharded remote {} (+{} dir), \
+             hit rate {:.3}, chain p99 {} max {}",
+            hf.remote_app_msgs,
+            hf.dir_msgs,
+            sh.remote_app_msgs,
+            sh.dir_msgs,
+            sh.cache_hit_rate(),
+            sh.chain_percentile(0.99),
+            sh.max_chain(),
+        );
+        // Same workload either way.
+        assert_eq!(sh.total_app_msgs, hf.total_app_msgs);
+        assert_eq!(hf.dir_msgs, 0, "home-forwarding pays no directory traffic");
+        // Fewer remote messages than home-forwarding even after charging
+        // every publish, lookup round trip, and teach to the directory.
+        assert!(
+            sh.remote_total() < hf.remote_total(),
+            "sharded total {} not below home-forward total {}",
+            sh.remote_total(),
+            hf.remote_total()
+        );
+        // Forwarding chains stay under the documented constant bound.
+        assert!(
+            sh.chain_percentile(0.99) <= MODELED_MAX_CHAIN,
+            "sharded p99 chain {} exceeds bound {}",
+            sh.chain_percentile(0.99),
+            MODELED_MAX_CHAIN
+        );
+        // The sender caches stay hot.
+        assert!(
+            sh.cache_hit_rate() >= 0.90,
+            "cache hit rate {:.3} below 0.90",
+            sh.cache_hit_rate()
         );
     }
 

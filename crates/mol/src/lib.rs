@@ -16,12 +16,16 @@
 //! * [`ptr`] — mobile pointers and per-rank allocation.
 //! * [`migrate`] — the [`Migratable`] pack/unpack trait.
 //! * [`proto`] — the wire protocol (messages, migration packets, location
-//!   updates).
+//!   updates, directory publishes/lookups/answers).
+//! * [`directory`] — the sharded location directory: the pointer→shard map,
+//!   the bounded sender-side location cache, and the shard authority table
+//!   (DESIGN.md §16).
 //! * [`node`] — the per-rank runtime: routing, ordering, migration,
 //!   application vs. system polling.
 
 #![warn(missing_docs)]
 
+pub mod directory;
 pub mod migrate;
 pub mod node;
 #[cfg(feature = "check-invariants")]
@@ -29,6 +33,7 @@ pub(crate) mod oracle;
 pub mod proto;
 pub mod ptr;
 
+pub use directory::{shard_of, LocCache, ShardAuthority, HARD_CHAIN_LIMIT, MAX_CHAIN};
 pub use migrate::{pack_to_vec, Migratable};
 pub use node::{MolConfig, MolEvent, MolNode, MolStats, WorkItem};
 pub use proto::MolEnvelope;

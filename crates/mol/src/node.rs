@@ -27,33 +27,55 @@
 //! ([`MolNode::poll_system`]) without ever running application handlers
 //! behind the application's back.
 
+use crate::directory::{
+    shard_of, LocCache, ShardAuthority, CHAIN_HIST_BUCKETS, LOC_CACHE_DEFAULT, REPAIR_HOPS,
+};
 use crate::migrate::Migratable;
 use crate::proto::{
-    LocUpdate, MigratePacket, MolEnvelope, NodeMsg, H_MOL_LOCUPD, H_MOL_MIGRATE, H_MOL_MSG,
+    DirAnswer, DirLookup, DirPublish, LocUpdate, MigratePacket, MolEnvelope, NodeMsg,
+    H_MOL_DIR_ANSWER, H_MOL_DIR_LOOKUP, H_MOL_DIR_PUBLISH, H_MOL_LOCUPD, H_MOL_MIGRATE, H_MOL_MSG,
     H_NODE_MSG,
 };
 use crate::ptr::{MobilePtr, PtrAllocator};
 use bytes::Bytes;
-use prema_dcs::{pool, Communicator, Envelope, FxHashMap, Rank, Tag};
+use prema_dcs::{env, pool, Communicator, Envelope, FxHashMap, Rank, Tag};
 use prema_trace::{TraceEvent, Tracer};
 use std::collections::{BTreeMap, VecDeque};
 
-/// Location-update strategy knobs (the forwarding-vs-updates tradeoff).
+/// Location-resolution strategy knobs.
 ///
 /// The MOL always forwards along migration trails, so any setting is
 /// *correct*; these knobs trade update traffic against forwarding-chain
-/// length. The defaults are the paper's lazy scheme.
+/// length. The default is the sharded directory of DESIGN.md §16 (constant
+/// chain bound); turning `sharded_directory` off restores the paper's
+/// home-forwarding scheme, kept as the comparison baseline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MolConfig {
-    /// Notify the object's *home* rank on every installation (keeps the
-    /// home's guess fresh so cold senders take at most one extra hop).
+    /// Keep the directory authority fresh: in sharded mode every migration
+    /// publishes `(ptr, new_rank, epoch)` to the pointer's home shard; in
+    /// legacy mode every installation notifies the object's *home* rank.
     pub update_home_on_install: bool,
     /// When forwarding a message, lazily teach the original sender where the
-    /// object went, collapsing its chain for subsequent sends.
+    /// object went, collapsing its chain for subsequent sends. In sharded
+    /// mode the home shard's piggybacked answer is authoritative.
     pub update_sender_on_forward: bool,
     /// Eagerly broadcast every installation to all ranks. Shortest chains,
     /// highest update traffic — O(P) messages per migration.
     pub broadcast_on_install: bool,
+    /// Shard location authority across ranks by pointer hash
+    /// ([`crate::directory::shard_of`]); cold senders consult the shard
+    /// instead of the object's birth rank, and stale sends are redirected
+    /// through it, bounding forwarding chains by a constant
+    /// ([`crate::directory::MAX_CHAIN`]) instead of migration history.
+    pub sharded_directory: bool,
+    /// Capacity (entries) of the bounded sender-side location cache.
+    /// Overridden by `PREMA_LOC_CACHE` in [`MolNode::new`].
+    pub loc_cache: usize,
+    /// Lazy epoch propagation (the default): senders learn fresh locations
+    /// only from piggybacked answers and NACK-style corrections. When off
+    /// (`PREMA_LOC_EPOCH_LAZY=0`), the home shard eagerly pushes each newer
+    /// publish to every rank whose lookup it has answered.
+    pub lazy_epochs: bool,
 }
 
 impl Default for MolConfig {
@@ -62,7 +84,29 @@ impl Default for MolConfig {
             update_home_on_install: true,
             update_sender_on_forward: true,
             broadcast_on_install: false,
+            sharded_directory: true,
+            loc_cache: LOC_CACHE_DEFAULT,
+            lazy_epochs: true,
         }
+    }
+}
+
+impl MolConfig {
+    /// Apply the environment knobs (`PREMA_LOC_CACHE`,
+    /// `PREMA_LOC_EPOCH_LAZY`) on top of this config, through `dcs::env`'s
+    /// validated warn-once parsers. Called by [`MolNode::new`];
+    /// [`MolNode::with_config`] deliberately does not, so tests and benches
+    /// that pass an explicit config stay environment-independent.
+    pub fn from_env(mut self) -> Self {
+        if let Some(cap) = env::usize_var("PREMA_LOC_CACHE") {
+            // Floor of 2: the two-generation cache needs one entry per
+            // generation to function at all.
+            self.loc_cache = cap.max(2);
+        }
+        if let Some(lazy) = env::flag_var("PREMA_LOC_EPOCH_LAZY") {
+            self.lazy_epochs = lazy;
+        }
+        self
     }
 }
 
@@ -90,6 +134,63 @@ pub struct MolStats {
     /// this rank already knew (a replayed or duplicated packet). Always zero
     /// on a reliable wire.
     pub stale_installs: u64,
+    /// Sends/resolves answered by local knowledge (location cache or a
+    /// forward pointer) — the message went out directly.
+    pub loc_cache_hits: u64,
+    /// Sends/resolves with no local knowledge — routed through the home
+    /// shard (or the object's home rank in legacy mode).
+    pub loc_cache_misses: u64,
+    /// Times this rank's cached guess proved stale (a forwarder or the home
+    /// shard sent back a newer-epoch correction).
+    pub loc_cache_stale: u64,
+    /// Explicit `DirLookup` queries sent to a home shard.
+    pub home_lookups: u64,
+    /// `DirPublish` messages sent to home shards (migrations + repairs).
+    pub dir_publishes: u64,
+    /// Longest forwarding chain of any message delivered on this rank.
+    pub max_chain: u32,
+    /// Histogram of delivered forwarding-chain lengths: bucket `i` counts
+    /// messages accepted after exactly `i` hops; the last bucket counts
+    /// "that long or longer".
+    pub chain_hist: [u64; CHAIN_HIST_BUCKETS],
+}
+
+impl MolStats {
+    fn note_chain(&mut self, hops: u32) {
+        self.max_chain = self.max_chain.max(hops);
+        self.chain_hist[(hops as usize).min(CHAIN_HIST_BUCKETS - 1)] += 1;
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the delivered chain-length
+    /// histogram, in hops. Returns 0 when nothing has been delivered. The
+    /// last bucket is open-ended, so a result of
+    /// `CHAIN_HIST_BUCKETS - 1` means "at least that many".
+    pub fn chain_percentile(&self, q: f64) -> u32 {
+        let total: u64 = self.chain_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let want = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (hops, &n) in self.chain_hist.iter().enumerate() {
+            seen += n;
+            if seen >= want {
+                return hops as u32;
+            }
+        }
+        (CHAIN_HIST_BUCKETS - 1) as u32
+    }
+
+    /// Fraction of location consultations answered locally
+    /// (`hits / (hits + misses)`); 1.0 when nothing was consulted.
+    pub fn loc_hit_rate(&self) -> f64 {
+        let total = self.loc_cache_hits + self.loc_cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.loc_cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// What [`MolNode::poll`] hands to the layer above.
@@ -150,16 +251,18 @@ struct Entry<O> {
 struct DirEntry<O> {
     /// `Some` iff the object is resident on this rank.
     entry: Option<Entry<O>>,
-    /// Best-known location of the (remote) object, with the epoch of the
-    /// information.
-    location: Option<(Rank, u64)>,
     /// Forward pointer left behind when the object migrated away from here.
+    /// Correctness state (the trail that makes every name reachable even
+    /// when all caches and publishes are lost), so it is never evicted —
+    /// unlike cached third-party locations, which live in the bounded
+    /// [`LocCache`].
     forward: Option<(Rank, u64)>,
     /// Outgoing sequence counter for messages this rank sends to the object.
     /// Survives migrations — the counter is per (sender rank, object), not
     /// per residency.
     seq_out: u64,
-    /// Messages parked at the home rank until the object's location is known.
+    /// Messages parked (at the home rank or home shard) until the object's
+    /// location is known.
     limbo: Vec<MolEnvelope>,
 }
 
@@ -168,7 +271,6 @@ impl<O> Default for DirEntry<O> {
     fn default() -> Self {
         DirEntry {
             entry: None,
-            location: None,
             forward: None,
             seq_out: 0,
             limbo: Vec::new(),
@@ -176,23 +278,29 @@ impl<O> Default for DirEntry<O> {
     }
 }
 
-impl<O> DirEntry<O> {
-    /// Where this rank would currently route a message for `ptr`: the forward
-    /// pointer if we once owned it, else the freshest cached location, else
-    /// its home. `None` means "here is the home and we know nothing" (limbo).
-    fn guess(&self, ptr: MobilePtr, me: Rank) -> Option<Rank> {
-        match (self.forward, self.location) {
-            (Some((fr, fe)), Some((lr, le))) => Some(if fe >= le { fr } else { lr }),
-            (Some((fr, _)), None) => Some(fr),
-            (None, Some((lr, _))) => Some(lr),
-            (None, None) => {
-                if ptr.home == me {
-                    None
-                } else {
-                    Some(ptr.home)
-                }
-            }
-        }
+/// A routing decision for a message that is not deliverable locally.
+#[derive(Clone, Copy, Debug)]
+struct Route {
+    /// Where to send it.
+    dst: Rank,
+    /// The `(owner, epoch)` knowledge backing the choice, if any — what a
+    /// forwarder piggybacks back to the original sender.
+    know: Option<(Rank, u64)>,
+    /// Whether authoritative shard information has now routed this message
+    /// (propagated into [`MolEnvelope::anchored`]).
+    anchored: bool,
+    /// Epoch of the knowledge backing this decision (propagated into
+    /// [`MolEnvelope::route_epoch`]): later hops may only follow knowledge
+    /// at least this fresh, keeping chains monotone in migration history.
+    epoch: u64,
+}
+
+/// Freshest of two optional `(owner, epoch)` facts.
+fn fresher(a: Option<(Rank, u64)>, b: Option<(Rank, u64)>) -> Option<(Rank, u64)> {
+    match (a, b) {
+        (Some((ar, ae)), Some((_, be))) if ae >= be => Some((ar, ae)),
+        (_, Some(b)) => Some(b),
+        (a, None) => a,
     }
 }
 
@@ -229,6 +337,11 @@ pub struct MolNode<O: Migratable> {
     alloc: PtrAllocator,
     /// The unified per-pointer directory (see [`DirEntry`]).
     directory: FxHashMap<MobilePtr, DirEntry<O>>,
+    /// Bounded sender-side location cache (DESIGN.md §16).
+    cache: LocCache,
+    /// Shard-side location authority for the pointers this rank is the home
+    /// shard of.
+    authority: ShardAuthority,
     /// Number of directory entries with a resident object (kept so
     /// [`MolNode::local_count`] — called per scheduling decision — does not
     /// scan the directory).
@@ -244,13 +357,15 @@ pub struct MolNode<O: Migratable> {
 }
 
 impl<O: Migratable> MolNode<O> {
-    /// Build a node over a communicator endpoint with the default (lazy)
-    /// location-update strategy.
+    /// Build a node over a communicator endpoint with the default (sharded
+    /// directory, lazy updates) strategy, with the `PREMA_LOC_CACHE` /
+    /// `PREMA_LOC_EPOCH_LAZY` environment knobs applied.
     pub fn new(comm: Communicator) -> Self {
-        Self::with_config(comm, MolConfig::default())
+        Self::with_config(comm, MolConfig::default().from_env())
     }
 
-    /// Build a node with an explicit location-update strategy.
+    /// Build a node with an explicit location-resolution strategy (no
+    /// environment overrides — what you pass is what runs).
     pub fn with_config(comm: Communicator, cfg: MolConfig) -> Self {
         let rank = comm.rank();
         MolNode {
@@ -258,6 +373,8 @@ impl<O: Migratable> MolNode<O> {
             cfg,
             alloc: PtrAllocator::new(rank),
             directory: FxHashMap::default(),
+            cache: LocCache::new(cfg.loc_cache),
+            authority: ShardAuthority::default(),
             resident: 0,
             ready: VecDeque::new(),
             stats: MolStats::default(),
@@ -397,34 +514,120 @@ impl<O: Migratable> MolNode<O> {
     /// [`MolNode::message`] with an explicit computational-weight hint for
     /// the load balancer (the paper's programmer-supplied hints, §2).
     ///
-    /// One directory probe covers the sequence-number bump *and* the routing
-    /// decision (local accept / remote send / limbo).
+    /// One directory probe covers the sequence-number bump, residency, and
+    /// the trail knowledge feeding the routing decision; the bounded
+    /// location cache is one further O(1) probe on the remote path.
     pub fn message_with_hint(&mut self, ptr: MobilePtr, handler: u32, hint: f64, payload: Bytes) {
         assert!(!ptr.is_null(), "message to NULL mobile pointer");
         let me = self.comm.rank();
         let d = self.directory.entry(ptr).or_default();
         let seq = d.seq_out;
         d.seq_out += 1;
-        let env = MolEnvelope {
+        let local = d.entry.is_some();
+        let fwd = d.forward;
+        let mut env = MolEnvelope {
             target: ptr,
             sender: me,
             seq,
             handler,
             hops: 0,
+            anchored: false,
+            route_epoch: 0,
             hint,
             payload,
         };
         self.stats.sent += 1;
-        if d.entry.is_some() {
+        if local {
             self.accept_local(env);
-        } else if let Some(dst) = d.guess(ptr, me) {
-            let wire = env.encode();
-            self.comm.am_send(dst, H_MOL_MSG, Tag::App, wire);
-        } else {
-            // We are the home rank and have never seen the object: park the
-            // message until a location update or installation.
-            d.limbo.push(env);
+            return;
         }
+        match self.plan_route(ptr, fwd, false, 0, true) {
+            Some(route) => {
+                if route.know.is_some() {
+                    self.stats.loc_cache_hits += 1;
+                    self.tracer.emit(|| TraceEvent::LocCacheHit {
+                        home: ptr.home,
+                        index: ptr.index,
+                        owner: route.dst,
+                    });
+                } else {
+                    self.stats.loc_cache_misses += 1;
+                    self.tracer.emit(|| TraceEvent::LocCacheMiss {
+                        home: ptr.home,
+                        index: ptr.index,
+                        shard: route.dst,
+                    });
+                }
+                env.anchored = route.anchored;
+                env.route_epoch = route.epoch;
+                let wire = env.encode();
+                self.comm.am_send(route.dst, H_MOL_MSG, Tag::App, wire);
+            }
+            None => {
+                // We are the home (and shard) and have never seen the
+                // object: park the message until a publish or installation.
+                self.directory
+                    .get_mut(&ptr)
+                    .expect("entry created above")
+                    .limbo
+                    .push(env);
+            }
+        }
+    }
+
+    /// Resolve a mobile pointer to this rank's best idea of its current
+    /// owner. Resident objects and cache/trail hits answer immediately; a
+    /// miss under the sharded directory sends a [`DirLookup`] to the
+    /// pointer's home shard and returns `None` — the answer lands in the
+    /// cache during a later poll, after which `resolve` hits. (Legacy mode
+    /// answers `ptr.home`, the only fallback it has.)
+    pub fn resolve(&mut self, ptr: MobilePtr) -> Option<Rank> {
+        assert!(!ptr.is_null(), "resolve of NULL mobile pointer");
+        let me = self.comm.rank();
+        if self.is_local(ptr) {
+            return Some(me);
+        }
+        let fwd = self.directory.get(&ptr).and_then(|d| d.forward);
+        if let Some((owner, _)) = fresher(fwd, self.cache.get(ptr)) {
+            if owner != me {
+                self.stats.loc_cache_hits += 1;
+                self.tracer.emit(|| TraceEvent::LocCacheHit {
+                    home: ptr.home,
+                    index: ptr.index,
+                    owner,
+                });
+                return Some(owner);
+            }
+            // Knowledge says "here" but the object is not resident: it is in
+            // flight toward us — fall through to the miss path.
+        }
+        self.stats.loc_cache_misses += 1;
+        if !self.cfg.sharded_directory {
+            return Some(ptr.home).filter(|&h| h != me);
+        }
+        let shard = shard_of(ptr, self.comm.nprocs());
+        self.tracer.emit(|| TraceEvent::LocCacheMiss {
+            home: ptr.home,
+            index: ptr.index,
+            shard,
+        });
+        if shard == me {
+            return match self.authority.lookup(ptr) {
+                Some((owner, _)) if owner != me => Some(owner),
+                Some(_) => None,
+                None => Some(ptr.home).filter(|&h| h != me),
+            };
+        }
+        self.stats.home_lookups += 1;
+        self.tracer.emit(|| TraceEvent::HomeLookup {
+            home: ptr.home,
+            index: ptr.index,
+            shard,
+        });
+        let q = DirLookup { ptr, epoch: 0 };
+        self.comm
+            .am_send(shard, H_MOL_DIR_LOOKUP, Tag::System, q.encode());
+        None
     }
 
     /// Send a rank-targeted message (bypasses object routing). System-tagged
@@ -437,18 +640,172 @@ impl<O: Migratable> MolNode<O> {
     /// Route a (re-)considered envelope: accept locally, send toward the best
     /// guess, or park in limbo. Used when limbo messages are unlocked; the
     /// send path inlines the same logic next to its sequence bump.
-    fn route(&mut self, env: MolEnvelope) {
+    fn route(&mut self, mut env: MolEnvelope) {
         let ptr = env.target;
-        let me = self.comm.rank();
         let d = self.directory.entry(ptr).or_default();
         if d.entry.is_some() {
             self.accept_local(env);
-        } else if let Some(dst) = d.guess(ptr, me) {
-            let wire = env.encode();
-            self.comm.am_send(dst, H_MOL_MSG, Tag::App, wire);
-        } else {
-            d.limbo.push(env);
+            return;
         }
+        let fwd = d.forward;
+        match self.plan_route(ptr, fwd, env.anchored, env.route_epoch, true) {
+            Some(route) => {
+                env.anchored = route.anchored;
+                env.route_epoch = route.epoch;
+                let wire = env.encode();
+                self.comm.am_send(route.dst, H_MOL_MSG, Tag::App, wire);
+            }
+            None => self
+                .directory
+                .get_mut(&ptr)
+                .expect("entry created above")
+                .limbo
+                .push(env),
+        }
+    }
+
+    /// The routing decision for a message (or resolve) whose target is not
+    /// resident here. `fwd` is this rank's forward pointer for the target
+    /// (from the directory probe the caller already paid), `anchored` /
+    /// `route_epoch` the envelope's routing state, and `origin` whether this
+    /// rank is sending fresh / re-routing parked traffic (as opposed to
+    /// forwarding a message received off the wire).
+    ///
+    /// Sharded-mode shape (DESIGN.md §16):
+    /// * at the home shard, the authority answers — and the message becomes
+    ///   *anchored*, stamped with the answer's epoch;
+    /// * an anchored message that still misses follows this rank's own
+    ///   knowledge, but only if it is at least as fresh as the stamp — older
+    ///   knowledge would walk *backward* in migration history (the
+    ///   ping-pong a stale cache entry can cause), so the message parks in
+    ///   limbo instead until the in-flight install or a fresher answer
+    ///   arrives. Anchored messages never return to the shard, which is
+    ///   what keeps shard routing loop-free;
+    /// * an unanchored *forwarded* message is redirected through the shard
+    ///   rather than down this rank's trail — one bounded redirect instead
+    ///   of a history-length walk;
+    /// * an unanchored *fresh* send uses local knowledge (cache/trail hit),
+    ///   falling back on a cold miss to the birth rank — always a safe
+    ///   epoch-0 guess, cached at the sender so it pays at most one miss
+    ///   per object: either the guess is right (the 1-hop fast path) or
+    ///   the birth rank heads the forwarding trail and the shard's
+    ///   correction overwrites it.
+    ///
+    /// `None` means "park in limbo": this rank is where the knowledge chain
+    /// ends (home/shard with nothing recorded, or the object is in flight
+    /// toward this very rank).
+    fn plan_route(
+        &mut self,
+        ptr: MobilePtr,
+        fwd: Option<(Rank, u64)>,
+        anchored: bool,
+        route_epoch: u64,
+        origin: bool,
+    ) -> Option<Route> {
+        let me = self.comm.rank();
+        let know = fresher(fwd, self.cache.get(ptr));
+        if !self.cfg.sharded_directory {
+            // Legacy home-forwarding: best local knowledge, else the birth
+            // rank, else limbo (we are the birth rank).
+            return match know {
+                Some((r, e)) if r != me => Some(Route {
+                    dst: r,
+                    know,
+                    anchored: false,
+                    epoch: e,
+                }),
+                Some(_) => None,
+                None => Some(Route {
+                    dst: ptr.home,
+                    know: None,
+                    anchored: false,
+                    epoch: 0,
+                })
+                .filter(|r| r.dst != me),
+            };
+        }
+        let shard = shard_of(ptr, self.comm.nprocs());
+        if me == shard {
+            let best = fresher(know, self.authority.lookup(ptr));
+            return match best {
+                Some((r, e)) if r != me => Some(Route {
+                    dst: r,
+                    know: best,
+                    anchored: true,
+                    epoch: e,
+                }),
+                Some(_) => None, // in flight toward us: limbo until install
+                // Nothing recorded means the object never migrated, so it
+                // lives at its birth rank — an authoritative answer (the
+                // same fallback `answer_lookup` gives), carried as `know`
+                // so the forward path teaches the sender and its next
+                // message skips the shard entirely.
+                None => Some(Route {
+                    dst: ptr.home,
+                    know: Some((ptr.home, 0)),
+                    anchored: true,
+                    epoch: 0,
+                })
+                .filter(|r| r.dst != me),
+            };
+        }
+        if anchored {
+            return match know {
+                Some((r, e)) if r != me && e >= route_epoch => Some(Route {
+                    dst: r,
+                    know,
+                    anchored: true,
+                    epoch: e,
+                }),
+                Some(_) => None,
+                None if route_epoch == 0 => Some(Route {
+                    dst: ptr.home,
+                    know: None,
+                    anchored: true,
+                    epoch: 0,
+                })
+                .filter(|r| r.dst != me),
+                // The stamp names an owner this rank has not heard of yet:
+                // the install (or a fresher answer) is in flight. Park.
+                None => None,
+            };
+        }
+        if origin {
+            return match know {
+                Some((r, e)) if r != me => Some(Route {
+                    dst: r,
+                    know,
+                    anchored: false,
+                    epoch: e,
+                }),
+                Some(_) => None,
+                // Cold miss: "never migrated, so it lives at its birth
+                // rank" is always a safe epoch-0 guess — cache it so the
+                // next send hits. Right, it is the 1-hop fast path; wrong,
+                // the birth rank heads the trail and redirects through the
+                // shard, whose answer overwrites the guess.
+                None => {
+                    if ptr.home != me {
+                        self.cache.insert_max(ptr, ptr.home, 0);
+                    }
+                    Some(Route {
+                        dst: ptr.home,
+                        know: None,
+                        anchored: false,
+                        epoch: 0,
+                    })
+                    .filter(|r| r.dst != me)
+                }
+            };
+        }
+        // Forwarding an unanchored message: the sender's guess was stale.
+        // Redirect through the shard — the constant-bound step.
+        Some(Route {
+            dst: shard,
+            know,
+            anchored: false,
+            epoch: 0,
+        })
     }
 
     fn accept_local(&mut self, env: MolEnvelope) {
@@ -463,6 +820,7 @@ impl<O: Migratable> MolNode<O> {
             Equal => {
                 *exp += 1;
                 let sender = env.sender;
+                self.stats.note_chain(env.hops);
                 self.ready.push_back(env);
                 #[cfg(feature = "check-invariants")]
                 self.oracle.on_accept();
@@ -470,6 +828,7 @@ impl<O: Migratable> MolNode<O> {
                 if let Some(buf) = entry.ooo.get_mut(&sender) {
                     while let Some(next) = buf.remove(exp) {
                         *exp += 1;
+                        self.stats.note_chain(next.hops);
                         self.ready.push_back(next);
                         #[cfg(feature = "check-invariants")]
                         self.oracle.on_accept();
@@ -562,7 +921,7 @@ impl<O: Migratable> MolNode<O> {
             buffered,
         };
         d.forward = Some((dst, epoch));
-        d.location = Some((dst, epoch));
+        self.cache.remove(ptr);
         self.stats.migrations_out += 1;
         self.tracer.emit(|| TraceEvent::Migrate {
             home: ptr.home,
@@ -571,9 +930,58 @@ impl<O: Migratable> MolNode<O> {
         });
         self.comm
             .am_send(dst, H_MOL_MIGRATE, Tag::System, packet.encode());
+        // Publish the move to the pointer's home shard so cold senders and
+        // stale-send redirects resolve in one bounded hop (DESIGN.md §16).
+        if self.cfg.sharded_directory && self.cfg.update_home_on_install {
+            let me = self.comm.rank();
+            let shard = shard_of(ptr, self.comm.nprocs());
+            if shard == me {
+                self.publish_local(ptr, dst, epoch);
+            } else {
+                self.stats.dir_publishes += 1;
+                let pu = DirPublish {
+                    ptr,
+                    owner: dst,
+                    epoch,
+                };
+                self.comm
+                    .am_send(shard, H_MOL_DIR_PUBLISH, Tag::System, pu.encode());
+            }
+        }
         #[cfg(feature = "check-invariants")]
         self.verify_conservation();
         true
+    }
+
+    /// Merge a publish into this rank's shard authority; a freshly advanced
+    /// location releases limbo traffic and — in eager mode — pushes the
+    /// answer to every recorded inquirer.
+    fn publish_local(&mut self, ptr: MobilePtr, owner: Rank, epoch: u64) {
+        if !self.authority.publish(ptr, owner, epoch) {
+            return;
+        }
+        if !self.cfg.lazy_epochs {
+            let me = self.comm.rank();
+            for rank in self.authority.take_inquirers(ptr) {
+                if rank != me && rank != owner {
+                    self.stats.locupd_sent += 1;
+                    let ans = DirAnswer {
+                        ptr,
+                        owner,
+                        epoch,
+                        stale: false,
+                    };
+                    self.comm
+                        .am_send(rank, H_MOL_DIR_ANSWER, Tag::System, ans.encode());
+                }
+            }
+        }
+        if let Some(d) = self.directory.get_mut(&ptr) {
+            let parked = std::mem::take(&mut d.limbo);
+            for env in parked {
+                self.route(env);
+            }
+        }
     }
 
     fn install(&mut self, from: Rank, packet: MigratePacket) -> Option<MolEvent> {
@@ -584,14 +992,30 @@ impl<O: Migratable> MolNode<O> {
         // Installing it would resurrect an object that already moved on (or
         // double-install one that is resident) — drop it before the oracle,
         // whose history model assumes only genuine installs.
-        let prior_epoch = self.directory.get(&ptr).and_then(|d| {
-            d.forward
-                .map(|(_, e)| e)
+        let prior_epoch = {
+            // Cached knowledge naming *this* rank at exactly the packet's
+            // epoch is the publish or answer for this very install racing
+            // ahead of the packet — it predicts the install rather than
+            // superseding it, so it must not trip the replay guard.
+            let me = self.comm.rank();
+            let cached = self
+                .cache
+                .peek(ptr)
+                .filter(|&(owner, e)| !(owner == me && e == packet.epoch))
+                .map(|(_, e)| e);
+            self.directory
+                .get(&ptr)
+                .and_then(|d| {
+                    d.forward
+                        .map(|(_, e)| e)
+                        .into_iter()
+                        .chain(d.entry.as_ref().map(|e| e.epoch))
+                        .max()
+                })
                 .into_iter()
-                .chain(d.location.map(|(_, e)| e))
-                .chain(d.entry.as_ref().map(|e| e.epoch))
+                .chain(cached)
                 .max()
-        });
+        };
         if prior_epoch.is_some_and(|prior| packet.epoch <= prior) {
             self.stats.stale_installs += 1;
             self.tracer.emit(|| TraceEvent::DcsDuplicate {
@@ -611,9 +1035,9 @@ impl<O: Migratable> MolNode<O> {
         );
         let d = self.directory.entry(ptr).or_default();
         // If this object once lived here and left, the stale forward pointer
-        // must die: it is local again.
+        // must die: it is local again — and any cached location for it too.
         d.forward = None;
-        d.location = None;
+        self.cache.remove(ptr);
         if d.entry
             .replace(Entry {
                 obj: Some(obj),
@@ -637,7 +1061,9 @@ impl<O: Migratable> MolNode<O> {
         for env in packet.buffered {
             self.accept_local(env);
         }
-        // Location dissemination per the configured strategy.
+        // Location dissemination per the configured strategy. In sharded
+        // mode the migration *source* already published the move; the shard
+        // itself just folds the installation into its own authority.
         let upd = LocUpdate {
             ptr,
             owner: self.rank(),
@@ -650,6 +1076,10 @@ impl<O: Migratable> MolNode<O> {
                     self.comm
                         .am_send(dst, H_MOL_LOCUPD, Tag::System, upd.encode());
                 }
+            }
+        } else if self.cfg.sharded_directory {
+            if shard_of(ptr, self.nprocs()) == self.rank() {
+                self.publish_local(ptr, self.rank(), packet.epoch);
             }
         } else if self.cfg.update_home_on_install && ptr.home != self.rank() {
             self.stats.locupd_sent += 1;
@@ -741,7 +1171,28 @@ impl<O: Migratable> MolNode<O> {
             }
             h if h == H_MOL_LOCUPD => {
                 let upd = LocUpdate::decode(env.payload);
-                self.learn_location(upd);
+                self.learn_location(upd.ptr, upd.owner, upd.epoch);
+            }
+            h if h == H_MOL_DIR_PUBLISH => {
+                let pu = DirPublish::decode(env.payload);
+                self.publish_local(pu.ptr, pu.owner, pu.epoch);
+            }
+            h if h == H_MOL_DIR_LOOKUP => {
+                let q = DirLookup::decode(env.payload);
+                self.answer_lookup(env.src, q);
+            }
+            h if h == H_MOL_DIR_ANSWER => {
+                let ans = DirAnswer::decode(env.payload);
+                if ans.stale {
+                    self.stats.loc_cache_stale += 1;
+                    self.tracer.emit(|| TraceEvent::LocCacheStale {
+                        home: ans.ptr.home,
+                        index: ans.ptr.index,
+                        owner: ans.owner,
+                        epoch: ans.epoch,
+                    });
+                }
+                self.learn_location(ans.ptr, ans.owner, ans.epoch);
             }
             h if h == H_NODE_MSG => {
                 let body = NodeMsg::decode(env.payload);
@@ -761,9 +1212,13 @@ impl<O: Migratable> MolNode<O> {
         let sender = menv.sender;
         let me = self.comm.rank();
         let d = self.directory.entry(ptr).or_default();
-        match d.guess(ptr, me) {
-            Some(next) => {
+        let fwd = d.forward;
+        match self.plan_route(ptr, fwd, menv.anchored, menv.route_epoch, false) {
+            Some(route) => {
+                let next = route.dst;
                 menv.hops += 1;
+                menv.anchored = route.anchored;
+                menv.route_epoch = route.epoch;
                 self.stats.forwarded += 1;
                 self.tracer.emit(|| TraceEvent::ForwardHop {
                     home: ptr.home,
@@ -774,36 +1229,109 @@ impl<O: Migratable> MolNode<O> {
                 #[cfg(feature = "check-invariants")]
                 self.oracle.on_forward(me, next, menv.hops);
                 // Lazily teach the original sender where the object went so
-                // its next message takes the short path.
-                if let Some((owner, epoch)) = d.forward.or(d.location) {
+                // its next message takes the short path. At the home shard
+                // this piggybacked answer is authoritative.
+                if let Some((owner, epoch)) = route.know {
                     if self.cfg.update_sender_on_forward && sender != me && sender != owner {
-                        let upd = LocUpdate { ptr, owner, epoch };
                         self.stats.locupd_sent += 1;
+                        if self.cfg.sharded_directory {
+                            // Epoch 0 is a cold fill ("never migrated,
+                            // lives at home"), not a stale correction.
+                            let ans = DirAnswer {
+                                ptr,
+                                owner,
+                                epoch,
+                                stale: epoch > 0,
+                            };
+                            self.comm
+                                .am_send(sender, H_MOL_DIR_ANSWER, Tag::System, ans.encode());
+                        } else {
+                            let upd = LocUpdate { ptr, owner, epoch };
+                            self.comm
+                                .am_send(sender, H_MOL_LOCUPD, Tag::System, upd.encode());
+                        }
+                    }
+                    // A chase this deep means the shard missed a publish
+                    // (lost under chaos): repair it with our knowledge.
+                    let shard = shard_of(ptr, self.comm.nprocs());
+                    if self.cfg.sharded_directory && menv.hops >= REPAIR_HOPS && shard != me {
+                        self.stats.dir_publishes += 1;
+                        let pu = DirPublish { ptr, owner, epoch };
                         self.comm
-                            .am_send(sender, H_MOL_LOCUPD, Tag::System, upd.encode());
+                            .am_send(shard, H_MOL_DIR_PUBLISH, Tag::System, pu.encode());
                     }
                 }
                 let wire = menv.encode();
                 self.comm.am_send(next, H_MOL_MSG, Tag::App, wire);
             }
-            None => d.limbo.push(menv),
+            None => self
+                .directory
+                .get_mut(&ptr)
+                .expect("entry created above")
+                .limbo
+                .push(menv),
         }
     }
 
-    fn learn_location(&mut self, upd: LocUpdate) {
-        let d = self.directory.entry(upd.ptr).or_default();
+    /// Answer a [`DirLookup`] with this shard's freshest knowledge: the
+    /// authority table, residency, or the trail — falling back to "never
+    /// migrated, so it is at its birth rank" (epoch 0), which is always a
+    /// safe answer because the birth rank either hosts the object or heads
+    /// its forwarding trail.
+    fn answer_lookup(&mut self, src: Rank, q: DirLookup) {
+        let ptr = q.ptr;
+        let me = self.comm.rank();
+        let resident = self
+            .directory
+            .get(&ptr)
+            .and_then(|d| d.entry.as_ref())
+            .map(|e| (me, e.epoch));
+        let fwd = self.directory.get(&ptr).and_then(|d| d.forward);
+        let best = fresher(
+            resident,
+            fresher(
+                fwd,
+                fresher(self.cache.get(ptr), self.authority.lookup(ptr)),
+            ),
+        );
+        let (owner, epoch) = best.unwrap_or((ptr.home, 0));
+        if !self.cfg.lazy_epochs {
+            self.authority.note_inquirer(ptr, src);
+        }
+        self.stats.locupd_sent += 1;
+        let ans = DirAnswer {
+            ptr,
+            owner,
+            epoch,
+            stale: q.epoch > 0 && epoch > q.epoch,
+        };
+        self.comm
+            .am_send(src, H_MOL_DIR_ANSWER, Tag::System, ans.encode());
+    }
+
+    /// Merge a location fact learned from the wire (a legacy `LocUpdate` or
+    /// a sharded `DirAnswer`) and release anything it unblocks.
+    fn learn_location(&mut self, ptr: MobilePtr, owner: Rank, epoch: u64) {
+        let d = self.directory.entry(ptr).or_default();
         if d.entry.is_some() {
             return; // it's here; any cached location is stale by definition
         }
-        if d.location.is_none_or(|(_, e)| upd.epoch > e) {
-            d.location = Some((upd.owner, upd.epoch));
-        }
         if let Some((_, fe)) = d.forward {
-            if upd.epoch > fe {
-                d.forward = Some((upd.owner, upd.epoch));
+            if epoch > fe {
+                d.forward = Some((owner, epoch));
             }
         }
-        let parked = std::mem::take(&mut d.limbo);
+        self.cache.insert_max(ptr, owner, epoch);
+        if self.cfg.sharded_directory && shard_of(ptr, self.comm.nprocs()) == self.comm.rank() {
+            self.authority.publish(ptr, owner, epoch);
+        }
+        let parked = std::mem::take(
+            &mut self
+                .directory
+                .get_mut(&ptr)
+                .expect("entry created above")
+                .limbo,
+        );
         for env in parked {
             self.route(env);
         }

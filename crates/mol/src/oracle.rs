@@ -30,16 +30,11 @@
 //! [`MolNode::drain_ready`]: crate::MolNode::poll
 //! [`MolNode::pop_work`]: crate::MolNode::pop_work
 
+use crate::directory::HARD_CHAIN_LIMIT;
 use crate::proto::MolEnvelope;
 use crate::ptr::MobilePtr;
 use prema_dcs::Rank;
 use std::collections::HashMap;
-
-/// A forwarding chain longer than this is assumed to be a routing loop.
-/// Legitimate chains are bounded by the number of migrations an object has
-/// made while the sender's location cache was stale — in practice a handful;
-/// lazy location updates collapse chains long before this.
-const MAX_FORWARD_HOPS: u32 = 10_000;
 
 /// Per-node shadow state verifying the MOL's ordering and conservation
 /// guarantees. Owned by [`crate::MolNode`]; all methods panic on violation.
@@ -144,8 +139,12 @@ impl NodeOracle {
              forward pointer or location cache points home"
         );
         assert!(
-            hops < MAX_FORWARD_HOPS,
-            "forwarding oracle: message has taken {hops} hops — routing loop"
+            hops < HARD_CHAIN_LIMIT,
+            "forwarding oracle: message has taken {hops} hops (hard limit \
+             {HARD_CHAIN_LIMIT}) — routing loop. Steady-state chains are \
+             bounded by crate::directory::MAX_CHAIN; even degraded \
+             trail-walking under chaos is bounded by migration history, so \
+             only a genuine loop reaches the hard limit."
         );
     }
 
@@ -178,6 +177,8 @@ mod tests {
             seq,
             handler: 0,
             hops: 0,
+            anchored: false,
+            route_epoch: 0,
             hint: 1.0,
             payload: Bytes::new(),
         }
@@ -236,6 +237,21 @@ mod tests {
     fn self_forward_panics() {
         let mut o = NodeOracle::default();
         o.on_forward(4, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "routing loop")]
+    fn unbounded_chain_panics() {
+        let mut o = NodeOracle::default();
+        o.on_forward(4, 5, HARD_CHAIN_LIMIT);
+    }
+
+    #[test]
+    fn degraded_chain_below_hard_limit_passes() {
+        // Chains beyond MAX_CHAIN are legal in degraded (chaos) mode; only
+        // the hard limit is unconditional.
+        let mut o = NodeOracle::default();
+        o.on_forward(4, 5, HARD_CHAIN_LIMIT - 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The Mobile Object Layer wire protocol.
 //!
-//! Four message kinds ride on DCS:
+//! Seven message kinds ride on DCS:
 //!
 //! * `MOL_MSG` — an application message targeted at a mobile object,
 //!   carrying a per-(sender, object) sequence number so delivery order is
@@ -9,10 +9,16 @@
 //!   ordering state (per-sender expected sequence numbers), any accepted but
 //!   not-yet-executed messages, and any out-of-order buffered messages;
 //! * `MOL_LOCUPD` — a location update ("object X now lives at rank R, as of
-//!   migration epoch E"), sent lazily to the object's home rank and to the
-//!   senders of any messages a node has to forward;
+//!   migration epoch E"), used by the legacy home-forwarding mode and by
+//!   `broadcast_on_install`;
 //! * `NODE_MSG` — a plain rank-targeted message (used by the load-balancing
-//!   framework for status/request traffic; not object-routed).
+//!   framework for status/request traffic; not object-routed);
+//! * `MOL_DIR_PUBLISH` — a migration publishing `(ptr, new_rank, epoch)` to
+//!   the pointer's home shard (DESIGN.md §16);
+//! * `MOL_DIR_LOOKUP` — an explicit location query to the home shard (the
+//!   [`crate::MolNode::resolve`] miss path);
+//! * `MOL_DIR_ANSWER` — the shard's authoritative reply, also piggybacked to
+//!   the original sender whenever a rank has to forward its message.
 
 use crate::ptr::MobilePtr;
 use bytes::Bytes;
@@ -26,6 +32,12 @@ pub const H_MOL_MIGRATE: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 17);
 pub const H_MOL_LOCUPD: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 18);
 /// DCS handler id for rank-targeted (non-object) messages.
 pub const H_NODE_MSG: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 19);
+/// DCS handler id for directory publishes (migration → home shard).
+pub const H_MOL_DIR_PUBLISH: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 20);
+/// DCS handler id for directory lookups (sender → home shard).
+pub const H_MOL_DIR_LOOKUP: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 21);
+/// DCS handler id for directory answers (home shard → sender).
+pub const H_MOL_DIR_ANSWER: HandlerId = HandlerId(HandlerId::SYSTEM_BASE + 22);
 
 /// An object-targeted application message, as routed by the MOL.
 #[derive(Clone, Debug, PartialEq)]
@@ -40,6 +52,19 @@ pub struct MolEnvelope {
     pub handler: u32,
     /// Times this message has been forwarded.
     pub hops: u32,
+    /// Whether the home shard has already routed this message. Once set, a
+    /// rank that still cannot deliver it follows its *own* knowledge instead
+    /// of redirecting back through the shard — which is what keeps shard
+    /// routing loop-free (DESIGN.md §16).
+    pub anchored: bool,
+    /// Migration epoch backing the current routing decision (meaningful only
+    /// while `anchored`). A rank forwards an anchored message only along
+    /// knowledge at least this fresh, and parks it otherwise (the object —
+    /// or a fresher answer — is in flight toward this rank). Epochs along a
+    /// chain are therefore monotone: no hop can walk backward in migration
+    /// history, which is what makes the chain bound a constant instead of a
+    /// trail-length walk.
+    pub route_epoch: u64,
     /// Application-supplied computational weight hint for the work this
     /// message triggers. The load balancer sums hints to estimate queue
     /// load; the paper stresses that hints may be wildly inaccurate for
@@ -64,9 +89,9 @@ impl MolEnvelope {
     }
 }
 
-/// Encoded size of a [`MolEnvelope`] minus its payload: 4×u64 + 2×u32 +
+/// Encoded size of a [`MolEnvelope`] minus its payload: 5×u64 + 3×u32 +
 /// f64 + the payload length prefix.
-const ENV_HEADER: usize = 8 * 4 + 4 * 2 + 8 + 4;
+const ENV_HEADER: usize = 8 * 5 + 4 * 3 + 8 + 4;
 
 fn write_env(w: WireWriter, e: &MolEnvelope) -> WireWriter {
     w.u64(e.target.home as u64)
@@ -75,6 +100,8 @@ fn write_env(w: WireWriter, e: &MolEnvelope) -> WireWriter {
         .u64(e.seq)
         .u32(e.handler)
         .u32(e.hops)
+        .u32(u32::from(e.anchored))
+        .u64(e.route_epoch)
         .f64(e.hint)
         .bytes(&e.payload)
 }
@@ -89,6 +116,8 @@ fn read_env(r: &mut WireReader) -> MolEnvelope {
         seq: r.u64(),
         handler: r.u32(),
         hops: r.u32(),
+        anchored: r.u32() != 0,
+        route_epoch: r.u64(),
         hint: r.f64(),
         payload: r.bytes(),
     }
@@ -198,6 +227,119 @@ impl LocUpdate {
     }
 }
 
+/// A migration publishing its outcome to the pointer's home shard: "object
+/// `ptr` now lives at `owner`, as of migration epoch `epoch`". Shards merge
+/// by epoch-max, so duplicated or reordered publishes are harmless.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DirPublish {
+    /// Which object moved.
+    pub ptr: MobilePtr,
+    /// Where it now lives (as of `epoch`).
+    pub owner: Rank,
+    /// Migration epoch of this information.
+    pub epoch: u64,
+}
+
+impl DirPublish {
+    /// Encode for the wire.
+    pub fn encode(&self) -> Bytes {
+        WireWriter::pooled(32)
+            .u64(self.ptr.home as u64)
+            .u64(self.ptr.index)
+            .u64(self.owner as u64)
+            .u64(self.epoch)
+            .finish()
+    }
+
+    /// Decode from the wire.
+    pub fn decode(payload: Bytes) -> Self {
+        let mut r = WireReader::new(payload);
+        DirPublish {
+            ptr: MobilePtr {
+                home: r.u64() as usize,
+                index: r.u64(),
+            },
+            owner: r.u64() as usize,
+            epoch: r.u64(),
+        }
+    }
+}
+
+/// An explicit location query to a pointer's home shard.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DirLookup {
+    /// Which object the inquirer wants resolved.
+    pub ptr: MobilePtr,
+    /// The freshest epoch the inquirer already holds for the object (0 if
+    /// none) — lets the shard mark its answer as a stale-cache correction.
+    pub epoch: u64,
+}
+
+impl DirLookup {
+    /// Encode for the wire.
+    pub fn encode(&self) -> Bytes {
+        WireWriter::pooled(24)
+            .u64(self.ptr.home as u64)
+            .u64(self.ptr.index)
+            .u64(self.epoch)
+            .finish()
+    }
+
+    /// Decode from the wire.
+    pub fn decode(payload: Bytes) -> Self {
+        let mut r = WireReader::new(payload);
+        DirLookup {
+            ptr: MobilePtr {
+                home: r.u64() as usize,
+                index: r.u64(),
+            },
+            epoch: r.u64(),
+        }
+    }
+}
+
+/// The home shard's location answer — sent in reply to a [`DirLookup`] and
+/// piggybacked to the original sender whenever a rank forwards its message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DirAnswer {
+    /// Which object this answers for.
+    pub ptr: MobilePtr,
+    /// Best-known owner (as of `epoch`).
+    pub owner: Rank,
+    /// Migration epoch of this information; receivers keep the max.
+    pub epoch: u64,
+    /// Whether the receiver's earlier guess was stale (it sent a message
+    /// that had to be forwarded, or looked up with an older epoch).
+    pub stale: bool,
+}
+
+impl DirAnswer {
+    /// Encode for the wire.
+    pub fn encode(&self) -> Bytes {
+        WireWriter::pooled(40)
+            .u64(self.ptr.home as u64)
+            .u64(self.ptr.index)
+            .u64(self.owner as u64)
+            .u64(self.epoch)
+            .u32(u32::from(self.stale))
+            .finish()
+    }
+
+    /// Decode from the wire.
+    pub fn decode(payload: Bytes) -> Self {
+        let mut r = WireReader::new(payload);
+        DirAnswer {
+            ptr: MobilePtr {
+                home: r.u64() as usize,
+                index: r.u64(),
+            },
+            owner: r.u64() as usize,
+            epoch: r.u64(),
+            stale: r.u32() != 0,
+        }
+    }
+}
+
 /// A rank-targeted message (load-balancer traffic and the like).
 #[derive(Clone, Debug, PartialEq)]
 pub struct NodeMsg {
@@ -237,6 +379,8 @@ mod tests {
             seq,
             handler: 2,
             hops: 1,
+            anchored: true,
+            route_epoch: 7,
             hint: 2.5,
             payload: Bytes::from_static(b"payload"),
         }
@@ -272,6 +416,30 @@ mod tests {
             buffered: vec![],
         };
         assert_eq!(MigratePacket::decode(p.encode()), p);
+    }
+
+    #[test]
+    fn directory_messages_roundtrip() {
+        let p = DirPublish {
+            ptr: MobilePtr { home: 1, index: 44 },
+            owner: 6,
+            epoch: 9,
+        };
+        assert_eq!(DirPublish::decode(p.encode()), p);
+        let l = DirLookup {
+            ptr: MobilePtr { home: 0, index: 12 },
+            epoch: 3,
+        };
+        assert_eq!(DirLookup::decode(l.encode()), l);
+        for stale in [false, true] {
+            let a = DirAnswer {
+                ptr: MobilePtr { home: 2, index: 7 },
+                owner: 4,
+                epoch: 15,
+                stale,
+            };
+            assert_eq!(DirAnswer::decode(a.encode()), a);
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use prema_dcs::{ChaosConfig, ChaosHandle, ChaosTransport, Communicator, LocalFabric};
-use prema_mol::{MobilePtr, MolEvent, MolNode};
+use prema_mol::{shard_of, MobilePtr, MolConfig, MolEvent, MolNode, MAX_CHAIN};
 
 #[derive(Debug, PartialEq)]
 struct Counter {
@@ -30,12 +30,20 @@ const H_ADD: u32 = 1;
 /// An N-rank machine whose wire is wrapped in [`ChaosTransport`]s sharing
 /// one [`ChaosHandle`].
 fn chaos_machine(n: usize, cfg: ChaosConfig) -> (Vec<MolNode<Counter>>, ChaosHandle) {
+    chaos_machine_with(n, cfg, MolConfig::default())
+}
+
+fn chaos_machine_with(
+    n: usize,
+    cfg: ChaosConfig,
+    mol: MolConfig,
+) -> (Vec<MolNode<Counter>>, ChaosHandle) {
     let handle = ChaosHandle::new();
     let nodes = LocalFabric::new(n)
         .into_iter()
         .map(|ep| {
             let chaos = ChaosTransport::new(ep, cfg, handle.clone());
-            MolNode::new(Communicator::new(Box::new(chaos)))
+            MolNode::with_config(Communicator::new(Box::new(chaos)), mol)
         })
         .collect();
     (nodes, handle)
@@ -46,6 +54,11 @@ fn chaos_machine(n: usize, cfg: ChaosConfig) -> (Vec<MolNode<Counter>>, ChaosHan
 fn pump(nodes: &mut [MolNode<Counter>]) -> Vec<(usize, MobilePtr, u32, Bytes)> {
     let mut out = Vec::new();
     loop {
+        // Quiet means *nothing moved*: no events delivered and no envelope
+        // received anywhere — a forwarding hop produces no MolEvent but must
+        // still count as progress or a chain through a lower-ranked node
+        // would strand mid-pump.
+        let before: u64 = nodes.iter().map(|n| n.comm().stats().msgs_recvd).sum();
         let mut quiet = true;
         for (rank, node) in nodes.iter_mut().enumerate() {
             for ev in node.poll() {
@@ -61,7 +74,8 @@ fn pump(nodes: &mut [MolNode<Counter>]) -> Vec<(usize, MobilePtr, u32, Bytes)> {
                 }
             }
         }
-        if quiet {
+        let after: u64 = nodes.iter().map(|n| n.comm().stats().msgs_recvd).sum();
+        if quiet && after == before {
             break;
         }
     }
@@ -120,8 +134,16 @@ fn lost_location_update_degrades_to_forwarding() {
     // The lazy location update taught to a sender after a forward hop is an
     // optimization, not a correctness dependency: when the wire eats it, the
     // sender keeps routing via the home rank's forwarding pointer and every
-    // message still arrives, in order.
-    let (mut nodes, handle) = chaos_machine(3, ChaosConfig::quiet(13));
+    // message still arrives, in order. Pinned to the legacy home-forwarding
+    // directory — the sharded equivalent is covered below.
+    let (mut nodes, handle) = chaos_machine_with(
+        3,
+        ChaosConfig::quiet(13),
+        MolConfig {
+            sharded_directory: false,
+            ..MolConfig::default()
+        },
+    );
     let ptr = nodes[0].register(Counter { id: 1, value: 0 });
     assert!(nodes[0].migrate(ptr, 2));
     let _ = pump(&mut nodes); // install on 2, home learns the new location
@@ -159,6 +181,108 @@ fn lost_location_update_degrades_to_forwarding() {
         2,
         "second send should have ridden the forwarding chain"
     );
+    for n in &nodes {
+        n.verify_conservation();
+    }
+}
+
+/// Register counters on rank 0 until one's home shard is a rank other than
+/// any in `avoid` — lets a test place the shard where the scenario needs it.
+fn register_with_shard_not_in(
+    nodes: &mut [MolNode<Counter>],
+    avoid: &[usize],
+) -> (MobilePtr, usize) {
+    let n = nodes.len();
+    for id in 0..64 {
+        let ptr = nodes[0].register(Counter { id, value: 0 });
+        let shard = shard_of(ptr, n);
+        if !avoid.contains(&shard) {
+            return (ptr, shard);
+        }
+    }
+    panic!("no pointer hashed to an acceptable shard in 64 tries");
+}
+
+#[test]
+fn lost_publish_degrades_to_home_forwarding() {
+    // A migration's DirPublish to the home shard is an optimization: when a
+    // partition eats it, a cold sender's shard miss falls back to the
+    // pointer's home rank, whose never-evicted forward pointer still reaches
+    // the object. Chains stay within MAX_CHAIN, and nothing wedges.
+    let (mut nodes, handle) = chaos_machine(4, ChaosConfig::quiet(17));
+    // Shard must be remote from rank 0 (else the publish is a local fold
+    // that chaos can't eat) and distinct from the migration target.
+    let (ptr, shard) = register_with_shard_not_in(&mut nodes, &[0, 1]);
+    let dst = 1;
+
+    handle.partition(0, shard);
+    assert!(nodes[0].migrate(ptr, dst));
+    let _ = pump(&mut nodes); // install lands on dst; the publish is eaten
+    assert!(nodes[dst].is_local(ptr));
+    assert!(
+        handle.stats().partitioned >= 1,
+        "expected the DirPublish to be eaten"
+    );
+    handle.heal_all();
+
+    // A cold sender (neither home, shard, nor owner) misses its cache, asks
+    // the shard; the shard knows nothing and anchors the message to the
+    // pointer's home, which forwards down its trail to the owner.
+    let sender = (0..4).find(|r| ![0, dst, shard].contains(r)).unwrap();
+    nodes[sender].message(ptr, H_ADD, Bytes::copy_from_slice(&4i64.to_le_bytes()));
+    let evs = pump(&mut nodes);
+    assert_eq!(evs.len(), 1, "message lost after eaten publish");
+    assert_eq!(evs[0].0, dst, "delivered at the object's actual rank");
+    apply_add(&mut nodes[dst], ptr, &evs[0].3);
+    assert_eq!(nodes[dst].get(ptr).unwrap().value, 4);
+    let max_chain = nodes.iter().map(|n| n.stats().max_chain).max().unwrap();
+    assert!(
+        max_chain <= MAX_CHAIN,
+        "degraded chain {max_chain} exceeded MAX_CHAIN {MAX_CHAIN}"
+    );
+    for n in &nodes {
+        n.verify_conservation();
+    }
+}
+
+#[test]
+fn lost_shard_answers_degrade_to_forwarding() {
+    // The DirAnswers that forwarders and the shard mail back to teach a
+    // sender are pure optimization: seeded loss of every reply leaves the
+    // sender with only its self-cached epoch-0 home guess, so each send
+    // rides home → shard redirect → owner — delivery stays exactly-once and
+    // in order, and nothing wedges.
+    let (mut nodes, handle) = chaos_machine(4, ChaosConfig::quiet(19));
+    let (ptr, shard) = register_with_shard_not_in(&mut nodes, &[0, 1]);
+    let dst = 1;
+    assert!(nodes[0].migrate(ptr, dst));
+    let _ = pump(&mut nodes); // publish reaches the shard
+
+    let sender = (0..4).find(|r| ![0, dst, shard].contains(r)).unwrap();
+    for delta in [3i64, 9] {
+        // The cold miss caches "lives at home" and routes there; home
+        // redirects through the shard, which anchors the message to the
+        // owner. Both hops mail the sender a teaching DirAnswer — cut the
+        // sender off from both teachers so every reply dies in flight.
+        nodes[sender].message(ptr, H_ADD, Bytes::copy_from_slice(&delta.to_le_bytes()));
+        let _ = nodes[0].poll(); // home: redirect to shard + DirAnswer to sender
+        let _ = nodes[shard].poll(); // shard: anchor to owner + DirAnswer to sender
+        handle.partition(sender, 0);
+        handle.partition(sender, shard);
+        let _ = nodes[sender].poll(); // admission drops the in-flight answers
+        handle.heal_all();
+        let evs = pump(&mut nodes);
+        assert_eq!(evs.len(), 1, "message lost with answers eaten");
+        assert_eq!(evs[0].0, dst);
+        apply_add(&mut nodes[dst], ptr, &evs[0].3);
+    }
+    assert_eq!(nodes[dst].get(ptr).unwrap().value, 12);
+    // The sender never learned the true location: one genuine cold miss,
+    // then one stale hit on its own epoch-0 home guess.
+    assert_eq!(nodes[sender].stats().loc_cache_misses, 1);
+    assert_eq!(nodes[sender].stats().loc_cache_hits, 1);
+    let max_chain = nodes.iter().map(|n| n.stats().max_chain).max().unwrap();
+    assert!(max_chain <= MAX_CHAIN);
     for n in &nodes {
         n.verify_conservation();
     }

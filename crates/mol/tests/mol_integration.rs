@@ -34,6 +34,20 @@ fn machine(n: usize) -> Vec<MolNode<Counter>> {
         .collect()
 }
 
+/// Like [`machine`] but with the legacy home-forwarding directory, for tests
+/// that exercise forward-pointer chains and LocUpdate teaching specifically.
+fn legacy_machine(n: usize) -> Vec<MolNode<Counter>> {
+    use prema_mol::MolConfig;
+    let cfg = MolConfig {
+        sharded_directory: false,
+        ..MolConfig::default()
+    };
+    LocalFabric::new(n)
+        .into_iter()
+        .map(|ep| MolNode::with_config(Communicator::new(Box::new(ep)), cfg))
+        .collect()
+}
+
 /// Pump every node until no events flow for one full round. Returns all
 /// object-message events seen, tagged with the rank that executed them.
 fn pump(nodes: &mut [MolNode<Counter>]) -> Vec<(usize, MobilePtr, u32, Bytes)> {
@@ -113,7 +127,10 @@ fn migration_moves_state_and_name_follows() {
 
 #[test]
 fn forwarding_chain_and_lazy_location_update() {
-    let mut nodes = machine(4);
+    // Legacy directory: the sharded one can collapse the chain to zero
+    // forwards (e.g. when the sender happens to be the home shard), which is
+    // exactly what this test must not depend on.
+    let mut nodes = legacy_machine(4);
     let ptr = nodes[0].register(Counter { id: 2, value: 0 });
     // Hop 0 → 1 → 2 → 3 without letting rank 0's knowledge catch up fully.
     assert!(nodes[0].migrate(ptr, 1));
@@ -427,6 +444,8 @@ fn fully_lazy_strategy_still_delivers_via_chains() {
         update_home_on_install: false,
         update_sender_on_forward: false,
         broadcast_on_install: false,
+        sharded_directory: false,
+        ..MolConfig::default()
     };
     let mut nodes: Vec<MolNode<Counter>> = LocalFabric::new(4)
         .into_iter()

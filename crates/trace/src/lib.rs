@@ -88,6 +88,49 @@ pub enum TraceEvent {
         /// Total forwarding hops the message has taken so far.
         hops: u32,
     },
+    /// A sender's location cache (or forward trail) named an owner for a
+    /// mobile pointer, so the message was sent directly (DESIGN.md §16).
+    LocCacheHit {
+        /// Target object's home rank.
+        home: usize,
+        /// Target object's per-home index.
+        index: u64,
+        /// Cached owner rank the message was sent to.
+        owner: usize,
+    },
+    /// No local knowledge for a mobile pointer: the message was routed to
+    /// the pointer's home shard for authoritative resolution.
+    LocCacheMiss {
+        /// Target object's home rank.
+        home: usize,
+        /// Target object's per-home index.
+        index: u64,
+        /// Home shard rank the message was routed to.
+        shard: usize,
+    },
+    /// A directory answer flagged this rank's knowledge stale (the answer's
+    /// epoch exceeded the epoch the rank sent with); the fresher location
+    /// was merged into the cache.
+    LocCacheStale {
+        /// Target object's home rank.
+        home: usize,
+        /// Target object's per-home index.
+        index: u64,
+        /// Authoritative owner rank from the answer.
+        owner: usize,
+        /// Migration epoch of the answer.
+        epoch: u64,
+    },
+    /// An explicit `resolve()` missed locally and issued a `DirLookup` to
+    /// the pointer's home shard.
+    HomeLookup {
+        /// Target object's home rank.
+        home: usize,
+        /// Target object's per-home index.
+        index: u64,
+        /// Home shard rank the lookup was sent to.
+        shard: usize,
+    },
     /// The scheduler started executing one unit of mobile-object work.
     ExecBegin {
         /// Executing object's home rank.
@@ -243,6 +286,10 @@ impl TraceEvent {
             TraceEvent::Migrate { .. } => "migrate",
             TraceEvent::Install { .. } => "install",
             TraceEvent::ForwardHop { .. } => "forward_hop",
+            TraceEvent::LocCacheHit { .. } => "loc_cache_hit",
+            TraceEvent::LocCacheMiss { .. } => "loc_cache_miss",
+            TraceEvent::LocCacheStale { .. } => "loc_cache_stale",
+            TraceEvent::HomeLookup { .. } => "home_lookup",
             TraceEvent::ExecBegin { .. } => "exec_begin",
             TraceEvent::ExecFinish { .. } => "exec_finish",
             TraceEvent::Poll { .. } => "poll",
@@ -307,6 +354,24 @@ impl TraceEvent {
                 let _ = write!(
                     out,
                     ",\"home\":{home},\"index\":{index},\"next\":{next},\"hops\":{hops}"
+                );
+            }
+            TraceEvent::LocCacheHit { home, index, owner } => {
+                let _ = write!(out, ",\"home\":{home},\"index\":{index},\"owner\":{owner}");
+            }
+            TraceEvent::LocCacheMiss { home, index, shard }
+            | TraceEvent::HomeLookup { home, index, shard } => {
+                let _ = write!(out, ",\"home\":{home},\"index\":{index},\"shard\":{shard}");
+            }
+            TraceEvent::LocCacheStale {
+                home,
+                index,
+                owner,
+                epoch,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"home\":{home},\"index\":{index},\"owner\":{owner},\"epoch\":{epoch}"
                 );
             }
             TraceEvent::ExecBegin {
@@ -786,6 +851,67 @@ mod tests {
         assert_eq!(
             dup.to_jsonl(),
             "{\"rank\":0,\"seq\":2,\"t\":9,\"ev\":\"dcs_duplicate\",\"peer\":4,\"handler\":1}"
+        );
+    }
+
+    #[test]
+    fn directory_events_serialize_flat() {
+        let hit = Record {
+            rank: 2,
+            seq: 0,
+            t: 5,
+            ev: TraceEvent::LocCacheHit {
+                home: 1,
+                index: 9,
+                owner: 6,
+            },
+        };
+        assert_eq!(
+            hit.to_jsonl(),
+            "{\"rank\":2,\"seq\":0,\"t\":5,\"ev\":\"loc_cache_hit\",\"home\":1,\"index\":9,\"owner\":6}"
+        );
+        let miss = Record {
+            rank: 2,
+            seq: 1,
+            t: 6,
+            ev: TraceEvent::LocCacheMiss {
+                home: 1,
+                index: 9,
+                shard: 3,
+            },
+        };
+        assert_eq!(
+            miss.to_jsonl(),
+            "{\"rank\":2,\"seq\":1,\"t\":6,\"ev\":\"loc_cache_miss\",\"home\":1,\"index\":9,\"shard\":3}"
+        );
+        let stale = Record {
+            rank: 2,
+            seq: 2,
+            t: 7,
+            ev: TraceEvent::LocCacheStale {
+                home: 1,
+                index: 9,
+                owner: 7,
+                epoch: 4,
+            },
+        };
+        assert_eq!(
+            stale.to_jsonl(),
+            "{\"rank\":2,\"seq\":2,\"t\":7,\"ev\":\"loc_cache_stale\",\"home\":1,\"index\":9,\"owner\":7,\"epoch\":4}"
+        );
+        let lookup = Record {
+            rank: 2,
+            seq: 3,
+            t: 8,
+            ev: TraceEvent::HomeLookup {
+                home: 1,
+                index: 9,
+                shard: 3,
+            },
+        };
+        assert_eq!(
+            lookup.to_jsonl(),
+            "{\"rank\":2,\"seq\":3,\"t\":8,\"ev\":\"home_lookup\",\"home\":1,\"index\":9,\"shard\":3}"
         );
     }
 

@@ -476,7 +476,7 @@ fn analyze_json(
 const BENCH_BASELINES: &[(&str, &[&str])] = &[
     (
         "BENCH_substrate.json",
-        &["substrates", "fastpath", "ring", "udp"],
+        &["substrates", "fastpath", "mol_directory", "ring", "udp"],
     ),
     ("BENCH_figures.json", &["figures"]),
 ];

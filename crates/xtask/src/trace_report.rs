@@ -259,6 +259,82 @@ fn render_forward_histogram(recs: &[Rec]) -> String {
             0.0
         }
     );
+    // Percentiles over per-message chain lengths: a message that stopped
+    // after L hops contributes one sample of value L.
+    let percentile = |q: f64| -> u64 {
+        let want = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for len in 1..=max {
+            let at = count.get(&len).copied().unwrap_or(0);
+            let beyond = count.get(&(len + 1)).copied().unwrap_or(0);
+            seen += at.saturating_sub(beyond);
+            if seen >= want {
+                return len;
+            }
+        }
+        max
+    };
+    let _ = writeln!(
+        s,
+        "chain p50 {}  p99 {}  max {max}",
+        percentile(0.50),
+        percentile(0.99)
+    );
+    s
+}
+
+/// Directory and sender location-cache counters, folded from the four
+/// directory events: `loc_cache_hit` (a send answered by local knowledge),
+/// `loc_cache_miss` (no knowledge — routed via the home shard or birth
+/// rank), `loc_cache_stale` (a forwarder or shard corrected a stale guess),
+/// and `home_lookup` (explicit `DirLookup` queries). The closing line is the
+/// aggregate hit rate the README's directory quickstart reads off.
+fn render_directory(recs: &[Rec], stride: usize) -> String {
+    let stride = stride.max(1);
+    let nprocs = recs.iter().map(|r| r.rank + 1).max().unwrap_or(0);
+    let mut rows = vec![[0u64; 4]; nprocs];
+    for r in recs {
+        let col = match r.ev.as_str() {
+            "loc_cache_hit" => 0,
+            "loc_cache_miss" => 1,
+            "loc_cache_stale" => 2,
+            "home_lookup" => 3,
+            _ => continue,
+        };
+        rows[r.rank][col] += 1;
+    }
+    let mut s = String::from("== Directory location caches ==\n");
+    if rows.iter().flatten().copied().sum::<u64>() == 0 {
+        s.push_str("(no directory events)\n");
+        return s;
+    }
+    let _ = writeln!(
+        s,
+        "{:>5} {:>8} {:>8} {:>8} {:>8}",
+        "proc", "hits", "misses", "stale", "lookups"
+    );
+    for (p, row) in rows.iter().enumerate().step_by(stride) {
+        if row.iter().sum::<u64>() > 0 {
+            let _ = writeln!(
+                s,
+                "{p:>5} {:>8} {:>8} {:>8} {:>8}",
+                row[0], row[1], row[2], row[3]
+            );
+        }
+    }
+    let tot = |c: usize| rows.iter().map(|r| r[c]).sum::<u64>();
+    let (hits, misses) = (tot(0), tot(1));
+    let rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64 * 100.0
+    } else {
+        100.0
+    };
+    let _ = writeln!(
+        s,
+        "cache hit rate {rate:.1}% ({hits} hits / {misses} misses), {} stale corrections, {} home lookups",
+        tot(2),
+        tot(3)
+    );
     s
 }
 
@@ -623,6 +699,8 @@ pub fn report(text: &str, stride: usize) -> Result<String, String> {
     s.push('\n');
     s.push_str(&render_forward_histogram(&recs));
     s.push('\n');
+    s.push_str(&render_directory(&recs, stride));
+    s.push('\n');
     s.push_str(&render_begging_latency(&recs));
     s.push('\n');
     s.push_str(&render_migration_timeline(&recs));
@@ -671,12 +749,17 @@ mod tests {
 {"rank":0,"seq":15,"t":108,"ev":"lb_veto","peer":1,"kind":2}
 {"rank":1,"seq":16,"t":109,"ev":"lb_forecast","weight_milli":1500,"predicted_milli":2750,"rising":true}
 {"rank":1,"seq":17,"t":110,"ev":"lb_forecast","weight_milli":2750,"predicted_milli":2600,"rising":false}
+{"rank":0,"seq":16,"t":111,"ev":"loc_cache_hit","home":0,"index":7,"owner":1}
+{"rank":0,"seq":17,"t":112,"ev":"loc_cache_hit","home":0,"index":7,"owner":1}
+{"rank":0,"seq":18,"t":113,"ev":"loc_cache_miss","home":0,"index":8,"shard":2}
+{"rank":1,"seq":18,"t":114,"ev":"loc_cache_stale","home":0,"index":7,"owner":2,"epoch":3}
+{"rank":1,"seq":19,"t":115,"ev":"home_lookup","home":0,"index":7,"shard":2}
 "#;
 
     #[test]
     fn parses_every_line_of_a_real_dump() {
         let recs = parse_dump(DUMP).expect("dump parses");
-        assert_eq!(recs.len(), 34);
+        assert_eq!(recs.len(), 39);
         assert_eq!(recs[0].ev, "span");
         assert_eq!(recs[0].u64("dur"), Some(2_000_000_000));
     }
@@ -709,6 +792,37 @@ mod tests {
         assert!(out.contains("     1          1"), "{out}");
         assert!(out.contains("     2          1"), "{out}");
         assert!(out.contains("2 forwarded messages, 3 hops total"), "{out}");
+        // Two messages with chains of 1 and 2: p50 is 1, p99 and max are 2.
+        assert!(out.contains("chain p50 1  p99 2  max 2"), "{out}");
+    }
+
+    #[test]
+    fn directory_section_folds_cache_counters() {
+        let recs = parse_dump(DUMP).expect("dump parses");
+        let out = render_directory(&recs, 1);
+        // Rank 0: 2 hits, 1 miss; rank 1: 1 stale, 1 lookup.
+        assert!(
+            out.contains("    0        2        1        0        0"),
+            "{out}"
+        );
+        assert!(
+            out.contains("    1        0        0        1        1"),
+            "{out}"
+        );
+        assert!(
+            out.contains(
+                "cache hit rate 66.7% (2 hits / 1 misses), 1 stale corrections, 1 home lookups"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn directory_section_handles_a_quiet_trace() {
+        let dump = "{\"rank\":0,\"seq\":0,\"t\":0,\"ev\":\"span\",\"cat\":0,\"dur\":5}\n";
+        let recs = parse_dump(dump).expect("dump parses");
+        let out = render_directory(&recs, 1);
+        assert!(out.contains("(no directory events)"), "{out}");
     }
 
     #[test]
@@ -819,6 +933,7 @@ mod tests {
         for heading in [
             "per-processor time breakdown",
             "Forwarding-chain length histogram",
+            "Directory location caches",
             "Begging-round latency",
             "Migration timeline",
             "Migration churn",
